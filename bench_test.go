@@ -1,0 +1,235 @@
+package waymemo_test
+
+// One benchmark per table and figure of the paper, plus micro-benchmarks of
+// the substrate. The figure benchmarks share a single run of the
+// seven-benchmark suite and report the headline metric of each figure via
+// b.ReportMetric, so `go test -bench=.` both times the regeneration and
+// prints the reproduced numbers.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/core"
+	"waymemo/internal/experiments"
+	"waymemo/internal/sim"
+	"waymemo/internal/synth"
+	"waymemo/internal/trace"
+	"waymemo/internal/workloads"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *experiments.Results
+	suiteErr  error
+)
+
+func getSuite(b *testing.B) *experiments.Results {
+	b.Helper()
+	suiteOnce.Do(func() { suite, suiteErr = experiments.RunAll() })
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suite
+}
+
+// BenchmarkTable1 regenerates the MAB area grid (Table 1).
+func BenchmarkTable1(b *testing.B) {
+	var area float64
+	for i := 0; i < b.N; i++ {
+		for _, row := range synth.Grid() {
+			for _, r := range row {
+				area = r.AreaMM2
+			}
+		}
+	}
+	b.ReportMetric(synth.Characterize(2, 8).AreaMM2, "mm2_2x8")
+	_ = area
+}
+
+// BenchmarkTable2 regenerates the MAB delay grid (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	var d float64
+	for i := 0; i < b.N; i++ {
+		for _, row := range synth.Grid() {
+			for _, r := range row {
+				d = r.DelayNS
+			}
+		}
+	}
+	b.ReportMetric(synth.Characterize(2, 16).DelayNS, "ns_2x16")
+	_ = d
+}
+
+// BenchmarkTable3 regenerates the MAB power grid (Table 3).
+func BenchmarkTable3(b *testing.B) {
+	var p float64
+	for i := 0; i < b.N; i++ {
+		for _, row := range synth.Grid() {
+			for _, r := range row {
+				p = r.ActiveMW
+			}
+		}
+	}
+	b.ReportMetric(synth.Characterize(2, 8).ActiveMW, "mW_active_2x8")
+	b.ReportMetric(synth.Characterize(2, 8).SleepMW, "mW_sleep_2x8")
+	_ = p
+}
+
+// BenchmarkFigure4 regenerates the D-cache tag/way access comparison.
+// Metric: average fraction of tag reads eliminated by the 2x8 MAB.
+func BenchmarkFigure4(b *testing.B) {
+	r := getSuite(b)
+	var rows []experiments.AccessRow
+	for i := 0; i < b.N; i++ {
+		rows = Figure4Rows(r)
+	}
+	var red float64
+	n := 0
+	for _, row := range rows {
+		if row.Tech == experiments.DMAB {
+			red += 1 - row.Tags/2.0
+			n++
+		}
+	}
+	b.ReportMetric(red/float64(n), "tag_reduction_avg")
+}
+
+// Figure4Rows is split out so the compiler cannot fold the benchmark away.
+func Figure4Rows(r *experiments.Results) []experiments.AccessRow {
+	return experiments.Figure4(r)
+}
+
+// BenchmarkFigure5 regenerates the D-cache power decomposition.
+// Metric: average D-cache power saving of the 2x8 MAB vs the original.
+func BenchmarkFigure5(b *testing.B) {
+	r := getSuite(b)
+	var rows []experiments.PowerRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure5(r)
+	}
+	total := map[string]float64{}
+	for _, row := range rows {
+		total[row.Tech] += row.B.TotalMW()
+	}
+	b.ReportMetric(1-total[experiments.DMAB]/total[experiments.DOrig], "d_saving_avg")
+}
+
+// BenchmarkFigure6 regenerates the I-cache tag/way access comparison.
+// Metric: average tag reads per access under approach [4] (the paper's
+// baseline bar) and under the 2x16 MAB.
+func BenchmarkFigure6(b *testing.B) {
+	r := getSuite(b)
+	var rows []experiments.AccessRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure6(r)
+	}
+	sum := map[string]float64{}
+	cnt := map[string]int{}
+	for _, row := range rows {
+		sum[row.Tech] += row.Tags
+		cnt[row.Tech]++
+	}
+	b.ReportMetric(sum[experiments.IA4]/float64(cnt[experiments.IA4]), "tags_access_a4")
+	b.ReportMetric(sum[experiments.IMAB16]/float64(cnt[experiments.IMAB16]), "tags_access_2x16")
+}
+
+// BenchmarkFigure7 regenerates the I-cache power comparison.
+// Metric: average I-cache power saving of the 2x16 MAB vs approach [4].
+func BenchmarkFigure7(b *testing.B) {
+	r := getSuite(b)
+	var rows []experiments.PowerRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure7(r)
+	}
+	total := map[string]float64{}
+	for _, row := range rows {
+		total[row.Tech] += row.B.TotalMW()
+	}
+	b.ReportMetric(1-total[experiments.IMAB16]/total[experiments.IA4], "i_saving_avg")
+}
+
+// BenchmarkFigure8 regenerates the headline total-power figure.
+// Metrics: average and maximum total cache power saving (paper: 0.30/0.40).
+func BenchmarkFigure8(b *testing.B) {
+	r := getSuite(b)
+	var rows []experiments.TotalRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure8(r)
+	}
+	avg, max := experiments.AverageSaving(rows)
+	b.ReportMetric(avg, "saving_avg")
+	b.ReportMetric(max, "saving_max")
+}
+
+// BenchmarkSuite times one full pass of the seven benchmarks with every
+// technique attached — the cost of regenerating Figures 4-8 from scratch.
+func BenchmarkSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorIPS measures raw simulator speed (instructions/sec) on
+// the DCT benchmark without any cache models attached.
+func BenchmarkSimulatorIPS(b *testing.B) {
+	w := workloads.DCT()
+	p, err := w.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		c := sim.New()
+		c.LoadProgram(p, workloads.StackTop)
+		if err := c.Run(workloads.DefaultMaxInstrs); err != nil {
+			b.Fatal(err)
+		}
+		instrs += c.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkMABProbe measures the cost of one MAB probe+update pair.
+func BenchmarkMABProbe(b *testing.B) {
+	m := core.New(core.DefaultD, cache.FRV32K)
+	r := rand.New(rand.NewSource(5))
+	bases := make([]uint32, 64)
+	for i := range bases {
+		bases[i] = uint32(r.Intn(1 << 28))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := bases[i&63]
+		if res := m.Probe(base, 8); !res.Hit {
+			m.Update(base, 8, 0)
+		}
+	}
+}
+
+// BenchmarkDController measures one way-memoized D-cache access end to end.
+func BenchmarkDController(b *testing.B) {
+	d := core.NewDController(cache.FRV32K, core.DefaultD)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := uint32(0x100000 + (i&1023)*4)
+		d.OnData(trace.DataEvent{Addr: base + 8, Base: base, Disp: 8, Size: 4})
+	}
+}
+
+// BenchmarkAssembler measures assembling the largest benchmark program
+// (runtime prologue plus the mpeg2 encoder and its embedded frames).
+func BenchmarkAssembler(b *testing.B) {
+	w := workloads.MPEG2Enc()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.Build(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// frvasm assembles FRVL source into a memory image.
+//
+// Usage:
+//
+//	frvasm [-o out.bin] [-l] prog.s
+//
+// With -l a disassembly listing is printed instead of writing the image.
+// The output format is a simple segment dump: for each segment, an 8-byte
+// header (address, length, little-endian) followed by the raw bytes.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "a.img", "output image file")
+	list := flag.Bool("l", false, "print a listing instead of writing the image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: frvasm [-o out.img] [-l] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frvasm:", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frvasm:", err)
+		os.Exit(1)
+	}
+	if *list {
+		fmt.Printf("entry: 0x%08x\n", p.Entry)
+		for _, seg := range p.Segments {
+			fmt.Printf("segment 0x%08x (%d bytes)\n", seg.Addr, len(seg.Data))
+			inText := func(a uint32) bool {
+				for _, r := range p.TextRanges {
+					if a >= r[0] && a < r[1] {
+						return true
+					}
+				}
+				return false
+			}
+			for off := 0; off+4 <= len(seg.Data); off += 4 {
+				addr := seg.Addr + uint32(off)
+				w := binary.LittleEndian.Uint32(seg.Data[off:])
+				if inText(addr) {
+					fmt.Printf("  %08x: %08x  %s\n", addr, w, isa.Disassemble(isa.Decode(w), addr))
+				} else {
+					fmt.Printf("  %08x: %08x  .word\n", addr, w)
+				}
+			}
+		}
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frvasm:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	var hdr [8]byte
+	for _, seg := range p.Segments {
+		binary.LittleEndian.PutUint32(hdr[0:], seg.Addr)
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(seg.Data)))
+		if _, err := f.Write(hdr[:]); err != nil {
+			fmt.Fprintln(os.Stderr, "frvasm:", err)
+			os.Exit(1)
+		}
+		if _, err := f.Write(seg.Data); err != nil {
+			fmt.Fprintln(os.Stderr, "frvasm:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("wrote %s: %d segment(s), %d bytes, entry 0x%08x\n",
+		*out, len(p.Segments), p.Size(), p.Entry)
+}

@@ -1,0 +1,110 @@
+// frvrun executes an FRVL assembly program under the full memory-hierarchy
+// simulation and reports cache and MAB statistics.
+//
+// Usage:
+//
+//	frvrun [-max N] [-dmab 2x8] [-imab 2x16] [-v] prog.s
+//
+// The program runs with a way-memoized D- and I-cache alongside the original
+// baselines, so the report shows the paper's savings for this program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/baseline"
+	"waymemo/internal/cache"
+	"waymemo/internal/core"
+	"waymemo/internal/experiments"
+	"waymemo/internal/power"
+	"waymemo/internal/report"
+	"waymemo/internal/sim"
+	"waymemo/internal/stats"
+	"waymemo/internal/trace"
+)
+
+func parseMAB(s string) (core.Config, error) {
+	var nt, ns int
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%d", &nt, &ns); err != nil {
+		return core.Config{}, fmt.Errorf("bad MAB config %q (want NxM, e.g. 2x8)", s)
+	}
+	return core.Config{TagEntries: nt, SetEntries: ns}, nil
+}
+
+func main() {
+	max := flag.Uint64("max", 500_000_000, "instruction budget")
+	dmab := flag.String("dmab", "2x8", "D-cache MAB configuration (NtxNs)")
+	imab := flag.String("imab", "2x16", "I-cache MAB configuration (NtxNs)")
+	verbose := flag.Bool("v", false, "also dump the console output")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: frvrun [-max N] [-dmab 2x8] [-imab 2x16] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frvrun:", err)
+		os.Exit(1)
+	}
+	dcfg, err := parseMAB(*dmab)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frvrun:", err)
+		os.Exit(1)
+	}
+	icfg, err := parseMAB(*imab)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frvrun:", err)
+		os.Exit(1)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "frvrun:", err)
+		os.Exit(1)
+	}
+
+	geo := cache.FRV32K
+	dOrig := baseline.NewOriginalD(geo)
+	dMAB := core.NewDController(geo, dcfg)
+	iOrig := baseline.NewOriginalI(geo)
+	iA4 := baseline.NewApproach4I(geo)
+	iMAB := core.NewIController(geo, icfg)
+
+	c := sim.New()
+	c.Fetch = trace.FetchTee(iOrig, iA4, iMAB)
+	c.Data = trace.DataTee(dOrig, dMAB)
+	c.LoadProgram(p, 0x001F0000)
+	if err := c.Run(*max); err != nil {
+		fmt.Fprintln(os.Stderr, "frvrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("halted after %d instructions, %d cycles\n", c.Instrs, c.Cycles)
+	if *verbose && len(c.Console) > 0 {
+		fmt.Printf("console: %q\n", string(c.Console))
+	}
+
+	t := report.Table{Title: "cache activity",
+		Columns: []string{"cache", "technique", "accesses", "hit rate", "tags/access", "ways/access", "power mW"}}
+	addRow := func(kind, tech string, s *stats.Counters, m power.Model) {
+		b := power.Compute(s, c.Cycles, m)
+		t.AddRow(kind, tech, fmt.Sprintf("%d", s.Accesses), report.Pct(s.HitRate()),
+			report.F(s.TagsPerAccess(), 3), report.F(s.WaysPerAccess(), 3),
+			report.F(b.TotalMW(), 2))
+	}
+	addRow("D", "original", dOrig.Stats, experiments.DModel(experiments.DOrig))
+	dm := experiments.DModel(experiments.DOrig)
+	dm.MAB = dMAB.MAB.Characterize()
+	addRow("D", "mab-"+dcfg.String(), dMAB.Stats, dm)
+	addRow("I", "original", iOrig.Stats, experiments.IModel(experiments.IOrig))
+	addRow("I", "approach[4]", iA4.Stats, experiments.IModel(experiments.IOrig))
+	im := experiments.IModel(experiments.IOrig)
+	im.MAB = iMAB.MAB.Characterize()
+	addRow("I", "mab-"+icfg.String(), iMAB.Stats, im)
+	t.Render(os.Stdout)
+
+	fmt.Printf("\nD-MAB hit rate %s, I-MAB hit rate %s\n",
+		report.Pct(dMAB.Stats.MABHitRate()), report.Pct(iMAB.Stats.MABHitRate()))
+}

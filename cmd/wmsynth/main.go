@@ -1,0 +1,61 @@
+// wmsynth prints the MAB circuit model — area, critical-path delay, active
+// and sleep power — for an arbitrary configuration grid.
+//
+// Usage:
+//
+//	wmsynth [-nt 1,2] [-ns 4,8,16,32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"waymemo/internal/report"
+	"waymemo/internal/synth"
+)
+
+func parseList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad entry count %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	ntFlag := flag.String("nt", "1,2", "tag entry counts")
+	nsFlag := flag.String("ns", "4,8,16,32", "set-index entry counts")
+	flag.Parse()
+	nts, err := parseList(*ntFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmsynth:", err)
+		os.Exit(2)
+	}
+	nss, err := parseList(*nsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmsynth:", err)
+		os.Exit(2)
+	}
+	t := report.Table{
+		Title:   "MAB circuit model (0.13um, 1.3V, 360MHz; cycle 2.5ns)",
+		Columns: []string{"config", "bits", "area mm^2", "delay ns", "active mW", "sleep mW", "fits cycle"},
+	}
+	for _, nt := range nts {
+		for _, ns := range nss {
+			r := synth.Characterize(nt, ns)
+			t.AddRow(fmt.Sprintf("%dx%d", nt, ns),
+				fmt.Sprintf("%d", synth.StateBits(nt, ns)),
+				report.F(r.AreaMM2, 3), report.F(r.DelayNS, 2),
+				report.F(r.ActiveMW, 2), report.F(r.SleepMW, 2),
+				fmt.Sprintf("%v", synth.FitsCycle(r)))
+		}
+	}
+	t.Render(os.Stdout)
+}

@@ -1,0 +1,140 @@
+// wmx regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	wmx [-exp all|table1|table2|table3|fig4|fig5|fig6|fig7|fig8] [-csv]
+//
+// Running with -exp all (the default) executes the seven-benchmark suite
+// once and prints every table and figure of the evaluation section.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"waymemo/internal/experiments"
+	"waymemo/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, table1..table3, fig4..fig8")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	emit := func(t report.Table) {
+		if *csv {
+			t.RenderCSV(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		fmt.Println()
+	}
+
+	which := strings.ToLower(*exp)
+	needSuite := which == "all" || strings.HasPrefix(which, "fig")
+	var results *experiments.Results
+	if needSuite {
+		fmt.Fprintln(os.Stderr, "running the seven-benchmark suite...")
+		var err error
+		results, err = experiments.RunAll()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wmx:", err)
+			os.Exit(1)
+		}
+	}
+
+	ran := false
+	want := func(name string) bool {
+		if which == "all" || which == name {
+			ran = true
+			return true
+		}
+		return false
+	}
+	if want("table1") {
+		emit(experiments.Table1())
+	}
+	if want("table2") {
+		emit(experiments.Table2())
+	}
+	if want("table3") {
+		emit(experiments.Table3())
+	}
+	if want("fig4") {
+		emit(experiments.AccessTable(
+			"Figure 4: tag and way accesses per D-cache access", experiments.Figure4(results)))
+	}
+	if want("fig5") {
+		emit(experiments.PowerTable(
+			"Figure 5: D-cache power (mW)", experiments.Figure5(results)))
+	}
+	if want("fig6") {
+		emit(experiments.AccessTable(
+			"Figure 6: tag and way accesses per I-cache access", experiments.Figure6(results)))
+	}
+	if want("fig7") {
+		emit(experiments.PowerTable(
+			"Figure 7: I-cache power (mW)", experiments.Figure7(results)))
+	}
+	if want("fig8") {
+		rows := experiments.Figure8(results)
+		emit(experiments.Figure8Table(rows))
+		avg, max := experiments.AverageSaving(rows)
+		fmt.Printf("average total saving: %s   maximum: %s\n\n", report.Pct(avg), report.Pct(max))
+	}
+	// Studies beyond the paper's figures (not part of -exp all).
+	if which == "ablation-d" {
+		ran = true
+		rows, err := experiments.AblationD()
+		exitOn(err)
+		emit(experiments.AblationTable("D-cache techniques (7-benchmark average)", rows))
+	}
+	if which == "ablation-i" {
+		ran = true
+		rows, err := experiments.AblationI()
+		exitOn(err)
+		emit(experiments.AblationTable("I-cache techniques (7-benchmark average)", rows))
+	}
+	if which == "consistency" {
+		ran = true
+		rows, err := experiments.AblationConsistency()
+		exitOn(err)
+		emit(experiments.ConsistencyTable(rows))
+	}
+	if which == "packet" {
+		ran = true
+		rows, err := experiments.AblationPacket()
+		exitOn(err)
+		emit(experiments.PacketTable(rows))
+	}
+	if which == "report" {
+		// Regenerate EXPERIMENTS.md on stdout: the full suite plus every
+		// ablation study.
+		ran = true
+		fmt.Fprintln(os.Stderr, "running the seven-benchmark suite and all ablations...")
+		results, err := experiments.RunAll()
+		exitOn(err)
+		ablD, err := experiments.AblationD()
+		exitOn(err)
+		ablI, err := experiments.AblationI()
+		exitOn(err)
+		cons, err := experiments.AblationConsistency()
+		exitOn(err)
+		packet, err := experiments.AblationPacket()
+		exitOn(err)
+		experiments.WriteMarkdown(os.Stdout, results, ablD, ablI, cons, packet)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "wmx: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmx:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,18 @@
+// Package waymemo reproduces "A Way Memoization Technique for Reducing
+// Power Consumption of Caches in Application Specific Integrated
+// Processors" (Ishihara & Fallah, DATE 2005).
+//
+// The library lives under internal/: the Memory Address Buffer and the
+// way-memoized cache controllers in internal/core, the FRVL processor
+// substrate (ISA, assembler, simulator) in internal/isa, internal/asm and
+// internal/sim, the cache and power models in internal/cache,
+// internal/cacti, internal/synth and internal/power, the paper's seven
+// benchmarks in internal/workloads, and the table/figure regeneration in
+// internal/experiments.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-versus-measured results. The benchmarks in
+// bench_test.go regenerate every table and figure:
+//
+//	go test -bench=. -benchmem
+package waymemo

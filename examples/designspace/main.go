@@ -1,0 +1,107 @@
+// designspace sweeps the D-cache MAB configuration grid over the full
+// benchmark suite and reports the power-optimal size — reproducing the
+// paper's finding that 2 tag entries x 8 set-index entries is optimal:
+// bigger MABs win a few more hits but their own power outgrows the savings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/cacti"
+	"waymemo/internal/core"
+	"waymemo/internal/power"
+	"waymemo/internal/stats"
+	"waymemo/internal/synth"
+	"waymemo/internal/trace"
+	"waymemo/internal/workloads"
+)
+
+func main() {
+	geo := cache.FRV32K
+	arr := cacti.ArrayEnergies(cacti.Tech130, geo)
+	type cfg struct{ nt, ns int }
+	grid := []cfg{}
+	for _, nt := range []int{1, 2} {
+		for _, ns := range []int{4, 8, 16, 32} {
+			grid = append(grid, cfg{nt, ns})
+		}
+	}
+
+	// One controller per configuration plus the original baseline, all fed
+	// from a single pass over the seven benchmarks.
+	totalMW := make(map[cfg]float64)
+	var origMW float64
+	for _, w := range workloads.All() {
+		ctls := make([]*core.DController, len(grid))
+		sinks := make([]trace.DataSink, 0, len(grid)+1)
+		origStats := &stats.Counters{}
+		origCtl := newOriginal(geo, origStats)
+		sinks = append(sinks, origCtl)
+		for i, g := range grid {
+			ctls[i] = core.NewDController(geo, core.Config{TagEntries: g.nt, SetEntries: g.ns})
+			sinks = append(sinks, ctls[i])
+		}
+		c, err := workloads.Run(w, nil, trace.DataTee(sinks...))
+		if err != nil {
+			log.Fatal(err)
+		}
+		origMW += power.Compute(origStats, c.Cycles, power.Model{Array: arr}).TotalMW()
+		for i, g := range grid {
+			m := power.Model{Array: arr, MAB: synth.Characterize(g.nt, g.ns)}
+			totalMW[g] += power.Compute(ctls[i].Stats, c.Cycles, m).TotalMW()
+		}
+	}
+
+	n := float64(len(workloads.All()))
+	fmt.Printf("average D-cache power across the 7 benchmarks (original: %.2f mW)\n\n", origMW/n)
+	fmt.Printf("%-8s %12s %12s %10s\n", "config", "power mW", "saving", "MAB mW")
+	best, bestCfg := 1e18, cfg{}
+	for _, g := range grid {
+		avg := totalMW[g] / n
+		mabP := synth.Characterize(g.nt, g.ns)
+		fmt.Printf("%dx%-6d %12.2f %11.1f%% %10.2f\n", g.nt, g.ns, avg,
+			(1-avg/(origMW/n))*100, mabP.ActiveMW)
+		if avg < best {
+			best, bestCfg = avg, g
+		}
+	}
+	fmt.Printf("\npower-optimal configuration: %dx%d (paper: 2x8)\n", bestCfg.nt, bestCfg.ns)
+}
+
+// newOriginal adapts the conventional-access accounting to a DataSink
+// without importing the baseline package (keeps the example self-contained
+// on the core API).
+func newOriginal(geo cache.Config, s *stats.Counters) trace.DataSink {
+	c := cache.New(geo)
+	return trace.DataFunc(func(ev trace.DataEvent) {
+		s.Accesses++
+		ways := uint64(geo.Ways)
+		s.TagReads += ways
+		way, hit := c.Lookup(ev.Addr)
+		if hit {
+			s.Hits++
+			if !ev.Store {
+				s.WayReads += ways
+			}
+		} else {
+			s.Misses++
+			if !ev.Store {
+				s.WayReads += ways
+			}
+			var evc cache.Eviction
+			way, evc = c.Fill(ev.Addr)
+			s.Refills++
+			s.WayWrites++
+			if evc.Dirty {
+				s.WriteBacks++
+			}
+		}
+		c.Touch(ev.Addr, way)
+		if ev.Store {
+			s.WayWrites++
+			c.MarkDirty(ev.Addr, way)
+		}
+	})
+}

@@ -1,0 +1,83 @@
+// Quickstart: assemble a small program, run it with a way-memoized data and
+// instruction cache next to the conventional baselines, and print the tag /
+// way / power savings — the paper's result in thirty lines of setup.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/baseline"
+	"waymemo/internal/cache"
+	"waymemo/internal/cacti"
+	"waymemo/internal/core"
+	"waymemo/internal/power"
+	"waymemo/internal/sim"
+	"waymemo/internal/trace"
+)
+
+const program = `
+	.org 0x10000
+; sum an array, scale it, and write it back - a typical embedded loop
+main:	la   t0, data
+	li   t1, 1024          ; elements
+	li   s0, 0             ; sum
+loop:	lw   t2, 0(t0)
+	add  s0, s0, t2
+	li   t3, 3
+	mul  t2, t2, t3
+	sw   t2, 4096(t0)      ; write the scaled copy
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, loop
+	la   t4, result
+	sw   s0, 0(t4)
+	halt
+	.org 0x100000
+data:	.space 4096, 1
+result:	.space 4
+	.space 4096
+`
+
+func main() {
+	prog, err := asm.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	geo := cache.FRV32K // the paper's 32KB 2-way cache
+	origD := baseline.NewOriginalD(geo)
+	mabD := core.NewDController(geo, core.DefaultD) // 2x8 MAB
+	origI := baseline.NewOriginalI(geo)
+	mabI := core.NewIController(geo, core.DefaultI) // 2x16 MAB
+
+	cpu := sim.New()
+	cpu.Data = trace.DataTee(origD, mabD)
+	cpu.Fetch = trace.FetchTee(origI, mabI)
+	cpu.LoadProgram(prog, 0x001F0000)
+	if err := cpu.Run(10_000_000); err != nil {
+		log.Fatal(err)
+	}
+
+	arr := cacti.ArrayEnergies(cacti.Tech130, geo)
+	pOrigD := power.Compute(origD.Stats, cpu.Cycles, power.Model{Array: arr})
+	pMabD := power.Compute(mabD.Stats, cpu.Cycles,
+		power.Model{Array: arr, MAB: mabD.MAB.Characterize()})
+	pOrigI := power.Compute(origI.Stats, cpu.Cycles, power.Model{Array: arr})
+	pMabI := power.Compute(mabI.Stats, cpu.Cycles,
+		power.Model{Array: arr, MAB: mabI.MAB.Characterize()})
+
+	fmt.Printf("program ran %d instructions in %d cycles\n\n", cpu.Instrs, cpu.Cycles)
+	fmt.Printf("D-cache: tags/access %.2f -> %.2f, ways/access %.2f -> %.2f\n",
+		origD.Stats.TagsPerAccess(), mabD.Stats.TagsPerAccess(),
+		origD.Stats.WaysPerAccess(), mabD.Stats.WaysPerAccess())
+	fmt.Printf("D-cache power: %.2f mW -> %.2f mW (%.0f%% saving)\n\n",
+		pOrigD.TotalMW(), pMabD.TotalMW(), (1-pMabD.TotalMW()/pOrigD.TotalMW())*100)
+	fmt.Printf("I-cache: tags/access %.2f -> %.2f\n",
+		origI.Stats.TagsPerAccess(), mabI.Stats.TagsPerAccess())
+	fmt.Printf("I-cache power: %.2f mW -> %.2f mW (%.0f%% saving)\n\n",
+		pOrigI.TotalMW(), pMabI.TotalMW(), (1-pMabI.TotalMW()/pOrigI.TotalMW())*100)
+	fmt.Printf("D-MAB hit rate: %.1f%%   I-MAB hit rate: %.1f%%\n",
+		mabD.Stats.MABHitRate()*100, mabI.Stats.MABHitRate()*100)
+}

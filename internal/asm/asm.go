@@ -1,0 +1,377 @@
+// Package asm implements a two-pass assembler for the FRVL instruction set.
+//
+// Source syntax is classic RISC assembly:
+//
+//	; comment  (also # and //)
+//	        .org    0x10000
+//	_start: li      t0, 100
+//	        la      t1, table
+//	loop:   lw      t2, 0(t1)
+//	        add     s0, s0, t2
+//	        addi    t1, t1, 4
+//	        addi    t0, t0, -1
+//	        bnez    t0, loop
+//	        halt
+//	table:  .word   1, 2, 3, 4
+//
+// Labels, .equ constants, and full constant expressions (with hi()/lo() for
+// building 32-bit values) are supported. Pseudo-instructions (li, la, move,
+// push/pop, call/ret, branch synonyms) expand to one or two real
+// instructions; the expansion size is fixed during pass 1 so forward
+// references stay consistent.
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"waymemo/internal/isa"
+)
+
+type stmtKind uint8
+
+const (
+	kindLabel stmtKind = iota
+	kindDirective
+	kindInstr
+)
+
+type stmt struct {
+	index    int
+	line     int
+	kind     stmtKind
+	name     string   // label name, directive (with dot), or mnemonic
+	operands []string // raw operand texts
+}
+
+type assembler struct {
+	stmts  []stmt
+	syms   map[string]int64
+	liWide map[int]bool
+
+	pass int
+	pc   uint32
+	img  *imageWriter
+
+	entry    int64
+	entrySet bool
+
+	firstInstr    int64
+	firstInstrSet bool
+
+	textActive bool
+	textStart  uint32
+	textRanges [][2]uint32
+}
+
+// Assemble assembles FRVL source text into a Program. Multiple source
+// fragments are concatenated in order, which lets callers compose a shared
+// runtime with benchmark-specific code.
+func Assemble(sources ...string) (*Program, error) {
+	src := strings.Join(sources, "\n")
+	a := &assembler{
+		syms:   make(map[string]int64),
+		liWide: make(map[int]bool),
+	}
+	if err := a.parse(src); err != nil {
+		return nil, err
+	}
+	if err := a.run(1); err != nil {
+		return nil, err
+	}
+	a.img = &imageWriter{}
+	if err := a.run(2); err != nil {
+		return nil, err
+	}
+	segs, err := a.img.finish()
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{
+		Segments:   segs,
+		Symbols:    make(map[string]uint32, len(a.syms)),
+		TextRanges: a.textRanges,
+	}
+	for k, v := range a.syms {
+		prog.Symbols[k] = uint32(v)
+	}
+	switch {
+	case a.entrySet:
+		prog.Entry = uint32(a.entry)
+	case a.syms["_start"] != 0:
+		prog.Entry = uint32(a.syms["_start"])
+	case a.firstInstrSet:
+		prog.Entry = uint32(a.firstInstr)
+	}
+	return prog, nil
+}
+
+// stripComment removes ;, # and // comments, respecting string and character
+// literals.
+func stripComment(line string) string {
+	inStr, inChar := false, false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case inChar:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChar = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '\'':
+			inChar = true
+		case c == ';' || c == '#':
+			return line[:i]
+		case c == '/' && i+1 < len(line) && line[i+1] == '/':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// splitOperands splits on top-level commas (outside quotes and parens).
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr, inChar := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case inChar:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				inChar = false
+			}
+		case c == '"':
+			inStr = true
+		case c == '\'':
+			inChar = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func (a *assembler) parse(src string) error {
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := strings.TrimSpace(stripComment(raw))
+		for line != "" {
+			// Leading labels.
+			if i := strings.IndexByte(line, ':'); i > 0 {
+				candidate := strings.TrimSpace(line[:i])
+				if isIdent(candidate) {
+					a.stmts = append(a.stmts, stmt{
+						index: len(a.stmts), line: ln + 1, kind: kindLabel, name: candidate,
+					})
+					line = strings.TrimSpace(line[i+1:])
+					continue
+				}
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		// Mnemonic or directive.
+		sp := strings.IndexAny(line, " \t")
+		name, rest := line, ""
+		if sp >= 0 {
+			name, rest = line[:sp], line[sp+1:]
+		}
+		name = strings.ToLower(name)
+		kind := kindInstr
+		if strings.HasPrefix(name, ".") {
+			kind = kindDirective
+		}
+		a.stmts = append(a.stmts, stmt{
+			index: len(a.stmts), line: ln + 1, kind: kind, name: name,
+			operands: splitOperands(rest),
+		})
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" || !isSymStart(s[0]) {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !isSymChar(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) run(pass int) error {
+	a.pass = pass
+	a.pc = 0
+	a.textActive = false
+	if pass == 2 {
+		a.textRanges = nil
+	}
+	for i := range a.stmts {
+		st := &a.stmts[i]
+		if err := a.exec(st); err != nil {
+			return fmt.Errorf("asm: line %d: %w", st.line, err)
+		}
+	}
+	a.flushText()
+	return nil
+}
+
+func (a *assembler) exec(st *stmt) error {
+	switch st.kind {
+	case kindLabel:
+		if a.pass == 1 {
+			if _, dup := a.syms[st.name]; dup {
+				return fmt.Errorf("label %q redefined", st.name)
+			}
+			a.syms[st.name] = int64(a.pc)
+		}
+		return nil
+	case kindDirective:
+		return a.directive(st)
+	default:
+		spec, ok := ops[st.name]
+		if !ok {
+			return fmt.Errorf("unknown mnemonic %q", st.name)
+		}
+		if a.pc%isa.Word != 0 {
+			return fmt.Errorf("instruction at unaligned address 0x%x", a.pc)
+		}
+		if a.pass == 1 {
+			n, err := spec.size(a, st)
+			if err != nil {
+				return err
+			}
+			if !a.firstInstrSet {
+				a.firstInstr, a.firstInstrSet = int64(a.pc), true
+			}
+			a.pc += uint32(n)
+			return nil
+		}
+		return spec.emit(a, st)
+	}
+}
+
+func (a *assembler) symsInt64() map[string]int64 { return a.syms }
+
+// exprVal evaluates an expression that must fully resolve in the current
+// pass (always true in pass 2).
+func (a *assembler) exprVal(text string) (int64, error) {
+	return evalExpr(text, a.syms, a.pc)
+}
+
+func (a *assembler) memOperand(text string) (off int32, rs uint8, err error) {
+	text = strings.TrimSpace(text)
+	open := strings.LastIndexByte(text, '(')
+	if open < 0 || !strings.HasSuffix(text, ")") {
+		return 0, 0, fmt.Errorf("memory operand %q must have the form off(reg)", text)
+	}
+	reg := text[open+1 : len(text)-1]
+	rs, err = parseGPR(reg)
+	if err != nil {
+		return 0, 0, err
+	}
+	offText := strings.TrimSpace(text[:open])
+	if offText == "" {
+		return 0, rs, nil
+	}
+	v, err := a.exprVal(offText)
+	if err != nil {
+		return 0, 0, err
+	}
+	if v < -32768 || v > 32767 {
+		return 0, 0, fmt.Errorf("displacement %d out of 16-bit range", v)
+	}
+	return int32(v), rs, nil
+}
+
+func (a *assembler) emitInstr(in isa.Instr) error {
+	w := in.Encode()
+	if !a.textActive {
+		a.textActive = true
+		a.textStart = a.pc
+	}
+	err := a.img.write(a.pc, []byte{byte(w), byte(w >> 8), byte(w >> 16), byte(w >> 24)})
+	a.pc += isa.Word
+	return err
+}
+
+func (a *assembler) emitBytes(b []byte) error {
+	a.flushText()
+	err := a.img.write(a.pc, b)
+	a.pc += uint32(len(b))
+	return err
+}
+
+func (a *assembler) flushText() {
+	if a.textActive {
+		a.textRanges = append(a.textRanges, [2]uint32{a.textStart, a.pc})
+		a.textActive = false
+	}
+}
+
+func (a *assembler) emitBranch(op, rs, rt uint8, targetExpr string) error {
+	t, err := a.exprVal(targetExpr)
+	if err != nil {
+		return err
+	}
+	// Offsets use 32-bit wraparound semantics, like the machine itself.
+	off := int64(int32(uint32(t) - a.pc))
+	if off%isa.Word != 0 {
+		return fmt.Errorf("branch target 0x%x not word aligned", t)
+	}
+	if off < -32768 || off > 32767 {
+		return fmt.Errorf("branch target out of range (offset %d)", off)
+	}
+	return a.emitInstr(isa.Instr{Op: op, Rs: rs, Rt: rt, Imm: int32(off)})
+}
+
+func (a *assembler) emitJump(op uint8, st *stmt) error {
+	if err := need(st, 1); err != nil {
+		return err
+	}
+	t, err := a.exprVal(st.operands[0])
+	if err != nil {
+		return err
+	}
+	off := int64(int32(uint32(t) - a.pc))
+	if off%isa.Word != 0 {
+		return fmt.Errorf("jump target 0x%x not word aligned", t)
+	}
+	if off < -(1<<25) || off >= 1<<25 {
+		return fmt.Errorf("jump target out of range (offset %d)", off)
+	}
+	return a.emitInstr(isa.Instr{Op: op, Off26: int32(off)})
+}

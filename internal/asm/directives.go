@@ -1,0 +1,219 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// directive handles one assembler directive during either pass.
+func (a *assembler) directive(st *stmt) error {
+	switch st.name {
+	case ".org":
+		if len(st.operands) != 1 {
+			return fmt.Errorf(".org expects one operand")
+		}
+		v, err := a.exprVal(st.operands[0])
+		if err != nil {
+			return fmt.Errorf(".org: %w", err)
+		}
+		if v < 0 || v > 0xFFFFFFFF {
+			return fmt.Errorf(".org address 0x%x out of range", v)
+		}
+		a.flushText()
+		a.pc = uint32(v)
+		return nil
+
+	case ".align":
+		if len(st.operands) != 1 {
+			return fmt.Errorf(".align expects one operand")
+		}
+		v, err := a.exprVal(st.operands[0])
+		if err != nil {
+			return err
+		}
+		if v <= 0 || v&(v-1) != 0 {
+			return fmt.Errorf(".align %d: not a power of two", v)
+		}
+		pad := (uint32(v) - a.pc%uint32(v)) % uint32(v)
+		if pad == 0 {
+			return nil
+		}
+		if a.pass == 1 {
+			a.pc += pad
+			return nil
+		}
+		return a.emitBytes(make([]byte, pad))
+
+	case ".equ", ".set":
+		if len(st.operands) != 2 {
+			return fmt.Errorf("%s expects name, value", st.name)
+		}
+		name := strings.TrimSpace(st.operands[0])
+		if !isIdent(name) {
+			return fmt.Errorf("bad constant name %q", name)
+		}
+		v, err := a.exprVal(st.operands[1])
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", st.name, name, err)
+		}
+		if a.pass == 1 {
+			if old, dup := a.syms[name]; dup && old != v {
+				return fmt.Errorf("constant %q redefined", name)
+			}
+		}
+		a.syms[name] = v
+		return nil
+
+	case ".entry":
+		if len(st.operands) != 1 {
+			return fmt.Errorf(".entry expects one operand")
+		}
+		if a.pass == 2 {
+			v, err := a.exprVal(st.operands[0])
+			if err != nil {
+				return err
+			}
+			a.entry, a.entrySet = v, true
+		}
+		return nil
+
+	case ".word", ".half", ".byte":
+		width := map[string]int{".word": 4, ".half": 2, ".byte": 1}[st.name]
+		if a.pass == 1 {
+			a.pc += uint32(width * len(st.operands))
+			return nil
+		}
+		buf := make([]byte, 0, width*len(st.operands))
+		for _, opnd := range st.operands {
+			v, err := a.exprVal(opnd)
+			if err != nil {
+				return err
+			}
+			switch width {
+			case 4:
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+			case 2:
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(v))
+			default:
+				buf = append(buf, byte(v))
+			}
+		}
+		return a.emitBytes(buf)
+
+	case ".double":
+		if a.pass == 1 {
+			a.pc += uint32(8 * len(st.operands))
+			return nil
+		}
+		buf := make([]byte, 0, 8*len(st.operands))
+		for _, opnd := range st.operands {
+			f, err := strconv.ParseFloat(strings.TrimSpace(opnd), 64)
+			if err != nil {
+				// Allow integer expressions too.
+				v, eerr := a.exprVal(opnd)
+				if eerr != nil {
+					return fmt.Errorf(".double: %v", err)
+				}
+				f = float64(v)
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		return a.emitBytes(buf)
+
+	case ".space":
+		if len(st.operands) < 1 || len(st.operands) > 2 {
+			return fmt.Errorf(".space expects size[, fill]")
+		}
+		n, err := a.exprVal(st.operands[0])
+		if err != nil {
+			return fmt.Errorf(".space: %w", err)
+		}
+		if n < 0 || n > 1<<28 {
+			return fmt.Errorf(".space size %d out of range", n)
+		}
+		if a.pass == 1 {
+			a.pc += uint32(n)
+			return nil
+		}
+		fill := byte(0)
+		if len(st.operands) == 2 {
+			v, err := a.exprVal(st.operands[1])
+			if err != nil {
+				return err
+			}
+			fill = byte(v)
+		}
+		buf := make([]byte, n)
+		if fill != 0 {
+			for i := range buf {
+				buf[i] = fill
+			}
+		}
+		return a.emitBytes(buf)
+
+	case ".ascii", ".asciiz":
+		var buf []byte
+		for _, opnd := range st.operands {
+			s, err := parseStringLit(opnd)
+			if err != nil {
+				return err
+			}
+			buf = append(buf, s...)
+			if st.name == ".asciiz" {
+				buf = append(buf, 0)
+			}
+		}
+		if a.pass == 1 {
+			a.pc += uint32(len(buf))
+			return nil
+		}
+		return a.emitBytes(buf)
+
+	case ".global", ".globl", ".text", ".data":
+		return nil // accepted for familiarity; no effect in a flat image
+
+	default:
+		return fmt.Errorf("unknown directive %q", st.name)
+	}
+}
+
+// parseStringLit parses a double-quoted string with C-style escapes.
+func parseStringLit(s string) ([]byte, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return nil, fmt.Errorf("bad string literal %s", s)
+	}
+	body := s[1 : len(s)-1]
+	out := make([]byte, 0, len(body))
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			out = append(out, c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return nil, fmt.Errorf("dangling escape in %s", s)
+		}
+		switch body[i] {
+		case 'n':
+			out = append(out, '\n')
+		case 't':
+			out = append(out, '\t')
+		case 'r':
+			out = append(out, '\r')
+		case '0':
+			out = append(out, 0)
+		case '\\':
+			out = append(out, '\\')
+		case '"':
+			out = append(out, '"')
+		default:
+			return nil, fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,652 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"waymemo/internal/isa"
+)
+
+// gprAliases maps conventional register names to numbers.
+var gprAliases = map[string]uint8{
+	"zero": 0, "a0": 1, "a1": 2, "a2": 3, "a3": 4, "v0": 5, "v1": 6,
+	"t0": 7, "t1": 8, "t2": 9, "t3": 10, "t4": 11, "t5": 12, "t6": 13,
+	"t7": 14, "t8": 15, "t9": 16,
+	"s0": 17, "s1": 18, "s2": 19, "s3": 20, "s4": 21, "s5": 22, "s6": 23,
+	"s7": 24, "s8": 25, "s9": 26,
+	"gp": 27, "fp": 28, "k0": 29, "sp": 30, "ra": 31,
+}
+
+// parseGPR parses a general-purpose register name.
+func parseGPR(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if n, ok := gprAliases[s]; ok {
+		return n, nil
+	}
+	if len(s) >= 2 && s[0] == 'r' {
+		if v, err := strconv.Atoi(s[1:]); err == nil && v >= 0 && v < isa.NumRegs {
+			return uint8(v), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// parseFPR parses a floating-point register name (f0..f31).
+func parseFPR(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == 'f' {
+		if v, err := strconv.Atoi(s[1:]); err == nil && v >= 0 && v < isa.NumRegs {
+			return uint8(v), nil
+		}
+	}
+	return 0, fmt.Errorf("bad float register %q", s)
+}
+
+// opSpec describes how to size and encode one mnemonic.
+type opSpec struct {
+	// size returns the number of bytes the statement occupies. Most
+	// instructions are fixed 4-byte; pseudo-instructions may expand.
+	size func(a *assembler, st *stmt) (int, error)
+	// emit encodes the statement during pass 2.
+	emit func(a *assembler, st *stmt) error
+}
+
+func fixedSize(n int) func(*assembler, *stmt) (int, error) {
+	return func(*assembler, *stmt) (int, error) { return n, nil }
+}
+
+func need(st *stmt, n int) error {
+	if len(st.operands) != n {
+		return fmt.Errorf("%s expects %d operands, got %d", st.name, n, len(st.operands))
+	}
+	return nil
+}
+
+// r3 builds a three-register integer instruction handler.
+func r3(funct uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rd, err := parseGPR(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseGPR(st.operands[1])
+		if err != nil {
+			return err
+		}
+		rt, err := parseGPR(st.operands[2])
+		if err != nil {
+			return err
+		}
+		return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: funct, Rd: rd, Rs: rs, Rt: rt})
+	}}
+}
+
+// shiftVar builds a variable shift handler with the MIPS operand order
+// (rd, value, amount): the value shifts by the low five bits of the amount
+// register.
+func shiftVar(funct uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rd, err := parseGPR(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rt, err := parseGPR(st.operands[1])
+		if err != nil {
+			return err
+		}
+		rs, err := parseGPR(st.operands[2])
+		if err != nil {
+			return err
+		}
+		return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: funct, Rd: rd, Rs: rs, Rt: rt})
+	}}
+}
+
+// shiftImm builds an immediate shift handler (rd, rt, shamt).
+func shiftImm(funct uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rd, err := parseGPR(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rt, err := parseGPR(st.operands[1])
+		if err != nil {
+			return err
+		}
+		sh, err := a.exprVal(st.operands[2])
+		if err != nil {
+			return err
+		}
+		if sh < 0 || sh > 31 {
+			return fmt.Errorf("shift amount %d out of range", sh)
+		}
+		return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: funct, Rd: rd, Rt: rt, Shamt: uint8(sh)})
+	}}
+}
+
+// iType builds an immediate-arithmetic handler (rt, rs, imm).
+func iType(op uint8, unsigned bool) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rt, err := parseGPR(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseGPR(st.operands[1])
+		if err != nil {
+			return err
+		}
+		v, err := a.exprVal(st.operands[2])
+		if err != nil {
+			return err
+		}
+		if unsigned {
+			if v < 0 || v > 0xFFFF {
+				return fmt.Errorf("immediate %d out of unsigned 16-bit range", v)
+			}
+		} else if v < -32768 || v > 32767 {
+			return fmt.Errorf("immediate %d out of signed 16-bit range", v)
+		}
+		return a.emitInstr(isa.Instr{Op: op, Rt: rt, Rs: rs, Imm: int32(int16(uint16(v)))})
+	}}
+}
+
+// memOp builds a load/store handler (rt, off(rs)); fp selects the FPR file
+// for the data register.
+func memOp(op uint8, fp bool) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 2); err != nil {
+			return err
+		}
+		var rt uint8
+		var err error
+		if fp {
+			rt, err = parseFPR(st.operands[0])
+		} else {
+			rt, err = parseGPR(st.operands[0])
+		}
+		if err != nil {
+			return err
+		}
+		off, rs, err := a.memOperand(st.operands[1])
+		if err != nil {
+			return err
+		}
+		return a.emitInstr(isa.Instr{Op: op, Rt: rt, Rs: rs, Imm: off})
+	}}
+}
+
+// branch builds a conditional-branch handler (rs, rt, target). If swap is
+// set, the register operands are exchanged (for bgt/ble synonyms).
+func branch(op uint8, swap bool) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rs, err := parseGPR(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rt, err := parseGPR(st.operands[1])
+		if err != nil {
+			return err
+		}
+		if swap {
+			rs, rt = rt, rs
+		}
+		return a.emitBranch(op, rs, rt, st.operands[2])
+	}}
+}
+
+// branchZero builds a single-register branch-against-zero pseudo.
+// If zeroFirst is set the hard-wired zero goes in the rs slot.
+func branchZero(op uint8, zeroFirst bool) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 2); err != nil {
+			return err
+		}
+		r, err := parseGPR(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rs, rt := r, uint8(isa.RegZero)
+		if zeroFirst {
+			rs, rt = uint8(isa.RegZero), r
+		}
+		return a.emitBranch(op, rs, rt, st.operands[1])
+	}}
+}
+
+// f3 builds a three-FPR handler.
+func f3(funct uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		fd, err := parseFPR(st.operands[0])
+		if err != nil {
+			return err
+		}
+		fs, err := parseFPR(st.operands[1])
+		if err != nil {
+			return err
+		}
+		ft, err := parseFPR(st.operands[2])
+		if err != nil {
+			return err
+		}
+		return a.emitInstr(isa.Instr{Op: isa.OpF, Funct: funct, Rd: fd, Rs: fs, Rt: ft})
+	}}
+}
+
+// f2 builds a two-FPR handler (fd, fs).
+func f2(funct uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 2); err != nil {
+			return err
+		}
+		fd, err := parseFPR(st.operands[0])
+		if err != nil {
+			return err
+		}
+		fs, err := parseFPR(st.operands[1])
+		if err != nil {
+			return err
+		}
+		return a.emitInstr(isa.Instr{Op: isa.OpF, Funct: funct, Rd: fd, Rs: fs})
+	}}
+}
+
+// fcmp builds a float-compare handler (rd GPR, fs, ft).
+func fcmp(funct uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rd, err := parseGPR(st.operands[0])
+		if err != nil {
+			return err
+		}
+		fs, err := parseFPR(st.operands[1])
+		if err != nil {
+			return err
+		}
+		ft, err := parseFPR(st.operands[2])
+		if err != nil {
+			return err
+		}
+		return a.emitInstr(isa.Instr{Op: isa.OpF, Funct: funct, Rd: rd, Rs: fs, Rt: ft})
+	}}
+}
+
+// ops is the full mnemonic table.
+var ops map[string]opSpec
+
+func init() {
+	ops = map[string]opSpec{
+		// Integer register-register.
+		"add": r3(isa.FnADD), "sub": r3(isa.FnSUB), "and": r3(isa.FnAND),
+		"or": r3(isa.FnOR), "xor": r3(isa.FnXOR), "nor": r3(isa.FnNOR),
+		"slt": r3(isa.FnSLT), "sltu": r3(isa.FnSLTU),
+		"mul": r3(isa.FnMUL), "mulh": r3(isa.FnMULH), "mulhu": r3(isa.FnMULHU),
+		"div": r3(isa.FnDIV), "divu": r3(isa.FnDIVU),
+		"rem": r3(isa.FnREM), "remu": r3(isa.FnREMU),
+		"sllv": shiftVar(isa.FnSLLV), "srlv": shiftVar(isa.FnSRLV), "srav": shiftVar(isa.FnSRAV),
+
+		// Shifts by immediate.
+		"sll": shiftImm(isa.FnSLL), "srl": shiftImm(isa.FnSRL), "sra": shiftImm(isa.FnSRA),
+
+		// Immediate arithmetic.
+		"addi": iType(isa.OpADDI, false), "slti": iType(isa.OpSLTI, false),
+		"sltiu": iType(isa.OpSLTIU, false),
+		"andi":  iType(isa.OpANDI, true), "ori": iType(isa.OpORI, true),
+		"xori": iType(isa.OpXORI, true),
+
+		// Loads and stores.
+		"lb": memOp(isa.OpLB, false), "lh": memOp(isa.OpLH, false),
+		"lw": memOp(isa.OpLW, false), "lbu": memOp(isa.OpLBU, false),
+		"lhu": memOp(isa.OpLHU, false), "fld": memOp(isa.OpFLD, true),
+		"sb": memOp(isa.OpSB, false), "sh": memOp(isa.OpSH, false),
+		"sw": memOp(isa.OpSW, false), "fsd": memOp(isa.OpFSD, true),
+
+		// Branches.
+		"beq": branch(isa.OpBEQ, false), "bne": branch(isa.OpBNE, false),
+		"blt": branch(isa.OpBLT, false), "bge": branch(isa.OpBGE, false),
+		"bltu": branch(isa.OpBLTU, false), "bgeu": branch(isa.OpBGEU, false),
+		"bgt": branch(isa.OpBLT, true), "ble": branch(isa.OpBGE, true),
+		"bgtu": branch(isa.OpBLTU, true), "bleu": branch(isa.OpBGEU, true),
+		"beqz": branchZero(isa.OpBEQ, false), "bnez": branchZero(isa.OpBNE, false),
+		"bltz": branchZero(isa.OpBLT, false), "bgez": branchZero(isa.OpBGE, false),
+		"bgtz": branchZero(isa.OpBLT, true), "blez": branchZero(isa.OpBGE, true),
+
+		// Floating point.
+		"fadd": f3(isa.FnFADD), "fsub": f3(isa.FnFSUB), "fmul": f3(isa.FnFMUL),
+		"fdiv":  f3(isa.FnFDIV),
+		"fsqrt": f2(isa.FnFSQRT), "fabs": f2(isa.FnFABS), "fneg": f2(isa.FnFNEG),
+		"fmov": f2(isa.FnFMOV),
+		"fceq": fcmp(isa.FnFCEQ), "fclt": fcmp(isa.FnFCLT), "fcle": fcmp(isa.FnFCLE),
+
+		"fcvtdw": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 2); err != nil {
+				return err
+			}
+			fd, err := parseFPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			rs, err := parseGPR(st.operands[1])
+			if err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpF, Funct: isa.FnFCVTDW, Rd: fd, Rs: rs})
+		}},
+		"fcvtwd": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 2); err != nil {
+				return err
+			}
+			rd, err := parseGPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			fs, err := parseFPR(st.operands[1])
+			if err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpF, Funct: isa.FnFCVTWD, Rd: rd, Rs: fs})
+		}},
+
+		// Jumps.
+		"j":   {size: fixedSize(4), emit: func(a *assembler, st *stmt) error { return a.emitJump(isa.OpJ, st) }},
+		"jal": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error { return a.emitJump(isa.OpJAL, st) }},
+		"call": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			return a.emitJump(isa.OpJAL, st)
+		}},
+		"b": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			return a.emitBranch(isa.OpBEQ, isa.RegZero, isa.RegZero, st.operands[0])
+		}},
+		"jr": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			rs, err := parseGPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: isa.FnJR, Rs: rs})
+		}},
+		"jalr": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			var rd, rs uint8
+			var err error
+			switch len(st.operands) {
+			case 1:
+				rd = isa.RegRA
+				rs, err = parseGPR(st.operands[0])
+			case 2:
+				rd, err = parseGPR(st.operands[0])
+				if err == nil {
+					rs, err = parseGPR(st.operands[1])
+				}
+			default:
+				return fmt.Errorf("jalr expects 1 or 2 operands")
+			}
+			if err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: isa.FnJALR, Rd: rd, Rs: rs})
+		}},
+		"ret": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 0); err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: isa.FnJR, Rs: isa.RegRA})
+		}},
+
+		// Misc.
+		"lui": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 2); err != nil {
+				return err
+			}
+			rt, err := parseGPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			v, err := a.exprVal(st.operands[1])
+			if err != nil {
+				return err
+			}
+			if v < 0 || v > 0xFFFF {
+				return fmt.Errorf("lui immediate %d out of range", v)
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpLUI, Rt: rt, Imm: int32(int16(uint16(v)))})
+		}},
+		"outb": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			rs, err := parseGPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpOUTB, Rs: rs})
+		}},
+		"halt": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 0); err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpHALT})
+		}},
+		"nop": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 0); err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: isa.FnSLL})
+		}},
+
+		// Pseudo-instructions.
+		"li":   {size: liSize, emit: emitLI},
+		"la":   {size: fixedSize(8), emit: emitLA},
+		"move": {size: fixedSize(4), emit: emitMove},
+		"mv":   {size: fixedSize(4), emit: emitMove},
+		"not": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 2); err != nil {
+				return err
+			}
+			rd, err := parseGPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			rs, err := parseGPR(st.operands[1])
+			if err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: isa.FnNOR, Rd: rd, Rs: rs, Rt: isa.RegZero})
+		}},
+		"neg": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 2); err != nil {
+				return err
+			}
+			rd, err := parseGPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			rs, err := parseGPR(st.operands[1])
+			if err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: isa.FnSUB, Rd: rd, Rs: isa.RegZero, Rt: rs})
+		}},
+		"subi": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 3); err != nil {
+				return err
+			}
+			rt, err := parseGPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			rs, err := parseGPR(st.operands[1])
+			if err != nil {
+				return err
+			}
+			v, err := a.exprVal(st.operands[2])
+			if err != nil {
+				return err
+			}
+			if -v < -32768 || -v > 32767 {
+				return fmt.Errorf("immediate %d out of range", v)
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpADDI, Rt: rt, Rs: rs, Imm: int32(-v)})
+		}},
+		"push": {size: fixedSize(8), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			rs, err := parseGPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			if err := a.emitInstr(isa.Instr{Op: isa.OpADDI, Rt: isa.RegSP, Rs: isa.RegSP, Imm: -4}); err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpSW, Rt: rs, Rs: isa.RegSP, Imm: 0})
+		}},
+		"pop": {size: fixedSize(8), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			rt, err := parseGPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			if err := a.emitInstr(isa.Instr{Op: isa.OpLW, Rt: rt, Rs: isa.RegSP, Imm: 0}); err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpADDI, Rt: isa.RegSP, Rs: isa.RegSP, Imm: 4})
+		}},
+		"fpush": {size: fixedSize(8), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			fs, err := parseFPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			if err := a.emitInstr(isa.Instr{Op: isa.OpADDI, Rt: isa.RegSP, Rs: isa.RegSP, Imm: -8}); err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpFSD, Rt: fs, Rs: isa.RegSP, Imm: 0})
+		}},
+		"fpop": {size: fixedSize(8), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			ft, err := parseFPR(st.operands[0])
+			if err != nil {
+				return err
+			}
+			if err := a.emitInstr(isa.Instr{Op: isa.OpFLD, Rt: ft, Rs: isa.RegSP, Imm: 0}); err != nil {
+				return err
+			}
+			return a.emitInstr(isa.Instr{Op: isa.OpADDI, Rt: isa.RegSP, Rs: isa.RegSP, Imm: 8})
+		}},
+	}
+}
+
+// liSize decides during pass 1 whether li fits in one instruction. The
+// decision is recorded so pass 2 emits the same size even once forward
+// symbols resolve.
+func liSize(a *assembler, st *stmt) (int, error) {
+	if err := need(st, 2); err != nil {
+		return 0, err
+	}
+	v, err := evalExpr(st.operands[1], a.symsInt64(), a.pc)
+	if err != nil {
+		if _, undef := err.(errUndefined); undef {
+			a.liWide[st.index] = true
+			return 8, nil
+		}
+		return 0, err
+	}
+	if (v >= -32768 && v <= 32767) || (v >= 0 && v <= 0xFFFF) || (v&0xFFFF) == 0 && v >= 0 && v <= 0xFFFFFFFF {
+		return 4, nil
+	}
+	a.liWide[st.index] = true
+	return 8, nil
+}
+
+func emitLI(a *assembler, st *stmt) error {
+	rt, err := parseGPR(st.operands[0])
+	if err != nil {
+		return err
+	}
+	v, err := a.exprVal(st.operands[1])
+	if err != nil {
+		return err
+	}
+	u := uint32(v)
+	if int64(int32(u)) != v && v>>32 != 0 && v>>32 != -1 {
+		return fmt.Errorf("li value %d does not fit in 32 bits", v)
+	}
+	if a.liWide[st.index] {
+		if err := a.emitInstr(isa.Instr{Op: isa.OpLUI, Rt: rt, Imm: int32(int16(uint16(u >> 16)))}); err != nil {
+			return err
+		}
+		return a.emitInstr(isa.Instr{Op: isa.OpORI, Rt: rt, Rs: rt, Imm: int32(int16(uint16(u)))})
+	}
+	switch {
+	case v >= -32768 && v <= 32767:
+		return a.emitInstr(isa.Instr{Op: isa.OpADDI, Rt: rt, Rs: isa.RegZero, Imm: int32(v)})
+	case v >= 0 && v <= 0xFFFF:
+		return a.emitInstr(isa.Instr{Op: isa.OpORI, Rt: rt, Rs: isa.RegZero, Imm: int32(int16(uint16(u)))})
+	default: // low half zero
+		return a.emitInstr(isa.Instr{Op: isa.OpLUI, Rt: rt, Imm: int32(int16(uint16(u >> 16)))})
+	}
+}
+
+func emitLA(a *assembler, st *stmt) error {
+	if err := need(st, 2); err != nil {
+		return err
+	}
+	rt, err := parseGPR(st.operands[0])
+	if err != nil {
+		return err
+	}
+	v, err := a.exprVal(st.operands[1])
+	if err != nil {
+		return err
+	}
+	u := uint32(v)
+	if err := a.emitInstr(isa.Instr{Op: isa.OpLUI, Rt: rt, Imm: int32(int16(uint16(u >> 16)))}); err != nil {
+		return err
+	}
+	return a.emitInstr(isa.Instr{Op: isa.OpORI, Rt: rt, Rs: rt, Imm: int32(int16(uint16(u)))})
+}
+
+func emitMove(a *assembler, st *stmt) error {
+	if err := need(st, 2); err != nil {
+		return err
+	}
+	rd, err := parseGPR(st.operands[0])
+	if err != nil {
+		return err
+	}
+	rs, err := parseGPR(st.operands[1])
+	if err != nil {
+		return err
+	}
+	return a.emitInstr(isa.Instr{Op: isa.OpR, Funct: isa.FnADD, Rd: rd, Rs: rs, Rt: isa.RegZero})
+}

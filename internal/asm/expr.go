@@ -1,0 +1,361 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// errUndefined is returned when an expression references a symbol that is not
+// (yet) defined. During pass 1 this is not fatal — it only forces pessimistic
+// sizing of pseudo-instructions.
+type errUndefined struct{ name string }
+
+func (e errUndefined) Error() string { return "undefined symbol " + e.name }
+
+// exprParser is a recursive-descent parser over a raw operand string.
+// Grammar (lowest to highest precedence):
+//
+//	or:     xor ('|' xor)*
+//	xor:    and ('^' and)*
+//	and:    shift ('&' shift)*
+//	shift:  addsub (('<<'|'>>') addsub)*
+//	addsub: muldiv (('+'|'-') muldiv)*
+//	muldiv: unary (('*'|'/'|'%') unary)*
+//	unary:  ('-'|'~')? primary
+//	primary: number | char | symbol | hi(expr) | lo(expr) | '(' expr ')' | '.'
+type exprParser struct {
+	s    string
+	pos  int
+	syms map[string]int64
+	pc   int64 // value of "." (current location counter)
+}
+
+func (p *exprParser) ws() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.ws()
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *exprParser) eat(prefix string) bool {
+	p.ws()
+	if strings.HasPrefix(p.s[p.pos:], prefix) {
+		p.pos += len(prefix)
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parse() (int64, error) {
+	v, err := p.or()
+	if err != nil {
+		return 0, err
+	}
+	p.ws()
+	if p.pos != len(p.s) {
+		return 0, fmt.Errorf("unexpected %q in expression %q", p.s[p.pos:], p.s)
+	}
+	return v, nil
+}
+
+func (p *exprParser) or() (int64, error) {
+	v, err := p.xor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.ws()
+		if p.pos < len(p.s) && p.s[p.pos] == '|' {
+			p.pos++
+			r, err := p.xor()
+			if err != nil {
+				return 0, err
+			}
+			v |= r
+		} else {
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) xor() (int64, error) {
+	v, err := p.and()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.ws()
+		if p.pos < len(p.s) && p.s[p.pos] == '^' {
+			p.pos++
+			r, err := p.and()
+			if err != nil {
+				return 0, err
+			}
+			v ^= r
+		} else {
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) and() (int64, error) {
+	v, err := p.shift()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.ws()
+		if p.pos < len(p.s) && p.s[p.pos] == '&' {
+			p.pos++
+			r, err := p.shift()
+			if err != nil {
+				return 0, err
+			}
+			v &= r
+		} else {
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) shift() (int64, error) {
+	v, err := p.addsub()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.eat("<<"):
+			r, err := p.addsub()
+			if err != nil {
+				return 0, err
+			}
+			v <<= uint(r & 63)
+		case p.eat(">>"):
+			r, err := p.addsub()
+			if err != nil {
+				return 0, err
+			}
+			v >>= uint(r & 63)
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) addsub() (int64, error) {
+	v, err := p.muldiv()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '+':
+			p.pos++
+			r, err := p.muldiv()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case '-':
+			p.pos++
+			r, err := p.muldiv()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) muldiv() (int64, error) {
+	v, err := p.unary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch p.peek() {
+		case '*':
+			p.pos++
+			r, err := p.unary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case '/':
+			p.pos++
+			r, err := p.unary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in %q", p.s)
+			}
+			v /= r
+		case '%':
+			p.pos++
+			r, err := p.unary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("modulo by zero in %q", p.s)
+			}
+			v %= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) unary() (int64, error) {
+	switch p.peek() {
+	case '-':
+		p.pos++
+		v, err := p.unary()
+		return -v, err
+	case '~':
+		p.pos++
+		v, err := p.unary()
+		return ^v, err
+	}
+	return p.primary()
+}
+
+func isSymStart(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isSymChar(c byte) bool {
+	return isSymStart(c) || (c >= '0' && c <= '9')
+}
+
+func (p *exprParser) primary() (int64, error) {
+	c := p.peek()
+	switch {
+	case c == '(':
+		p.pos++
+		v, err := p.or()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("missing ')' in %q", p.s)
+		}
+		p.pos++
+		return v, nil
+	case c == '\'':
+		return p.charLit()
+	case c >= '0' && c <= '9':
+		return p.number()
+	case c == '.' && (p.pos+1 >= len(p.s) || !isSymChar(p.s[p.pos+1])):
+		p.pos++
+		return p.pc, nil
+	case isSymStart(c):
+		start := p.pos
+		for p.pos < len(p.s) && isSymChar(p.s[p.pos]) {
+			p.pos++
+		}
+		name := p.s[start:p.pos]
+		switch name {
+		case "hi", "lo":
+			if p.peek() != '(' {
+				return 0, fmt.Errorf("%s must be called as %s(expr)", name, name)
+			}
+			p.pos++
+			v, err := p.or()
+			if err != nil {
+				return 0, err
+			}
+			if p.peek() != ')' {
+				return 0, fmt.Errorf("missing ')' after %s(", name)
+			}
+			p.pos++
+			if name == "hi" {
+				return (v >> 16) & 0xFFFF, nil
+			}
+			return v & 0xFFFF, nil
+		}
+		if v, ok := p.syms[name]; ok {
+			return v, nil
+		}
+		return 0, errUndefined{name}
+	case c == 0:
+		return 0, fmt.Errorf("empty expression")
+	}
+	return 0, fmt.Errorf("unexpected character %q in expression %q", string(c), p.s)
+}
+
+func (p *exprParser) charLit() (int64, error) {
+	// p.s[p.pos] == '\''
+	p.pos++
+	if p.pos >= len(p.s) {
+		return 0, fmt.Errorf("unterminated character literal")
+	}
+	var v int64
+	if p.s[p.pos] == '\\' {
+		p.pos++
+		if p.pos >= len(p.s) {
+			return 0, fmt.Errorf("unterminated character literal")
+		}
+		switch p.s[p.pos] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			return 0, fmt.Errorf("unknown escape \\%c", p.s[p.pos])
+		}
+	} else {
+		v = int64(p.s[p.pos])
+	}
+	p.pos++
+	if p.pos >= len(p.s) || p.s[p.pos] != '\'' {
+		return 0, fmt.Errorf("unterminated character literal")
+	}
+	p.pos++
+	return v, nil
+}
+
+func (p *exprParser) number() (int64, error) {
+	start := p.pos
+	for p.pos < len(p.s) && (isSymChar(p.s[p.pos])) {
+		p.pos++
+	}
+	text := p.s[start:p.pos]
+	v, err := strconv.ParseInt(text, 0, 64)
+	if err != nil {
+		// Allow large unsigned constants like 0xFFFFFFFF.
+		u, uerr := strconv.ParseUint(text, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("bad number %q", text)
+		}
+		v = int64(u)
+	}
+	return v, nil
+}
+
+// evalExpr evaluates expression text with the given symbol table and location
+// counter. Undefined symbols yield errUndefined.
+func evalExpr(text string, syms map[string]int64, pc uint32) (int64, error) {
+	p := &exprParser{s: strings.TrimSpace(text), syms: syms, pc: int64(pc)}
+	return p.parse()
+}

@@ -1,0 +1,65 @@
+package asm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment is a contiguous run of assembled bytes at a fixed address.
+type Segment struct {
+	Addr uint32
+	Data []byte
+}
+
+// Program is the output of the assembler: an entry point, the memory image
+// as a list of segments, and the symbol table.
+type Program struct {
+	Entry    uint32
+	Segments []Segment
+	Symbols  map[string]uint32
+	// TextRanges lists [start,end) address ranges that contain code, used by
+	// the simulator to reject self-modifying stores.
+	TextRanges [][2]uint32
+}
+
+// Size returns the total number of image bytes across all segments.
+func (p *Program) Size() int {
+	n := 0
+	for _, s := range p.Segments {
+		n += len(s.Data)
+	}
+	return n
+}
+
+// imageWriter accumulates emitted bytes, coalescing contiguous writes.
+type imageWriter struct {
+	segs []Segment
+}
+
+func (w *imageWriter) write(addr uint32, b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if n := len(w.segs); n > 0 {
+		last := &w.segs[n-1]
+		if last.Addr+uint32(len(last.Data)) == addr {
+			last.Data = append(last.Data, b...)
+			return nil
+		}
+	}
+	w.segs = append(w.segs, Segment{Addr: addr, Data: append([]byte(nil), b...)})
+	return nil
+}
+
+// finish sorts segments and rejects overlaps.
+func (w *imageWriter) finish() ([]Segment, error) {
+	segs := w.segs
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Addr < segs[j].Addr })
+	for i := 1; i < len(segs); i++ {
+		prevEnd := uint64(segs[i-1].Addr) + uint64(len(segs[i-1].Data))
+		if uint64(segs[i].Addr) < prevEnd {
+			return nil, fmt.Errorf("asm: overlapping segments at 0x%x", segs[i].Addr)
+		}
+	}
+	return segs, nil
+}

@@ -1,0 +1,92 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"waymemo/internal/isa"
+)
+
+// TestDisassembleReassemble: for random valid instructions, feeding the
+// disassembler's output back through the assembler reproduces the original
+// word. This pins the assembler syntax and the disassembler to each other.
+func TestDisassembleReassemble(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	const pc = 0x20000
+	for i := 0; i < 5000; i++ {
+		in := randomValidInstr(r)
+		text := isa.Disassemble(in, pc)
+		src := fmt.Sprintf(".org %#x\n\t%s\n", pc, text)
+		p, err := Assemble(src)
+		if err != nil {
+			t.Fatalf("%q (from %+v): %v", text, in, err)
+		}
+		got := binary.LittleEndian.Uint32(p.Segments[0].Data)
+		if got != in.Encode() {
+			t.Fatalf("%q: reassembled %#x, want %#x (%+v)", text, got, in.Encode(), in)
+		}
+	}
+}
+
+// randomValidInstr generates instructions whose disassembly is canonical
+// assembler input (architecturally meaningful fields only).
+func randomValidInstr(r *rand.Rand) isa.Instr {
+	reg := func() uint8 { return uint8(r.Intn(32)) }
+	for {
+		switch r.Intn(9) {
+		case 0: // R-type three-register
+			functs := []uint8{isa.FnADD, isa.FnSUB, isa.FnAND, isa.FnOR, isa.FnXOR,
+				isa.FnNOR, isa.FnSLT, isa.FnSLTU, isa.FnMUL, isa.FnMULH, isa.FnMULHU,
+				isa.FnDIV, isa.FnDIVU, isa.FnREM, isa.FnREMU}
+			return isa.Instr{Op: isa.OpR, Funct: functs[r.Intn(len(functs))],
+				Rd: reg(), Rs: reg(), Rt: reg()}
+		case 1: // immediate shifts
+			functs := []uint8{isa.FnSLL, isa.FnSRL, isa.FnSRA}
+			return isa.Instr{Op: isa.OpR, Funct: functs[r.Intn(3)],
+				Rd: reg(), Rt: reg(), Shamt: uint8(r.Intn(32))}
+		case 2: // jumps through registers
+			if r.Intn(2) == 0 {
+				return isa.Instr{Op: isa.OpR, Funct: isa.FnJR, Rs: reg()}
+			}
+			return isa.Instr{Op: isa.OpR, Funct: isa.FnJALR, Rd: reg(), Rs: reg()}
+		case 3: // immediate arithmetic
+			ops := []uint8{isa.OpADDI, isa.OpSLTI, isa.OpSLTIU}
+			return isa.Instr{Op: ops[r.Intn(3)], Rt: reg(), Rs: reg(),
+				Imm: int32(int16(r.Uint32()))}
+		case 4: // loads/stores (integer)
+			ops := []uint8{isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU,
+				isa.OpSB, isa.OpSH, isa.OpSW}
+			return isa.Instr{Op: ops[r.Intn(len(ops))], Rt: reg(), Rs: reg(),
+				Imm: int32(int16(r.Uint32()))}
+		case 5: // branches (word-aligned offsets in range)
+			ops := []uint8{isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE,
+				isa.OpBLTU, isa.OpBGEU}
+			return isa.Instr{Op: ops[r.Intn(len(ops))], Rs: reg(), Rt: reg(),
+				Imm: int32(int16(r.Intn(1<<14) << 2))}
+		case 6: // direct jumps
+			op := uint8(isa.OpJ)
+			if r.Intn(2) == 0 {
+				op = isa.OpJAL
+			}
+			return isa.Instr{Op: op, Off26: int32(r.Intn(1<<20)-1<<19) &^ 3}
+		case 7: // floating point
+			functs := []uint8{isa.FnFADD, isa.FnFSUB, isa.FnFMUL, isa.FnFDIV}
+			return isa.Instr{Op: isa.OpF, Funct: functs[r.Intn(4)],
+				Rd: reg(), Rs: reg(), Rt: reg()}
+		default: // misc
+			switch r.Intn(4) {
+			case 0:
+				return isa.Instr{Op: isa.OpLUI, Rt: reg(), Imm: int32(int16(r.Uint32()))}
+			case 1:
+				return isa.Instr{Op: isa.OpOUTB, Rs: reg()}
+			case 2:
+				return isa.Instr{Op: isa.OpHALT}
+			default:
+				return isa.Instr{Op: isa.OpFLD, Rt: reg(), Rs: reg(),
+					Imm: int32(int16(r.Uint32()))}
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package cacti is a small analytical SRAM energy model in the spirit of
+// CACTI, standing in for the SPICE characterization the paper used to obtain
+// E_way and E_tag (the per-event energies in Equation (1)).
+//
+// An array access is decomposed into decoder, wordline, bitline
+// precharge+swing, sense amplifiers and output drivers. Constants target a
+// 0.13µm / 1.3V process, calibrated so a 32KB 2-way cache lands in the
+// paper's reported power range (tens of mW at 360MHz including leakage).
+// Absolute joules are not the point — the figures of the paper are driven by
+// the ratio of way, tag, and buffer energies, which the structural terms
+// capture.
+package cacti
+
+import "waymemo/internal/cache"
+
+// Tech holds process parameters.
+type Tech struct {
+	Vdd         float64 // supply voltage (V)
+	BitSwing    float64 // read bitline swing (V)
+	CCellFF     float64 // bitline capacitance per cell (fF)
+	CWLPerColFF float64 // wordline capacitance per column (fF)
+	ESenseAmpPJ float64 // energy per sense amplifier firing (pJ)
+	EOutBitPJ   float64 // output driver energy per bit (pJ)
+	EDecodePJ   float64 // row decoder energy per access (pJ)
+	ECmpBitPJ   float64 // tag comparator energy per bit (pJ)
+	ERegBitPJ   float64 // register-file style storage access energy per bit (pJ)
+	LeakNWBit   float64 // leakage per storage bit (nW)
+}
+
+// Tech130 is the paper's 0.13µm, 1.3V process.
+var Tech130 = Tech{
+	Vdd:         1.3,
+	BitSwing:    0.35,
+	CCellFF:     2.0,
+	CWLPerColFF: 3.0,
+	ESenseAmpPJ: 0.06,
+	EOutBitPJ:   0.045,
+	EDecodePJ:   2.0,
+	ECmpBitPJ:   0.03,
+	ERegBitPJ:   0.018,
+	LeakNWBit:   9.0,
+}
+
+// Energies is the per-event energy set for one cache, consumed by the power
+// model.
+type Energies struct {
+	// EWayPJ is the energy of activating one data way for one access
+	// (read or write of the fetch/load width through the way's subarray).
+	EWayPJ float64
+	// ETagPJ is the energy of reading and comparing one tag way.
+	ETagPJ float64
+	// EFillPJ is the energy of writing a full refill line into one way.
+	EFillPJ float64
+	// LeakMW is the standing leakage of data+tag arrays in milliwatts.
+	LeakMW float64
+}
+
+// readBitsDefault is the width delivered per access: one 8-byte VLIW packet
+// or one load/store word pair.
+const readBitsDefault = 64
+
+// ArrayEnergies computes the energy set for a cache geometry under t.
+func ArrayEnergies(t Tech, geo cache.Config) Energies {
+	rows := float64(geo.Sets)
+	lineBits := float64(geo.LineBytes * 8)
+	tagBits := float64(geo.TagBits() + 1) // tag + valid
+
+	// One bitline pair: precharge + controlled swing.
+	cBL := rows * t.CCellFF * 1e-15 // F
+	eBLReadPJ := cBL * t.BitSwing * t.Vdd * 1e12
+
+	// Data way read: all line bitlines swing, selected columns sense, the
+	// access width drives out.
+	eWay := lineBits*eBLReadPJ +
+		lineBits*t.CWLPerColFF*1e-15*t.Vdd*t.Vdd*1e12 + // wordline
+		readBitsDefault*t.ESenseAmpPJ +
+		readBitsDefault*t.EOutBitPJ +
+		t.EDecodePJ
+
+	// Tag way read: narrow array plus the comparator.
+	eTag := tagBits*eBLReadPJ +
+		tagBits*t.CWLPerColFF*1e-15*t.Vdd*t.Vdd*1e12 +
+		tagBits*t.ESenseAmpPJ +
+		t.EDecodePJ*0.6 + // shorter decoder
+		tagBits*t.ECmpBitPJ
+
+	// Refill: full-rail write of every line bit, beat by beat.
+	eFill := lineBits*cBL*t.Vdd*t.Vdd*1e12 + 4*t.EDecodePJ
+
+	// Leakage across data and tag bits of all ways.
+	bits := float64(geo.Sets*geo.Ways) * (lineBits + tagBits)
+	leakMW := bits * t.LeakNWBit * 1e-6
+
+	return Energies{EWayPJ: eWay, ETagPJ: eTag, EFillPJ: eFill, LeakMW: leakMW}
+}
+
+// BufferEnergies models a small fully-associative line/set buffer built from
+// registers (used for the [14] set buffer and the [13]/[6] line and filter
+// buffers): read and write energy for one line-wide entry plus its tag
+// comparator.
+type BufferEnergies struct {
+	EReadPJ  float64 // read one buffered line's access width + compare
+	EWritePJ float64 // latch one line into the buffer
+	LeakMW   float64
+}
+
+// LineBuffer computes buffer energies for entries of lineBytes each.
+func LineBuffer(t Tech, entries, lineBytes, tagBits int) BufferEnergies {
+	lineBits := float64(lineBytes * 8)
+	cmp := float64(tagBits) * t.ECmpBitPJ * float64(entries)
+	return BufferEnergies{
+		EReadPJ:  readBitsDefault*t.ERegBitPJ + cmp,
+		EWritePJ: lineBits * t.ERegBitPJ,
+		LeakMW:   float64(entries) * (lineBits + float64(tagBits)) * t.LeakNWBit * 1e-6,
+	}
+}

@@ -1,0 +1,61 @@
+package cacti
+
+import (
+	"testing"
+
+	"waymemo/internal/cache"
+)
+
+func TestFRV32KEnergies(t *testing.T) {
+	e := ArrayEnergies(Tech130, cache.FRV32K)
+	// Way access must dwarf a tag access (wide vs 19-bit array) — the
+	// asymmetry behind the paper's savings split.
+	if e.EWayPJ < 5*e.ETagPJ {
+		t.Errorf("EWay %.1f / ETag %.1f: ratio too small", e.EWayPJ, e.ETagPJ)
+	}
+	// Sanity band: tens-to-hundreds of pJ per way access in 0.13µm.
+	if e.EWayPJ < 30 || e.EWayPJ > 500 {
+		t.Errorf("EWay = %.1f pJ out of plausible band", e.EWayPJ)
+	}
+	if e.ETagPJ < 2 || e.ETagPJ > 50 {
+		t.Errorf("ETag = %.1f pJ out of plausible band", e.ETagPJ)
+	}
+	// Refilling a whole line costs more than one access.
+	if e.EFillPJ <= e.EWayPJ {
+		t.Errorf("EFill %.1f <= EWay %.1f", e.EFillPJ, e.EWayPJ)
+	}
+	// Leakage: a few mW for 32KB + tags at 0.13µm.
+	if e.LeakMW < 0.5 || e.LeakMW > 10 {
+		t.Errorf("leak = %.2f mW out of band", e.LeakMW)
+	}
+}
+
+func TestEnergyScalesWithGeometry(t *testing.T) {
+	small := ArrayEnergies(Tech130, cache.Config{Sets: 128, Ways: 2, LineBytes: 32})
+	big := ArrayEnergies(Tech130, cache.FRV32K)
+	if small.EWayPJ >= big.EWayPJ {
+		t.Error("shorter bitlines should cost less")
+	}
+	if small.LeakMW >= big.LeakMW {
+		t.Error("smaller array should leak less")
+	}
+	wide := ArrayEnergies(Tech130, cache.Config{Sets: 512, Ways: 2, LineBytes: 64})
+	if wide.EWayPJ <= big.EWayPJ {
+		t.Error("wider lines should cost more per way access")
+	}
+}
+
+func TestLineBuffer(t *testing.T) {
+	b := LineBuffer(Tech130, 2, 32, 18)
+	e := ArrayEnergies(Tech130, cache.FRV32K)
+	// The point of buffers: far cheaper than a way access.
+	if b.EReadPJ >= e.EWayPJ/3 {
+		t.Errorf("buffer read %.1f pJ not cheap vs way %.1f pJ", b.EReadPJ, e.EWayPJ)
+	}
+	if b.EWritePJ <= 0 || b.LeakMW <= 0 {
+		t.Error("zero buffer costs")
+	}
+	if four := LineBuffer(Tech130, 4, 32, 18); four.LeakMW <= b.LeakMW {
+		t.Error("more entries should leak more")
+	}
+}

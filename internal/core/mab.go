@@ -1,0 +1,386 @@
+// Package core implements the paper's contribution: the Memory Address
+// Buffer (MAB) and the way-memoized cache controllers built around it.
+//
+// The MAB (Section 3.3, Figure 3 of the paper) keeps two small tables:
+//
+//   - a tag table of Nt entries, each holding the upper 18 bits of a *base*
+//     address plus a 2-bit cflag (the carry out of a 14-bit adder over the
+//     low address bits, and the sign class of the displacement), and
+//   - a set-index table of Ns entries, each holding a 9-bit set index,
+//
+// plus an Nt×Ns cross-product of valid flags and memoized way numbers
+// (vflag[t][s], way[t][s]). A 2x8-entry MAB can therefore memoize up to 16
+// addresses while storing only 2 tags and 8 set indices.
+//
+// Because the tag table is keyed by the base address's upper bits and the
+// cflag — not by the final tag — the MAB can be probed in parallel with the
+// 32-bit address adder: only a 14-bit add of the low bits is needed, whose
+// delay is below the full adder's. Two different (base, cflag) keys may
+// denote the same physical tag; that costs hits, never correctness.
+package core
+
+import (
+	"fmt"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/synth"
+)
+
+// Policy selects how the MAB is kept consistent with the cache (MAB ⊆ cache:
+// a valid MAB pair must always point at a resident line).
+type Policy uint8
+
+const (
+	// PolicyEvictInvalidate clears MAB pairs that match a line evicted from
+	// the cache. It is sound by construction and is the default used for
+	// the power results. Hardware cost: one reverse comparison per refill,
+	// which is rare.
+	PolicyEvictInvalidate Policy = iota
+	// PolicyPaper relies solely on the paper's LRU argument and the
+	// large-displacement clearing rule. The controllers detect and count
+	// (rare) violations of MAB ⊆ cache under this policy; see DESIGN.md for
+	// a concrete interleaving that triggers one when the number of tag
+	// entries equals the number of cache ways.
+	PolicyPaper
+)
+
+// ClearMode selects what the MAB invalidates when an access bypasses it
+// (displacement out of the 14-bit adder's range, or an indirect jump).
+type ClearMode uint8
+
+const (
+	// ClearAuto picks ClearNone for PolicyEvictInvalidate (evictions are
+	// already precise) and ClearAll for PolicyPaper.
+	ClearAuto ClearMode = iota
+	// ClearAll invalidates every vflag: trivially conservative.
+	ClearAll
+	// ClearLRURow invalidates only the LRU tag row, one reading of the
+	// paper's §3.3 rule.
+	ClearLRURow
+	// ClearNone performs no invalidation.
+	ClearNone
+)
+
+// Config sizes and parameterizes a MAB.
+type Config struct {
+	// TagEntries (Nt) and SetEntries (Ns). The paper finds 2x8 optimal for
+	// the D-cache and uses 2x16 for the I-cache.
+	TagEntries int
+	SetEntries int
+
+	Consistency Policy
+	Clear       ClearMode
+}
+
+// DefaultD is the paper's D-cache MAB configuration (2 tags × 8 set indices).
+var DefaultD = Config{TagEntries: 2, SetEntries: 8}
+
+// DefaultI is the paper's I-cache MAB configuration (2 tags × 16 set
+// indices).
+var DefaultI = Config{TagEntries: 2, SetEntries: 16}
+
+func (c Config) clearMode() ClearMode {
+	if c.Clear != ClearAuto {
+		return c.Clear
+	}
+	if c.Consistency == PolicyPaper {
+		return ClearAll
+	}
+	return ClearNone
+}
+
+// String names the configuration like the paper ("2x8").
+func (c Config) String() string {
+	return fmt.Sprintf("%dx%d", c.TagEntries, c.SetEntries)
+}
+
+type tagEntry struct {
+	key     uint32 // upper (32-lowBits) bits of the base address
+	cflag   uint8  // bit0 = carry, bit1 = displacement sign class
+	valid   bool
+	lastUse uint64
+}
+
+type setEntry struct {
+	idx     uint32
+	valid   bool
+	lastUse uint64
+}
+
+// Lookup is the result of probing the MAB.
+type Lookup struct {
+	// InRange is false when the displacement exceeds the low adder's range
+	// and the MAB must be bypassed.
+	InRange bool
+	// Hit reports a valid (tag,set) pair; Way is then the memoized way.
+	Hit bool
+	Way int
+	// PredictedAddr is the line-aligned address the pair denotes; the
+	// controllers use it to verify the memoized way against the cache.
+	PredictedAddr uint32
+}
+
+// MAB is the Memory Address Buffer.
+type MAB struct {
+	cfg        Config
+	geo        cache.Config
+	lowBits    uint // offset+set bits covered by the small adder (14)
+	offsetBits uint
+	lowMask    uint32
+
+	tags  []tagEntry
+	sets  []setEntry
+	vflag [][]bool
+	way   [][]int8
+	clock uint64
+}
+
+// New builds a MAB for a cache with the given geometry.
+func New(cfg Config, geo cache.Config) *MAB {
+	if cfg.TagEntries <= 0 || cfg.SetEntries <= 0 {
+		panic(fmt.Sprintf("core: bad MAB config %+v", cfg))
+	}
+	if err := geo.Validate(); err != nil {
+		panic(err)
+	}
+	m := &MAB{
+		cfg:        cfg,
+		geo:        geo,
+		lowBits:    uint(geo.OffsetBits() + geo.SetBits()),
+		offsetBits: uint(geo.OffsetBits()),
+		tags:       make([]tagEntry, cfg.TagEntries),
+		sets:       make([]setEntry, cfg.SetEntries),
+		vflag:      make([][]bool, cfg.TagEntries),
+		way:        make([][]int8, cfg.TagEntries),
+	}
+	m.lowMask = 1<<m.lowBits - 1
+	for i := range m.vflag {
+		m.vflag[i] = make([]bool, cfg.SetEntries)
+		m.way[i] = make([]int8, cfg.SetEntries)
+	}
+	return m
+}
+
+// Config returns the MAB configuration.
+func (m *MAB) Config() Config { return m.cfg }
+
+// Characterize returns the circuit model (area, delay, active/sleep power)
+// of this MAB's configuration, per Tables 1-3 of the paper.
+func (m *MAB) Characterize() synth.Result {
+	return synth.Characterize(m.cfg.TagEntries, m.cfg.SetEntries)
+}
+
+// InRange reports whether disp fits the low adder: its upper bits must be
+// all zeros or all ones (|disp| < 2^lowBits), the paper's §3.3 condition.
+func (m *MAB) InRange(disp int32) bool {
+	hi := disp >> m.lowBits
+	return hi == 0 || hi == -1
+}
+
+// key computes the tag-table key for (base, disp): the base's upper bits and
+// the cflag from the low adder.
+func (m *MAB) key(base uint32, disp int32) (key uint32, cflag uint8, setIdx uint32) {
+	low := base & m.lowMask
+	dlow := uint32(disp) & m.lowMask
+	sum := low + dlow
+	carry := uint8(sum >> m.lowBits & 1)
+	sign := uint8(0)
+	if disp < 0 {
+		sign = 1
+	}
+	return base >> m.lowBits, carry | sign<<1, (sum & m.lowMask) >> m.offsetBits
+}
+
+// trueTag returns the physical cache tag a tag entry denotes:
+// key + carry (positive displacement) or key + carry - 1 (negative).
+func (m *MAB) trueTag(e *tagEntry) uint32 {
+	adj := uint32(e.cflag & 1)
+	if e.cflag&2 != 0 {
+		adj--
+	}
+	mask := uint32(1)<<(32-m.lowBits) - 1
+	return (e.key + adj) & mask
+}
+
+func (m *MAB) findTag(key uint32, cflag uint8) int {
+	for i := range m.tags {
+		e := &m.tags[i]
+		if e.valid && e.key == key && e.cflag == cflag {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *MAB) findSet(idx uint32) int {
+	for j := range m.sets {
+		e := &m.sets[j]
+		if e.valid && e.idx == idx {
+			return j
+		}
+	}
+	return -1
+}
+
+func (m *MAB) lruTag() int {
+	victim, oldest := 0, ^uint64(0)
+	for i := range m.tags {
+		if !m.tags[i].valid {
+			return i
+		}
+		if m.tags[i].lastUse < oldest {
+			victim, oldest = i, m.tags[i].lastUse
+		}
+	}
+	return victim
+}
+
+func (m *MAB) lruSet() int {
+	victim, oldest := 0, ^uint64(0)
+	for j := range m.sets {
+		if !m.sets[j].valid {
+			return j
+		}
+		if m.sets[j].lastUse < oldest {
+			victim, oldest = j, m.sets[j].lastUse
+		}
+	}
+	return victim
+}
+
+// Probe looks (base, disp) up without modifying anything except the LRU
+// clocks on a hit (a hit is also a use).
+func (m *MAB) Probe(base uint32, disp int32) Lookup {
+	if !m.InRange(disp) {
+		return Lookup{}
+	}
+	key, cflag, setIdx := m.key(base, disp)
+	// Reconstruct the predicted address the way the hardware does: the low
+	// bits come from the 14-bit adder, the tag from the base's upper bits
+	// adjusted by carry and displacement sign. For in-range displacements
+	// this equals base+disp — TestPredictedAddressProperty proves it.
+	adj := uint32(cflag & 1)
+	if cflag&2 != 0 {
+		adj--
+	}
+	predLow := (base + uint32(disp)) & m.lowMask
+	res := Lookup{InRange: true, PredictedAddr: (key+adj)<<m.lowBits | predLow}
+	i := m.findTag(key, cflag)
+	j := m.findSet(setIdx)
+	if i >= 0 && j >= 0 && m.vflag[i][j] {
+		res.Hit = true
+		res.Way = int(m.way[i][j])
+		m.clock++
+		m.tags[i].lastUse = m.clock
+		m.sets[j].lastUse = m.clock
+	}
+	return res
+}
+
+// Update installs (base, disp) → way after a full cache access, following
+// the four hit/miss cases of §3.3.
+func (m *MAB) Update(base uint32, disp int32, way int) {
+	if !m.InRange(disp) {
+		return
+	}
+	key, cflag, setIdx := m.key(base, disp)
+	i := m.findTag(key, cflag)
+	j := m.findSet(setIdx)
+	m.clock++
+	if i < 0 {
+		// Replace the LRU tag row; all pairs of the old row die.
+		i = m.lruTag()
+		m.tags[i] = tagEntry{key: key, cflag: cflag, valid: true}
+		for s := range m.vflag[i] {
+			m.vflag[i][s] = false
+		}
+	}
+	if j < 0 {
+		// Replace the LRU set column; all pairs of the old column die.
+		j = m.lruSet()
+		m.sets[j] = setEntry{idx: setIdx, valid: true}
+		for t := range m.vflag {
+			m.vflag[t][j] = false
+		}
+	}
+	m.tags[i].lastUse = m.clock
+	m.sets[j].lastUse = m.clock
+	m.vflag[i][j] = true
+	m.way[i][j] = int8(way)
+}
+
+// Invalidate clears the pair denoting (base, disp) if present. Used when a
+// verified MAB hit turns out stale under PolicyPaper.
+func (m *MAB) Invalidate(base uint32, disp int32) {
+	if !m.InRange(disp) {
+		return
+	}
+	key, cflag, setIdx := m.key(base, disp)
+	if i, j := m.findTag(key, cflag), m.findSet(setIdx); i >= 0 && j >= 0 {
+		m.vflag[i][j] = false
+	}
+}
+
+// OnBypass applies the configured conservative clearing when an access
+// cannot be tracked by the MAB (large displacement or indirect jump).
+func (m *MAB) OnBypass() {
+	switch m.cfg.clearMode() {
+	case ClearAll:
+		for i := range m.vflag {
+			for j := range m.vflag[i] {
+				m.vflag[i][j] = false
+			}
+		}
+	case ClearLRURow:
+		i := m.lruTag()
+		for j := range m.vflag[i] {
+			m.vflag[i][j] = false
+		}
+	}
+}
+
+// OnEviction clears pairs that denote the evicted line. Wired to
+// cache.Cache.OnEvict under PolicyEvictInvalidate.
+func (m *MAB) OnEviction(ev cache.Eviction) {
+	for j := range m.sets {
+		if !m.sets[j].valid || m.sets[j].idx != ev.Set {
+			continue
+		}
+		for i := range m.tags {
+			if m.vflag[i][j] && m.tags[i].valid && m.trueTag(&m.tags[i]) == ev.Tag {
+				m.vflag[i][j] = false
+			}
+		}
+	}
+}
+
+// ValidPairs returns the number of currently valid (tag,set) pairs.
+func (m *MAB) ValidPairs() int {
+	n := 0
+	for i := range m.vflag {
+		for j := range m.vflag[i] {
+			if m.vflag[i][j] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// CheckInvariant verifies MAB ⊆ cache: every valid pair's line must be
+// resident at the memoized way. It returns the number of violating pairs.
+func (m *MAB) CheckInvariant(c *cache.Cache) int {
+	bad := 0
+	for i := range m.vflag {
+		for j := range m.vflag[i] {
+			if !m.vflag[i][j] {
+				continue
+			}
+			tag, valid := c.TagAt(m.sets[j].idx, int(m.way[i][j]))
+			if !valid || tag != m.trueTag(&m.tags[i]) {
+				bad++
+			}
+		}
+	}
+	return bad
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// oracleMAB is an independent reference implementation of the MAB's §3.3
+// semantics, written with maps and recency lists instead of tables, used to
+// cross-check the production implementation on random streams.
+type oracleMAB struct {
+	nt, ns  int
+	lowBits uint
+
+	tagOrder []oracleKey // MRU first
+	setOrder []uint32    // MRU first
+	pairs    map[oraclePair]int
+}
+
+type oracleKey struct {
+	key   uint32
+	cflag uint8
+}
+
+type oraclePair struct {
+	k oracleKey
+	s uint32
+}
+
+func newOracleMAB(nt, ns int, lowBits uint) *oracleMAB {
+	return &oracleMAB{nt: nt, ns: ns, lowBits: lowBits, pairs: map[oraclePair]int{}}
+}
+
+func (o *oracleMAB) keyOf(base uint32, disp int32) (oracleKey, uint32, bool) {
+	hi := disp >> o.lowBits
+	if hi != 0 && hi != -1 {
+		return oracleKey{}, 0, false
+	}
+	mask := uint32(1)<<o.lowBits - 1
+	sum := (base & mask) + (uint32(disp) & mask)
+	carry := uint8(sum >> o.lowBits & 1)
+	sign := uint8(0)
+	if disp < 0 {
+		sign = 1
+	}
+	return oracleKey{base >> o.lowBits, carry | sign<<1}, (sum & mask) >> 5, true
+}
+
+func (o *oracleMAB) findTag(k oracleKey) int {
+	for i, e := range o.tagOrder {
+		if e == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func (o *oracleMAB) findSet(s uint32) int {
+	for i, e := range o.setOrder {
+		if e == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func (o *oracleMAB) touchTag(i int) {
+	k := o.tagOrder[i]
+	copy(o.tagOrder[1:i+1], o.tagOrder[:i])
+	o.tagOrder[0] = k
+}
+
+func (o *oracleMAB) touchSet(i int) {
+	s := o.setOrder[i]
+	copy(o.setOrder[1:i+1], o.setOrder[:i])
+	o.setOrder[0] = s
+}
+
+func (o *oracleMAB) probe(base uint32, disp int32) (int, bool) {
+	k, s, ok := o.keyOf(base, disp)
+	if !ok {
+		return 0, false
+	}
+	ti, si := o.findTag(k), o.findSet(s)
+	if ti < 0 || si < 0 {
+		return 0, false
+	}
+	way, valid := o.pairs[oraclePair{k, s}]
+	if !valid {
+		return 0, false
+	}
+	o.touchTag(ti)
+	o.touchSet(si)
+	return way, true
+}
+
+func (o *oracleMAB) update(base uint32, disp int32, way int) {
+	k, s, ok := o.keyOf(base, disp)
+	if !ok {
+		return
+	}
+	if i := o.findTag(k); i >= 0 {
+		o.touchTag(i)
+	} else {
+		if len(o.tagOrder) == o.nt {
+			victim := o.tagOrder[o.nt-1]
+			o.tagOrder = o.tagOrder[:o.nt-1]
+			for p := range o.pairs {
+				if p.k == victim {
+					delete(o.pairs, p)
+				}
+			}
+		}
+		o.tagOrder = append([]oracleKey{k}, o.tagOrder...)
+	}
+	if i := o.findSet(s); i >= 0 {
+		o.touchSet(i)
+	} else {
+		if len(o.setOrder) == o.ns {
+			victim := o.setOrder[o.ns-1]
+			o.setOrder = o.setOrder[:o.ns-1]
+			for p := range o.pairs {
+				if p.s == victim {
+					delete(o.pairs, p)
+				}
+			}
+		}
+		o.setOrder = append([]uint32{s}, o.setOrder...)
+	}
+	o.pairs[oraclePair{k, s}] = way
+}
+
+// TestMABAgainstOracle drives random probe/update sequences through the
+// production MAB and the reference model and demands identical hit/way
+// behaviour. Consistency hooks are excluded (no cache attached), so this is
+// a pure check of the table, LRU and vflag semantics of §3.3.
+func TestMABAgainstOracle(t *testing.T) {
+	configs := []Config{
+		{TagEntries: 1, SetEntries: 4},
+		{TagEntries: 2, SetEntries: 8},
+		{TagEntries: 2, SetEntries: 2},
+		{TagEntries: 4, SetEntries: 16},
+	}
+	for _, cfg := range configs {
+		m := New(cfg, geo)
+		o := newOracleMAB(cfg.TagEntries, cfg.SetEntries, 14)
+		r := rand.New(rand.NewSource(int64(cfg.TagEntries*100 + cfg.SetEntries)))
+		// A small pool of bases and displacements makes collisions and
+		// LRU churn frequent.
+		bases := make([]uint32, 6)
+		for i := range bases {
+			bases[i] = uint32(r.Intn(1 << 22))
+		}
+		disps := []int32{0, 4, -4, 64, -64, 8192, -8192, 20000, 1 << 20}
+		for i := 0; i < 200000; i++ {
+			base := bases[r.Intn(len(bases))]
+			disp := disps[r.Intn(len(disps))]
+			gotRes := m.Probe(base, disp)
+			wantWay, wantHit := o.probe(base, disp)
+			if gotRes.Hit != wantHit {
+				t.Fatalf("%v step %d: probe(%#x,%d) hit=%v oracle=%v",
+					cfg, i, base, disp, gotRes.Hit, wantHit)
+			}
+			if wantHit && gotRes.Way != wantWay {
+				t.Fatalf("%v step %d: way %d oracle %d", cfg, i, gotRes.Way, wantWay)
+			}
+			if !wantHit {
+				way := r.Intn(2)
+				m.Update(base, disp, way)
+				o.update(base, disp, way)
+			}
+			if i%5000 == 0 {
+				if got, want := m.ValidPairs(), len(o.pairs); got != want {
+					t.Fatalf("%v step %d: valid pairs %d oracle %d", cfg, i, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,295 @@
+package experiments
+
+import (
+	"fmt"
+
+	"waymemo/internal/baseline"
+	"waymemo/internal/cache"
+	"waymemo/internal/cacti"
+	"waymemo/internal/core"
+	"waymemo/internal/power"
+	"waymemo/internal/report"
+	"waymemo/internal/stats"
+	"waymemo/internal/synth"
+	"waymemo/internal/trace"
+	"waymemo/internal/workloads"
+)
+
+// This file holds the studies beyond the paper's published figures: the
+// related-work techniques of its Section 2 run on the same streams, the
+// MAB+line-buffer combination the conclusion announces, the consistency
+// policy comparison motivated by the §3.3 analysis (see DESIGN.md), and a
+// fetch-packet-width sensitivity study.
+
+// AblationRow is one technique's aggregate over the seven benchmarks.
+type AblationRow struct {
+	Tech         string
+	Tags         float64 // tag reads per access (average over benchmarks)
+	Ways         float64
+	PowerMW      float64 // average power
+	CyclePenalty float64 // extra cycles per base cycle (performance loss)
+	BufHitRate   float64
+}
+
+// AblationD compares all data-cache techniques, including the related work
+// of Section 2 and the paper's announced line-buffer combination.
+func AblationD() ([]AblationRow, error) {
+	type entry struct {
+		name  string
+		sink  trace.DataSink
+		stat  *stats.Counters
+		model power.Model
+	}
+	arr := arrayEnergies
+	l0geo := cache.Config{Sets: 8, Ways: 1, LineBytes: 32} // 256B filter cache
+	bufE := cacti.LineBuffer(cacti.Tech130, 1, Geometry.LineBytes, Geometry.TagBits())
+	sums := map[string]*AblationRow{}
+	var order []string
+	var totalCycles uint64
+
+	for _, w := range workloads.All() {
+		orig := baseline.NewOriginalD(Geometry)
+		tp := baseline.NewTwoPhaseD(Geometry)
+		lb := baseline.NewLineBufferD(Geometry)
+		fc := baseline.NewFilterCacheD(l0geo, Geometry)
+		sb := baseline.NewSetBufferD(Geometry)
+		mab := core.NewDController(Geometry, core.DefaultD)
+		mablb := core.NewDLineBufferController(Geometry, core.DefaultD)
+
+		entries := []entry{
+			{"original", orig, orig.Stats, power.Model{Array: arr}},
+			{"two-phase[8]", tp, tp.Stats, power.Model{Array: arr}},
+			{"line-buffer[13]", lb, lb.Stats, power.Model{Array: arr, Buffer: bufE}},
+			{"filter-cache[6]", fc, fc.Stats, power.Model{Array: arr,
+				Buffer: cacti.LineBuffer(cacti.Tech130, l0geo.Sets, l0geo.LineBytes, 24)}},
+			{"setbuf[14]", sb, sb.Stats, DModel(DSetBuf)},
+			{"mab-2x8", mab, mab.Stats, DModel(DMAB)},
+			{"mab-2x8+linebuf", mablb, mablb.Stats, power.Model{Array: arr,
+				MAB: synth.Characterize(2, 8), Buffer: bufE}},
+		}
+		sinks := make([]trace.DataSink, len(entries))
+		for i := range entries {
+			sinks[i] = entries[i].sink
+		}
+		c, err := workloads.Run(w, nil, trace.DataTee(sinks...))
+		if err != nil {
+			return nil, err
+		}
+		totalCycles += c.Cycles
+		for _, e := range entries {
+			row := sums[e.name]
+			if row == nil {
+				row = &AblationRow{Tech: e.name}
+				sums[e.name] = row
+				order = append(order, e.name)
+			}
+			row.Tags += e.stat.TagsPerAccess()
+			row.Ways += e.stat.WaysPerAccess()
+			row.PowerMW += power.Compute(e.stat, c.Cycles, e.model).TotalMW()
+			row.CyclePenalty += float64(e.stat.ExtraCycles) / float64(c.Cycles)
+			if e.stat.BufReads+e.stat.SetBufReads > 0 {
+				row.BufHitRate += float64(e.stat.BufHits+e.stat.SetBufHits) /
+					float64(e.stat.BufReads+e.stat.SetBufReads)
+			}
+		}
+	}
+	n := float64(len(workloads.All()))
+	var rows []AblationRow
+	for _, name := range order {
+		r := *sums[name]
+		r.Tags /= n
+		r.Ways /= n
+		r.PowerMW /= n
+		r.CyclePenalty /= n
+		r.BufHitRate /= n
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// AblationI compares the instruction-cache techniques of Section 2.
+func AblationI() ([]AblationRow, error) {
+	sums := map[string]*AblationRow{}
+	var order []string
+	for _, w := range workloads.All() {
+		orig := baseline.NewOriginalI(Geometry)
+		a4 := baseline.NewApproach4I(Geometry)
+		wp := baseline.NewWayPredictI(Geometry)
+		ma := baseline.NewMaLinksI(Geometry)
+		mab := core.NewIController(Geometry, core.DefaultI)
+
+		type entry struct {
+			name  string
+			sink  trace.FetchSink
+			stat  *stats.Counters
+			model power.Model
+		}
+		entries := []entry{
+			{"original", orig, orig.Stats, power.Model{Array: arrayEnergies}},
+			{"approach[4]", a4, a4.Stats, power.Model{Array: arrayEnergies}},
+			{"way-predict[9]", wp, wp.Stats, power.Model{Array: arrayEnergies}},
+			{"ma-links[11]", ma, ma.Stats, power.Model{Array: arrayEnergies,
+				Buffer: cacti.LineBuffer(cacti.Tech130, 1, 1, 2)}}, // two link bits
+			{"mab-2x16", mab, mab.Stats, IModel(IMAB16)},
+		}
+		sinks := make([]trace.FetchSink, len(entries))
+		for i := range entries {
+			sinks[i] = entries[i].sink
+		}
+		c, err := workloads.Run(w, trace.FetchTee(sinks...), nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			row := sums[e.name]
+			if row == nil {
+				row = &AblationRow{Tech: e.name}
+				sums[e.name] = row
+				order = append(order, e.name)
+			}
+			row.Tags += e.stat.TagsPerAccess()
+			row.Ways += e.stat.WaysPerAccess()
+			row.PowerMW += power.Compute(e.stat, c.Cycles, e.model).TotalMW()
+			row.CyclePenalty += float64(e.stat.ExtraCycles) / float64(c.Cycles)
+		}
+	}
+	n := float64(len(workloads.All()))
+	var rows []AblationRow
+	for _, name := range order {
+		r := *sums[name]
+		r.Tags /= n
+		r.Ways /= n
+		r.PowerMW /= n
+		r.CyclePenalty /= n
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// AblationTable renders ablation rows.
+func AblationTable(title string, rows []AblationRow) report.Table {
+	t := report.Table{Title: title, Columns: []string{
+		"technique", "tags/access", "ways/access", "power mW", "cycle penalty", "buf hit"}}
+	for _, r := range rows {
+		t.AddRow(r.Tech, report.F(r.Tags, 3), report.F(r.Ways, 3),
+			report.F(r.PowerMW, 2), report.Pct(r.CyclePenalty), report.Pct(r.BufHitRate))
+	}
+	return t
+}
+
+// ConsistencyRow summarizes one MAB consistency policy over the suite.
+type ConsistencyRow struct {
+	Policy     string
+	Violations uint64
+	MABHitRate float64
+	TagsPerAcc float64
+}
+
+// AblationConsistency compares the sound evict-invalidate policy with the
+// paper's pure LRU rules (including both readings of the §3.3 large-
+// displacement clearing rule).
+func AblationConsistency() ([]ConsistencyRow, error) {
+	configs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"evict-invalidate (sound)", core.Config{TagEntries: 2, SetEntries: 8}},
+		{"paper rules, clear-all", core.Config{TagEntries: 2, SetEntries: 8,
+			Consistency: core.PolicyPaper, Clear: core.ClearAll}},
+		{"paper rules, clear-LRU-row", core.Config{TagEntries: 2, SetEntries: 8,
+			Consistency: core.PolicyPaper, Clear: core.ClearLRURow}},
+		{"paper rules, Nt=1 (provable)", core.Config{TagEntries: 1, SetEntries: 8,
+			Consistency: core.PolicyPaper, Clear: core.ClearAll}},
+	}
+	rows := make([]ConsistencyRow, len(configs))
+	for i, c := range configs {
+		rows[i].Policy = c.name
+	}
+	for _, w := range workloads.All() {
+		ctls := make([]*core.DController, len(configs))
+		sinks := make([]trace.DataSink, len(configs))
+		for i, c := range configs {
+			ctls[i] = core.NewDController(Geometry, c.cfg)
+			sinks[i] = ctls[i]
+		}
+		if _, err := workloads.Run(w, nil, trace.DataTee(sinks...)); err != nil {
+			return nil, err
+		}
+		for i := range configs {
+			rows[i].Violations += ctls[i].Stats.Violations
+			rows[i].MABHitRate += ctls[i].Stats.MABHitRate()
+			rows[i].TagsPerAcc += ctls[i].Stats.TagsPerAccess()
+		}
+	}
+	n := float64(len(workloads.All()))
+	for i := range rows {
+		rows[i].MABHitRate /= n
+		rows[i].TagsPerAcc /= n
+	}
+	return rows, nil
+}
+
+// ConsistencyTable renders the consistency ablation.
+func ConsistencyTable(rows []ConsistencyRow) report.Table {
+	t := report.Table{Title: "Consistency-policy ablation (D-cache, 2x8 MAB unless noted)",
+		Columns: []string{"policy", "violations", "MAB hit rate", "tags/access"}}
+	for _, r := range rows {
+		t.AddRow(r.Policy, fmt.Sprintf("%d", r.Violations),
+			report.Pct(r.MABHitRate), report.F(r.TagsPerAcc, 3))
+	}
+	return t
+}
+
+// PacketRow summarizes one fetch-packet width.
+type PacketRow struct {
+	PacketBytes uint32
+	Cycles      uint64
+	IntraSeq    float64 // fraction of fetches that are case 1
+	A4Tags      float64 // [4] tags/access
+	MABTags     float64 // 2x16 MAB tags/access
+}
+
+// AblationPacket re-runs the suite with 4-, 8- and 16-byte fetch packets:
+// wider packets mean fewer I-cache accesses but a smaller intra-line
+// sequential fraction per access.
+func AblationPacket() ([]PacketRow, error) {
+	var rows []PacketRow
+	for _, pb := range []uint32{4, 8, 16} {
+		var row PacketRow
+		row.PacketBytes = pb
+		var nb float64
+		for _, w := range workloads.All() {
+			a4 := baseline.NewApproach4I(Geometry)
+			mab := core.NewIController(Geometry, core.DefaultI)
+			c, err := workloads.RunPacket(w, trace.FetchTee(a4, mab), nil, pb)
+			if err != nil {
+				return nil, err
+			}
+			row.Cycles += c.Cycles
+			var total uint64
+			for _, f := range a4.Stats.Flow {
+				total += f
+			}
+			row.IntraSeq += float64(a4.Stats.Flow[trace.IntraSeq]) / float64(total)
+			row.A4Tags += a4.Stats.TagsPerAccess()
+			row.MABTags += mab.Stats.TagsPerAccess()
+			nb++
+		}
+		row.IntraSeq /= nb
+		row.A4Tags /= nb
+		row.MABTags /= nb
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PacketTable renders the packet-width ablation.
+func PacketTable(rows []PacketRow) report.Table {
+	t := report.Table{Title: "Fetch-packet width ablation (I-cache)",
+		Columns: []string{"packet bytes", "fetches", "intra-seq", "[4] tags/acc", "MAB tags/acc"}}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%d", r.PacketBytes), fmt.Sprintf("%d", r.Cycles),
+			report.Pct(r.IntraSeq), report.F(r.A4Tags, 3), report.F(r.MABTags, 3))
+	}
+	return t
+}

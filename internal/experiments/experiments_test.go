@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"waymemo/internal/trace"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *Results
+	suiteErr  error
+)
+
+// getSuite runs the full benchmark suite once and shares it across tests.
+func getSuite(t *testing.T) *Results {
+	t.Helper()
+	suiteOnce.Do(func() { suite, suiteErr = RunAll() })
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suite
+}
+
+func TestSuiteCoversSevenBenchmarks(t *testing.T) {
+	r := getSuite(t)
+	if len(r.Benchmarks) != 7 {
+		t.Fatalf("benchmarks = %d", len(r.Benchmarks))
+	}
+	names := map[string]bool{}
+	for _, b := range r.Benchmarks {
+		names[b.Name] = true
+		if b.Cycles == 0 || b.Instrs == 0 {
+			t.Errorf("%s: empty run", b.Name)
+		}
+	}
+	for _, n := range []string{"DCT", "FFT", "dhrystone", "whetstone", "compress", "jpeg_enc", "mpeg2enc"} {
+		if !names[n] {
+			t.Errorf("missing %s", n)
+		}
+	}
+}
+
+// TestTechniquesAgreeFunctionally: all D techniques see the same hits and
+// misses; the MAB and [4] must not change I-cache behaviour either.
+func TestTechniquesAgreeFunctionally(t *testing.T) {
+	for _, b := range getSuite(t).Benchmarks {
+		o := b.D[DOrig]
+		for _, tech := range DTechs {
+			s := b.D[tech]
+			if s.Hits != o.Hits || s.Misses != o.Misses {
+				t.Errorf("%s/%s: hits %d/%d vs original %d/%d",
+					b.Name, tech, s.Hits, s.Misses, o.Hits, o.Misses)
+			}
+		}
+		oi := b.I[IOrig]
+		for _, tech := range ITechs {
+			s := b.I[tech]
+			if s.Hits != oi.Hits || s.Misses != oi.Misses {
+				t.Errorf("%s/%s: I hits %d/%d vs original %d/%d",
+					b.Name, tech, s.Hits, s.Misses, oi.Hits, oi.Misses)
+			}
+		}
+	}
+}
+
+// TestNoViolations: under the default sound consistency policy, no memoized
+// way may ever be stale.
+func TestNoViolations(t *testing.T) {
+	for _, b := range getSuite(t).Benchmarks {
+		if v := b.D[DMAB].Violations; v != 0 {
+			t.Errorf("%s: D violations %d", b.Name, v)
+		}
+		for _, tech := range []string{IMAB8, IMAB16, IMAB32} {
+			if v := b.I[tech].Violations; v != 0 {
+				t.Errorf("%s/%s: I violations %d", b.Name, tech, v)
+			}
+		}
+	}
+}
+
+// TestFigure4Shape: the original reads both tags always; the MAB eliminates
+// most tag reads (the paper reports ~90% on average); the set buffer sits in
+// between on tag reads; memoized ways stay ≥ 1 and below the original.
+func TestFigure4Shape(t *testing.T) {
+	r := getSuite(t)
+	var reduction float64
+	for _, b := range r.Benchmarks {
+		orig, sb, mab := b.D[DOrig], b.D[DSetBuf], b.D[DMAB]
+		if got := orig.TagsPerAccess(); math.Abs(got-2.0) > 1e-9 {
+			t.Errorf("%s: original tags/access = %f", b.Name, got)
+		}
+		if orig.WaysPerAccess() >= 2 || orig.WaysPerAccess() <= 1 {
+			t.Errorf("%s: original ways/access = %f, expected in (1,2)", b.Name, orig.WaysPerAccess())
+		}
+		if mab.TagsPerAccess() >= orig.TagsPerAccess() {
+			t.Errorf("%s: MAB saved no tag reads", b.Name)
+		}
+		if sb.TagsPerAccess() > orig.TagsPerAccess()+1e-9 {
+			t.Errorf("%s: set buffer increased tag reads", b.Name)
+		}
+		if mab.WaysPerAccess() < 1 {
+			t.Errorf("%s: MAB ways/access %f < 1 (at least one way per access)",
+				b.Name, mab.WaysPerAccess())
+		}
+		reduction += 1 - mab.TagsPerAccess()/orig.TagsPerAccess()
+	}
+	reduction /= float64(len(r.Benchmarks))
+	// Paper: ~90% average tag-access reduction. Allow a generous band: our
+	// compress carries a dictionary larger than the paper's.
+	if reduction < 0.6 || reduction > 0.99 {
+		t.Errorf("average D tag reduction %.2f outside [0.60,0.99]", reduction)
+	}
+}
+
+// TestFigure6Shape: [4] removes ~60% of tag accesses (intra-line sequential
+// flow); the MAB removes most of the rest, monotonically with size.
+func TestFigure6Shape(t *testing.T) {
+	r := getSuite(t)
+	var a4Red float64
+	for _, b := range r.Benchmarks {
+		a4 := b.I[IA4]
+		if a4.TagsPerAccess() >= 2.0 {
+			t.Errorf("%s: [4] tags/access = %f", b.Name, a4.TagsPerAccess())
+		}
+		a4Red += 1 - a4.TagsPerAccess()/2.0
+		prev := a4.TagsPerAccess()
+		for _, tech := range []string{IMAB8, IMAB16, IMAB32} {
+			cur := b.I[tech].TagsPerAccess()
+			if cur > prev+1e-9 {
+				t.Errorf("%s: %s tags/access %f > smaller config %f", b.Name, tech, cur, prev)
+			}
+			prev = cur
+		}
+		if m16 := b.I[IMAB16]; m16.TagsPerAccess() > 0.5*a4.TagsPerAccess()+1e-9 {
+			t.Errorf("%s: 2x16 MAB did not halve [4]'s tag accesses (%f vs %f)",
+				b.Name, m16.TagsPerAccess(), a4.TagsPerAccess())
+		}
+	}
+	a4Red /= float64(len(r.Benchmarks))
+	// Paper: intra-line sequential flow removes ~60% of tag accesses.
+	if a4Red < 0.45 || a4Red > 0.80 {
+		t.Errorf("[4] average tag reduction %.2f outside [0.45,0.80]", a4Red)
+	}
+}
+
+// TestFigure5Shape: way-memoized D-cache power sits below the original for
+// every benchmark except possibly compress (dictionary larger than the
+// paper's); on average the saving lands near the paper's 35%.
+func TestFigure5Shape(t *testing.T) {
+	r := getSuite(t)
+	rows := Figure5(r)
+	get := func(bench, tech string) float64 {
+		for _, row := range rows {
+			if row.Bench == bench && row.Tech == tech {
+				return row.B.TotalMW()
+			}
+		}
+		t.Fatalf("row %s/%s missing", bench, tech)
+		return 0
+	}
+	var saving float64
+	for _, b := range r.Benchmarks {
+		orig, mab := get(b.Name, DOrig), get(b.Name, DMAB)
+		if orig < 10 || orig > 60 {
+			t.Errorf("%s: original D power %.1f mW outside the paper's scale", b.Name, orig)
+		}
+		s := 1 - mab/orig
+		saving += s
+		if b.Name != "compress" && s <= 0 {
+			t.Errorf("%s: no D power saving (%.2f vs %.2f)", b.Name, mab, orig)
+		}
+	}
+	saving /= float64(len(r.Benchmarks))
+	if saving < 0.15 || saving > 0.55 {
+		t.Errorf("average D saving %.2f outside [0.15,0.55] (paper: 0.35)", saving)
+	}
+	// Tag power must nearly vanish under the MAB.
+	for _, row := range rows {
+		if row.Tech == DMAB && row.Bench != "compress" {
+			for _, o := range rows {
+				if o.Bench == row.Bench && o.Tech == DOrig && row.B.TagMW > o.B.TagMW/2 {
+					t.Errorf("%s: MAB tag power %.2f not well below original %.2f",
+						row.Bench, row.B.TagMW, o.B.TagMW)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure7Shape: the 2x16 MAB I-cache saves versus [4] for every
+// benchmark; average near the paper's 25%.
+func TestFigure7Shape(t *testing.T) {
+	r := getSuite(t)
+	rows := Figure7(r)
+	get := func(bench, tech string) float64 {
+		for _, row := range rows {
+			if row.Bench == bench && row.Tech == tech {
+				return row.B.TotalMW()
+			}
+		}
+		t.Fatalf("row %s/%s missing", bench, tech)
+		return 0
+	}
+	var saving float64
+	for _, b := range r.Benchmarks {
+		a4, m16 := get(b.Name, IA4), get(b.Name, IMAB16)
+		if a4 < 30 || a4 > 120 {
+			t.Errorf("%s: [4] I power %.1f mW outside the paper's scale", b.Name, a4)
+		}
+		s := 1 - m16/a4
+		if s <= 0 {
+			t.Errorf("%s: I-cache MAB saved nothing (%.2f vs %.2f)", b.Name, m16, a4)
+		}
+		saving += s
+	}
+	saving /= float64(len(r.Benchmarks))
+	if saving < 0.12 || saving > 0.45 {
+		t.Errorf("average I saving %.2f outside [0.12,0.45] (paper: 0.25)", saving)
+	}
+}
+
+// TestFigure8Shape: the headline result — total cache power drops ~30% on
+// average (paper), with mpeg2enc among the best performers.
+func TestFigure8Shape(t *testing.T) {
+	rows := Figure8(getSuite(t))
+	avg, max := AverageSaving(rows)
+	if avg < 0.18 || avg > 0.45 {
+		t.Errorf("average total saving %.2f outside [0.18,0.45] (paper: 0.30)", avg)
+	}
+	if max < avg {
+		t.Errorf("max %.2f < avg %.2f", max, avg)
+	}
+	for _, row := range rows {
+		if row.Saving <= 0 {
+			t.Errorf("%s: total power regressed", row.Bench)
+		}
+	}
+	// mpeg2enc is the paper's best case; require it above average here too.
+	for _, row := range rows {
+		if row.Bench == "mpeg2enc" && row.Saving < avg {
+			t.Errorf("mpeg2enc saving %.2f below average %.2f", row.Saving, avg)
+		}
+	}
+}
+
+// TestFlowDistribution: most fetches are intra-line sequential (the basis of
+// [4]'s 60% saving and the paper's flow taxonomy).
+func TestFlowDistribution(t *testing.T) {
+	for _, b := range getSuite(t).Benchmarks {
+		s := b.I[IOrig]
+		var total uint64
+		for _, f := range s.Flow {
+			total += f
+		}
+		if total == 0 {
+			t.Fatalf("%s: no flow classification", b.Name)
+		}
+		intraSeq := float64(s.Flow[trace.IntraSeq]) / float64(total)
+		if intraSeq < 0.40 || intraSeq > 0.85 {
+			t.Errorf("%s: intra-line sequential fraction %.2f outside [0.40,0.85]",
+				b.Name, intraSeq)
+		}
+	}
+}
+
+// TestTables verifies the regenerated Tables 1-3 have the paper's layout.
+func TestTables(t *testing.T) {
+	t1, t2, t3 := Table1(), Table2(), Table3()
+	if len(t1.Rows) != 2 || len(t2.Rows) != 2 || len(t3.Rows) != 4 {
+		t.Fatalf("table row counts: %d %d %d", len(t1.Rows), len(t2.Rows), len(t3.Rows))
+	}
+	if len(t1.Columns) != 5 || len(t3.Columns) != 6 {
+		t.Fatalf("table column counts")
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"waymemo/internal/power"
+	"waymemo/internal/report"
+	"waymemo/internal/synth"
+)
+
+// AccessRow is one bar pair of Figures 4 and 6: average tag and way
+// activations per cache access.
+type AccessRow struct {
+	Bench string
+	Tech  string
+	Tags  float64
+	Ways  float64
+}
+
+// Figure4 returns D-cache tag/way accesses per access for the three
+// techniques of the paper's Figure 4.
+func Figure4(r *Results) []AccessRow {
+	var rows []AccessRow
+	for _, b := range r.Benchmarks {
+		for _, tech := range DTechs {
+			s := b.D[tech]
+			rows = append(rows, AccessRow{b.Name, tech, s.TagsPerAccess(), s.WaysPerAccess()})
+		}
+	}
+	return rows
+}
+
+// Figure6 returns I-cache tag/way accesses per access for approach [4] and
+// the three MAB sizes of the paper's Figure 6.
+func Figure6(r *Results) []AccessRow {
+	var rows []AccessRow
+	for _, b := range r.Benchmarks {
+		for _, tech := range ITechs {
+			s := b.I[tech]
+			rows = append(rows, AccessRow{b.Name, tech, s.TagsPerAccess(), s.WaysPerAccess()})
+		}
+	}
+	return rows
+}
+
+// AccessTable renders access rows in a paper-style grid.
+func AccessTable(title string, rows []AccessRow) report.Table {
+	t := report.Table{Title: title,
+		Columns: []string{"benchmark", "technique", "tags/access", "ways/access"}}
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.Tech, report.F(r.Tags, 3), report.F(r.Ways, 3))
+	}
+	return t
+}
+
+// PowerRow is one bar of Figures 5 and 7: the power breakdown of one cache
+// under one technique.
+type PowerRow struct {
+	Bench string
+	Tech  string
+	B     power.Breakdown
+}
+
+// Figure5 returns the D-cache power decomposition of Figure 5.
+func Figure5(r *Results) []PowerRow {
+	var rows []PowerRow
+	for _, b := range r.Benchmarks {
+		for _, tech := range DTechs {
+			rows = append(rows, PowerRow{
+				b.Name, tech, power.Compute(b.D[tech], b.Cycles, DModel(tech)),
+			})
+		}
+	}
+	return rows
+}
+
+// Figure7 returns the I-cache power decomposition of Figure 7.
+func Figure7(r *Results) []PowerRow {
+	var rows []PowerRow
+	for _, b := range r.Benchmarks {
+		for _, tech := range ITechs {
+			rows = append(rows, PowerRow{
+				b.Name, tech, power.Compute(b.I[tech], b.Cycles, IModel(tech)),
+			})
+		}
+	}
+	return rows
+}
+
+// PowerTable renders power rows with the figure's stacked components.
+func PowerTable(title string, rows []PowerRow) report.Table {
+	t := report.Table{Title: title, Columns: []string{
+		"benchmark", "technique", "data mW", "tag mW", "MAB mW", "buf mW", "leak mW", "total mW"}}
+	for _, r := range rows {
+		t.AddRow(r.Bench, r.Tech,
+			report.F(r.B.DataMW, 2), report.F(r.B.TagMW, 2), report.F(r.B.MABMW, 2),
+			report.F(r.B.BufMW, 2), report.F(r.B.LeakMW, 2), report.F(r.B.TotalMW(), 2))
+	}
+	return t
+}
+
+// TotalRow is one benchmark of Figure 8: total I+D cache power of the
+// baseline system (original D-cache + approach [4] I-cache) versus the
+// paper's system (2x8 MAB D-cache + 2x16 MAB I-cache).
+type TotalRow struct {
+	Bench  string
+	BaseD  float64
+	BaseI  float64
+	OursD  float64
+	OursI  float64
+	Saving float64 // 1 - ours/base
+}
+
+// BaseTotal returns the baseline's combined power.
+func (t TotalRow) BaseTotal() float64 { return t.BaseD + t.BaseI }
+
+// OursTotal returns the way-memoized system's combined power.
+func (t TotalRow) OursTotal() float64 { return t.OursD + t.OursI }
+
+// Figure8 returns the per-benchmark totals of Figure 8.
+func Figure8(r *Results) []TotalRow {
+	var rows []TotalRow
+	for _, b := range r.Benchmarks {
+		baseD := power.Compute(b.D[DOrig], b.Cycles, DModel(DOrig)).TotalMW()
+		baseI := power.Compute(b.I[IA4], b.Cycles, IModel(IA4)).TotalMW()
+		oursD := power.Compute(b.D[DMAB], b.Cycles, DModel(DMAB)).TotalMW()
+		oursI := power.Compute(b.I[IMAB16], b.Cycles, IModel(IMAB16)).TotalMW()
+		row := TotalRow{Bench: b.Name, BaseD: baseD, BaseI: baseI, OursD: oursD, OursI: oursI}
+		row.Saving = 1 - row.OursTotal()/row.BaseTotal()
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Figure8Table renders Figure 8 with savings.
+func Figure8Table(rows []TotalRow) report.Table {
+	t := report.Table{Title: "Figure 8: total I+D cache power (original+[4] vs way-memoized)",
+		Columns: []string{"benchmark", "base D", "base I", "base total",
+			"ours D", "ours I", "ours total", "saving"}}
+	for _, r := range rows {
+		t.AddRow(r.Bench,
+			report.F(r.BaseD, 2), report.F(r.BaseI, 2), report.F(r.BaseTotal(), 2),
+			report.F(r.OursD, 2), report.F(r.OursI, 2), report.F(r.OursTotal(), 2),
+			report.Pct(r.Saving))
+	}
+	return t
+}
+
+// AverageSaving computes the arithmetic mean of per-benchmark savings and
+// its maximum (the paper reports 30% average, 40% maximum).
+func AverageSaving(rows []TotalRow) (avg, max float64) {
+	for _, r := range rows {
+		avg += r.Saving
+		if r.Saving > max {
+			max = r.Saving
+		}
+	}
+	return avg / float64(len(rows)), max
+}
+
+// Table1 regenerates the MAB area grid.
+func Table1() report.Table {
+	t := report.Table{Title: "Table 1: MAB area overhead (mm^2)",
+		Columns: []string{"#tag entries", "Ns=4", "Ns=8", "Ns=16", "Ns=32"}}
+	for _, row := range synth.Grid() {
+		cells := []string{fmt.Sprintf("%d", row[0].TagEntries)}
+		for _, r := range row {
+			cells = append(cells, report.F(r.AreaMM2, 3))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Table2 regenerates the MAB critical-path delay grid.
+func Table2() report.Table {
+	t := report.Table{Title: "Table 2: delay of the added circuit (ns); cycle time 2.5ns",
+		Columns: []string{"#tag entries", "Ns=4", "Ns=8", "Ns=16", "Ns=32"}}
+	for _, row := range synth.Grid() {
+		cells := []string{fmt.Sprintf("%d", row[0].TagEntries)}
+		for _, r := range row {
+			cells = append(cells, report.F(r.DelayNS, 2))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}
+
+// Table3 regenerates the MAB power grid (active and sleep).
+func Table3() report.Table {
+	t := report.Table{Title: "Table 3: MAB power consumption (mW)",
+		Columns: []string{"#tag entries", "state", "Ns=4", "Ns=8", "Ns=16", "Ns=32"}}
+	for _, row := range synth.Grid() {
+		active := []string{fmt.Sprintf("%d", row[0].TagEntries), "active"}
+		sleep := []string{"", "sleep"}
+		for _, r := range row {
+			active = append(active, report.F(r.ActiveMW, 2))
+			sleep = append(sleep, report.F(r.SleepMW, 2))
+		}
+		t.AddRow(active...)
+		t.AddRow(sleep...)
+	}
+	return t
+}

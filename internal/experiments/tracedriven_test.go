@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"waymemo/internal/core"
+	"waymemo/internal/trace"
+	"waymemo/internal/workloads"
+)
+
+// TestTraceDrivenEquivalence records a benchmark's event streams to the
+// binary trace format, replays them into fresh controllers, and demands
+// statistics identical to the live run — validating the trace-driven
+// evaluation mode end to end.
+func TestTraceDrivenEquivalence(t *testing.T) {
+	w, err := workloads.ByName("DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveD := core.NewDController(Geometry, core.DefaultD)
+	liveI := core.NewIController(Geometry, core.DefaultI)
+	if _, err := workloads.Run(w, trace.FetchTee(liveI, tw), trace.DataTee(liveD, tw)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("trace size: %d bytes", buf.Len())
+
+	replayD := core.NewDController(Geometry, core.DefaultD)
+	replayI := core.NewIController(Geometry, core.DefaultI)
+	if err := trace.ReadAll(&buf, replayI, replayD); err != nil {
+		t.Fatal(err)
+	}
+	if *replayD.Stats != *liveD.Stats {
+		t.Errorf("D stats diverged:\nlive   %+v\nreplay %+v", *liveD.Stats, *replayD.Stats)
+	}
+	if *replayI.Stats != *liveI.Stats {
+		t.Errorf("I stats diverged:\nlive   %+v\nreplay %+v", *liveI.Stats, *replayI.Stats)
+	}
+}

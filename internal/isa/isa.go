@@ -1,0 +1,294 @@
+// Package isa defines FRVL, the 32-bit RISC instruction set executed by the
+// simulator in this repository.
+//
+// FRVL stands in for the Fujitsu FR-V that the paper evaluates on. Like the
+// FR-V it is a load/store machine with base+displacement addressing,
+// PC-relative branches, a link register, and instructions are fetched in
+// 8-byte (two-instruction) VLIW packets. The binary encoding is MIPS-like:
+// fixed 32-bit words with a 6-bit major opcode.
+//
+// Field layout:
+//
+//	R-type:  op[31:26] rs[25:21] rt[20:16] rd[15:11] shamt[10:6] funct[5:0]
+//	I-type:  op[31:26] rs[25:21] rt[20:16] imm16[15:0]
+//	J-type:  op[31:26] off26[25:0]
+//
+// Branch and jump displacements are signed byte offsets relative to the
+// address of the branch itself, which matches the "base + small displacement"
+// structure the Memory Address Buffer exploits.
+package isa
+
+import "fmt"
+
+// Word is the size of one instruction in bytes.
+const Word = 4
+
+// PacketBytes is the size of one VLIW fetch packet in bytes (two
+// instructions per cycle, as on the 2-issue FR-V).
+const PacketBytes = 8
+
+// Major opcodes.
+const (
+	OpR     = 0x00 // integer register-register, funct selects operation
+	OpF     = 0x01 // floating point, funct selects operation
+	OpJ     = 0x02 // jump, PC-relative 26-bit byte offset
+	OpJAL   = 0x03 // jump and link
+	OpBEQ   = 0x04
+	OpBNE   = 0x05
+	OpBLT   = 0x06
+	OpBGE   = 0x07
+	OpBLTU  = 0x08
+	OpBGEU  = 0x09
+	OpADDI  = 0x0A
+	OpSLTI  = 0x0B
+	OpSLTIU = 0x0C
+	OpANDI  = 0x0D
+	OpORI   = 0x0E
+	OpXORI  = 0x0F
+	OpLUI   = 0x10
+	OpLB    = 0x11
+	OpLH    = 0x12
+	OpLW    = 0x13
+	OpLBU   = 0x14
+	OpLHU   = 0x15
+	OpFLD   = 0x16 // load 8 bytes into FPR rt
+	OpSB    = 0x19
+	OpSH    = 0x1A
+	OpSW    = 0x1B
+	OpFSD   = 0x1C // store FPR rt (8 bytes)
+	OpOUTB  = 0x3E // append low byte of rs to the console
+	OpHALT  = 0x3F
+)
+
+// R-type (OpR) funct codes.
+const (
+	FnSLL   = 0x00 // rd = rt << shamt
+	FnSRL   = 0x02
+	FnSRA   = 0x03
+	FnSLLV  = 0x04 // rd = rt << (rs & 31)
+	FnSRLV  = 0x06
+	FnSRAV  = 0x07
+	FnJR    = 0x08 // jump to rs
+	FnJALR  = 0x09 // rd = return address; jump to rs
+	FnMUL   = 0x18 // low 32 bits of rs*rt
+	FnMULH  = 0x19 // high 32 bits of signed rs*rt
+	FnDIV   = 0x1A // signed quotient
+	FnDIVU  = 0x1B
+	FnREM   = 0x1C // signed remainder
+	FnREMU  = 0x1D
+	FnMULHU = 0x1E // high 32 bits of unsigned rs*rt
+	FnADD   = 0x20
+	FnSUB   = 0x22
+	FnAND   = 0x24
+	FnOR    = 0x25
+	FnXOR   = 0x26
+	FnNOR   = 0x27
+	FnSLT   = 0x2A
+	FnSLTU  = 0x2B
+)
+
+// F-type (OpF) funct codes. Register fields index the FPR file except where
+// noted; all arithmetic is IEEE-754 double precision.
+const (
+	FnFADD   = 0x00 // fd = fs + ft
+	FnFSUB   = 0x01
+	FnFMUL   = 0x02
+	FnFDIV   = 0x03
+	FnFSQRT  = 0x04 // fd = sqrt(fs)
+	FnFABS   = 0x05
+	FnFNEG   = 0x06
+	FnFMOV   = 0x07
+	FnFCVTDW = 0x08 // fd = double(signed GPR rs)
+	FnFCVTWD = 0x09 // GPR rd = int32(truncate(fs))
+	FnFCEQ   = 0x0A // GPR rd = fs == ft
+	FnFCLT   = 0x0B // GPR rd = fs < ft
+	FnFCLE   = 0x0C // GPR rd = fs <= ft
+)
+
+// NumRegs is the number of general purpose (and floating point) registers.
+const NumRegs = 32
+
+// Conventional register numbers used by the assembler and runtime.
+const (
+	RegZero = 0  // hard-wired zero
+	RegRA   = 31 // link (return address) register
+	RegSP   = 30 // stack pointer
+	RegGP   = 27 // global pointer
+	RegFP   = 28 // frame pointer
+)
+
+// Instr is one decoded FRVL instruction.
+type Instr struct {
+	Op    uint8
+	Rs    uint8
+	Rt    uint8
+	Rd    uint8
+	Shamt uint8
+	Funct uint8
+	Imm   int32 // sign-extended 16-bit immediate for I-type
+	Off26 int32 // sign-extended 26-bit offset for J-type
+}
+
+// Encode packs an instruction into its 32-bit binary form.
+func (in Instr) Encode() uint32 {
+	switch in.Op {
+	case OpR, OpF:
+		return uint32(in.Op)<<26 | uint32(in.Rs&31)<<21 | uint32(in.Rt&31)<<16 |
+			uint32(in.Rd&31)<<11 | uint32(in.Shamt&31)<<6 | uint32(in.Funct&63)
+	case OpJ, OpJAL:
+		return uint32(in.Op)<<26 | uint32(in.Off26)&0x03FFFFFF
+	default:
+		return uint32(in.Op)<<26 | uint32(in.Rs&31)<<21 | uint32(in.Rt&31)<<16 |
+			uint32(uint16(in.Imm))
+	}
+}
+
+// Decode unpacks a 32-bit word into an Instr.
+func Decode(w uint32) Instr {
+	op := uint8(w >> 26)
+	in := Instr{Op: op}
+	switch op {
+	case OpR, OpF:
+		in.Rs = uint8(w >> 21 & 31)
+		in.Rt = uint8(w >> 16 & 31)
+		in.Rd = uint8(w >> 11 & 31)
+		in.Shamt = uint8(w >> 6 & 31)
+		in.Funct = uint8(w & 63)
+	case OpJ, OpJAL:
+		off := int32(w<<6) >> 6 // sign-extend 26 bits
+		in.Off26 = off
+	default:
+		in.Rs = uint8(w >> 21 & 31)
+		in.Rt = uint8(w >> 16 & 31)
+		in.Imm = int32(int16(uint16(w)))
+	}
+	return in
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (in Instr) IsBranch() bool {
+	return in.Op >= OpBEQ && in.Op <= OpBGEU
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (in Instr) IsLoad() bool {
+	switch in.Op {
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpFLD:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the instruction writes data memory.
+func (in Instr) IsStore() bool {
+	switch in.Op {
+	case OpSB, OpSH, OpSW, OpFSD:
+		return true
+	}
+	return false
+}
+
+// MemBytes returns the number of bytes a load/store moves, or 0 for
+// non-memory instructions.
+func (in Instr) MemBytes() int {
+	switch in.Op {
+	case OpLB, OpLBU, OpSB:
+		return 1
+	case OpLH, OpLHU, OpSH:
+		return 2
+	case OpLW, OpSW:
+		return 4
+	case OpFLD, OpFSD:
+		return 8
+	}
+	return 0
+}
+
+var rFunctNames = map[uint8]string{
+	FnSLL: "sll", FnSRL: "srl", FnSRA: "sra", FnSLLV: "sllv", FnSRLV: "srlv",
+	FnSRAV: "srav", FnJR: "jr", FnJALR: "jalr", FnMUL: "mul", FnMULH: "mulh",
+	FnMULHU: "mulhu", FnDIV: "div", FnDIVU: "divu", FnREM: "rem", FnREMU: "remu",
+	FnADD: "add", FnSUB: "sub", FnAND: "and", FnOR: "or", FnXOR: "xor",
+	FnNOR: "nor", FnSLT: "slt", FnSLTU: "sltu",
+}
+
+var fFunctNames = map[uint8]string{
+	FnFADD: "fadd", FnFSUB: "fsub", FnFMUL: "fmul", FnFDIV: "fdiv",
+	FnFSQRT: "fsqrt", FnFABS: "fabs", FnFNEG: "fneg", FnFMOV: "fmov",
+	FnFCVTDW: "fcvtdw", FnFCVTWD: "fcvtwd", FnFCEQ: "fceq", FnFCLT: "fclt",
+	FnFCLE: "fcle",
+}
+
+var opNames = map[uint8]string{
+	OpJ: "j", OpJAL: "jal", OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt",
+	OpBGE: "bge", OpBLTU: "bltu", OpBGEU: "bgeu", OpADDI: "addi",
+	OpSLTI: "slti", OpSLTIU: "sltiu", OpANDI: "andi", OpORI: "ori",
+	OpXORI: "xori", OpLUI: "lui", OpLB: "lb", OpLH: "lh", OpLW: "lw",
+	OpLBU: "lbu", OpLHU: "lhu", OpFLD: "fld", OpSB: "sb", OpSH: "sh",
+	OpSW: "sw", OpFSD: "fsd", OpOUTB: "outb", OpHALT: "halt",
+}
+
+// RegName returns the canonical assembly name of GPR n.
+func RegName(n uint8) string { return fmt.Sprintf("r%d", n) }
+
+// Disassemble renders the instruction in assembler syntax. pc is the address
+// of the instruction; branch and jump targets are rendered as absolute
+// addresses.
+func Disassemble(in Instr, pc uint32) string {
+	r := func(n uint8) string { return RegName(n) }
+	f := func(n uint8) string { return fmt.Sprintf("f%d", n) }
+	switch in.Op {
+	case OpR:
+		name := rFunctNames[in.Funct]
+		switch in.Funct {
+		case FnSLL, FnSRL, FnSRA:
+			return fmt.Sprintf("%s %s, %s, %d", name, r(in.Rd), r(in.Rt), in.Shamt)
+		case FnJR:
+			return fmt.Sprintf("jr %s", r(in.Rs))
+		case FnJALR:
+			return fmt.Sprintf("jalr %s, %s", r(in.Rd), r(in.Rs))
+		default:
+			if name == "" {
+				return fmt.Sprintf(".word 0x%08x", in.Encode())
+			}
+			return fmt.Sprintf("%s %s, %s, %s", name, r(in.Rd), r(in.Rs), r(in.Rt))
+		}
+	case OpF:
+		name := fFunctNames[in.Funct]
+		switch in.Funct {
+		case FnFSQRT, FnFABS, FnFNEG, FnFMOV:
+			return fmt.Sprintf("%s %s, %s", name, f(in.Rd), f(in.Rs))
+		case FnFCVTDW:
+			return fmt.Sprintf("fcvtdw %s, %s", f(in.Rd), r(in.Rs))
+		case FnFCVTWD:
+			return fmt.Sprintf("fcvtwd %s, %s", r(in.Rd), f(in.Rs))
+		case FnFCEQ, FnFCLT, FnFCLE:
+			return fmt.Sprintf("%s %s, %s, %s", name, r(in.Rd), f(in.Rs), f(in.Rt))
+		default:
+			if name == "" {
+				return fmt.Sprintf(".word 0x%08x", in.Encode())
+			}
+			return fmt.Sprintf("%s %s, %s, %s", name, f(in.Rd), f(in.Rs), f(in.Rt))
+		}
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%s 0x%x", opNames[in.Op], uint32(int64(pc)+int64(in.Off26)))
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return fmt.Sprintf("%s %s, %s, 0x%x", opNames[in.Op], r(in.Rs), r(in.Rt),
+			uint32(int64(pc)+int64(in.Imm)))
+	case OpLUI:
+		return fmt.Sprintf("lui %s, 0x%x", r(in.Rt), uint16(in.Imm))
+	case OpADDI, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI:
+		return fmt.Sprintf("%s %s, %s, %d", opNames[in.Op], r(in.Rt), r(in.Rs), in.Imm)
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		return fmt.Sprintf("%s %s, %d(%s)", opNames[in.Op], r(in.Rt), in.Imm, r(in.Rs))
+	case OpFLD, OpFSD:
+		return fmt.Sprintf("%s %s, %d(%s)", opNames[in.Op], f(in.Rt), in.Imm, r(in.Rs))
+	case OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%s %s, %d(%s)", opNames[in.Op], r(in.Rt), in.Imm, r(in.Rs))
+	case OpOUTB:
+		return fmt.Sprintf("outb %s", r(in.Rs))
+	case OpHALT:
+		return "halt"
+	}
+	return fmt.Sprintf(".word 0x%08x", in.Encode())
+}

@@ -1,0 +1,119 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRType(t *testing.T) {
+	in := Instr{Op: OpR, Funct: FnADD, Rd: 3, Rs: 4, Rt: 5}
+	got := Decode(in.Encode())
+	if got != in {
+		t.Fatalf("round trip: got %+v want %+v", got, in)
+	}
+}
+
+func TestEncodeDecodeIType(t *testing.T) {
+	for _, imm := range []int32{0, 1, -1, 32767, -32768, 1234, -1234} {
+		in := Instr{Op: OpADDI, Rt: 7, Rs: 8, Imm: imm}
+		got := Decode(in.Encode())
+		if got != in {
+			t.Fatalf("imm %d: got %+v want %+v", imm, got, in)
+		}
+	}
+}
+
+func TestEncodeDecodeJType(t *testing.T) {
+	for _, off := range []int32{0, 4, -4, 1 << 24, -(1 << 24), 33554428, -33554432} {
+		in := Instr{Op: OpJAL, Off26: off}
+		got := Decode(in.Encode())
+		if got != in {
+			t.Fatalf("off %d: got %+v want %+v", off, got, in)
+		}
+	}
+}
+
+// randomInstr builds a random valid instruction for the round-trip property.
+func randomInstr(r *rand.Rand) Instr {
+	ops := []uint8{OpR, OpF, OpJ, OpJAL, OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU,
+		OpBGEU, OpADDI, OpSLTI, OpSLTIU, OpANDI, OpORI, OpXORI, OpLUI, OpLB,
+		OpLH, OpLW, OpLBU, OpLHU, OpFLD, OpSB, OpSH, OpSW, OpFSD, OpOUTB, OpHALT}
+	op := ops[r.Intn(len(ops))]
+	in := Instr{Op: op}
+	switch op {
+	case OpR, OpF:
+		in.Rs = uint8(r.Intn(32))
+		in.Rt = uint8(r.Intn(32))
+		in.Rd = uint8(r.Intn(32))
+		in.Shamt = uint8(r.Intn(32))
+		in.Funct = uint8(r.Intn(64))
+	case OpJ, OpJAL:
+		in.Off26 = int32(r.Intn(1<<26)) - 1<<25
+	default:
+		in.Rs = uint8(r.Intn(32))
+		in.Rt = uint8(r.Intn(32))
+		in.Imm = int32(int16(r.Intn(1 << 16)))
+	}
+	return in
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		in := randomInstr(r)
+		return Decode(in.Encode()) == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		in             Instr
+		branch, ld, st bool
+		bytes          int
+	}{
+		{Instr{Op: OpBEQ}, true, false, false, 0},
+		{Instr{Op: OpBGEU}, true, false, false, 0},
+		{Instr{Op: OpLW}, false, true, false, 4},
+		{Instr{Op: OpLB}, false, true, false, 1},
+		{Instr{Op: OpLHU}, false, true, false, 2},
+		{Instr{Op: OpFLD}, false, true, false, 8},
+		{Instr{Op: OpSW}, false, false, true, 4},
+		{Instr{Op: OpFSD}, false, false, true, 8},
+		{Instr{Op: OpADDI}, false, false, false, 0},
+		{Instr{Op: OpR, Funct: FnADD}, false, false, false, 0},
+	}
+	for _, c := range cases {
+		if c.in.IsBranch() != c.branch || c.in.IsLoad() != c.ld || c.in.IsStore() != c.st {
+			t.Errorf("%+v: predicates wrong", c.in)
+		}
+		if c.in.MemBytes() != c.bytes {
+			t.Errorf("%+v: MemBytes=%d want %d", c.in, c.in.MemBytes(), c.bytes)
+		}
+	}
+}
+
+func TestDisassembleSamples(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		pc   uint32
+		want string
+	}{
+		{Instr{Op: OpR, Funct: FnADD, Rd: 1, Rs: 2, Rt: 3}, 0, "add r1, r2, r3"},
+		{Instr{Op: OpADDI, Rt: 4, Rs: 5, Imm: -7}, 0, "addi r4, r5, -7"},
+		{Instr{Op: OpLW, Rt: 6, Rs: 30, Imm: 16}, 0, "lw r6, 16(r30)"},
+		{Instr{Op: OpSW, Rt: 6, Rs: 30, Imm: -4}, 0, "sw r6, -4(r30)"},
+		{Instr{Op: OpBEQ, Rs: 1, Rt: 0, Imm: 16}, 0x100, "beq r1, r0, 0x110"},
+		{Instr{Op: OpJAL, Off26: -32}, 0x200, "jal 0x1e0"},
+		{Instr{Op: OpHALT}, 0, "halt"},
+		{Instr{Op: OpF, Funct: FnFADD, Rd: 1, Rs: 2, Rt: 3}, 0, "fadd f1, f2, f3"},
+	}
+	for _, c := range cases {
+		if got := Disassemble(c.in, c.pc); got != c.want {
+			t.Errorf("Disassemble(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package mem provides the flat 32-bit physical memory backing the FRVL
+// simulator. Memory is sparse: 4KB pages are allocated on first touch, so a
+// full 4GB address space costs nothing until used. All multi-byte accesses
+// are little-endian.
+package mem
+
+import "encoding/binary"
+
+const pageShift = 12
+const pageSize = 1 << pageShift
+
+// Memory is a sparse byte-addressable memory. The zero value is ready to use.
+// Memory is not safe for concurrent use; each simulated machine owns one.
+type Memory struct {
+	pages map[uint32]*[pageSize]byte
+
+	// Single-entry page cache: simulators touch the same page repeatedly.
+	lastPN uint32
+	lastP  *[pageSize]byte
+}
+
+// New returns an empty memory.
+func New() *Memory {
+	return &Memory{pages: make(map[uint32]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint32, alloc bool) *[pageSize]byte {
+	pn := addr >> pageShift
+	if m.lastP != nil && pn == m.lastPN {
+		return m.lastP
+	}
+	if m.pages == nil {
+		m.pages = make(map[uint32]*[pageSize]byte)
+	}
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	if p != nil {
+		m.lastPN, m.lastP = pn, p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr (0 if the page was never written).
+func (m *Memory) LoadByte(addr uint32) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&(pageSize-1)]
+	}
+	return 0
+}
+
+// StoreByte stores b at addr.
+func (m *Memory) StoreByte(addr uint32, b byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = b
+}
+
+// ReadWord returns the little-endian 32-bit word at addr. The fast path
+// assumes the access does not straddle a page boundary, which holds for all
+// aligned accesses.
+func (m *Memory) ReadWord(addr uint32) uint32 {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-4 {
+		if p := m.page(addr, false); p != nil {
+			return binary.LittleEndian.Uint32(p[off:])
+		}
+		return 0
+	}
+	return uint32(m.LoadByte(addr)) | uint32(m.LoadByte(addr+1))<<8 |
+		uint32(m.LoadByte(addr+2))<<16 | uint32(m.LoadByte(addr+3))<<24
+}
+
+// WriteWord stores the little-endian 32-bit word v at addr.
+func (m *Memory) WriteWord(addr uint32, v uint32) {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-4 {
+		binary.LittleEndian.PutUint32(m.page(addr, true)[off:], v)
+		return
+	}
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+	m.StoreByte(addr+2, byte(v>>16))
+	m.StoreByte(addr+3, byte(v>>24))
+}
+
+// ReadHalf returns the little-endian 16-bit value at addr.
+func (m *Memory) ReadHalf(addr uint32) uint16 {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-2 {
+		if p := m.page(addr, false); p != nil {
+			return binary.LittleEndian.Uint16(p[off:])
+		}
+		return 0
+	}
+	return uint16(m.LoadByte(addr)) | uint16(m.LoadByte(addr+1))<<8
+}
+
+// WriteHalf stores the little-endian 16-bit value v at addr.
+func (m *Memory) WriteHalf(addr uint32, v uint16) {
+	off := addr & (pageSize - 1)
+	if off <= pageSize-2 {
+		binary.LittleEndian.PutUint16(m.page(addr, true)[off:], v)
+		return
+	}
+	m.StoreByte(addr, byte(v))
+	m.StoreByte(addr+1, byte(v>>8))
+}
+
+// ReadDouble returns the little-endian 64-bit value at addr.
+func (m *Memory) ReadDouble(addr uint32) uint64 {
+	return uint64(m.ReadWord(addr)) | uint64(m.ReadWord(addr+4))<<32
+}
+
+// WriteDouble stores the little-endian 64-bit value v at addr.
+func (m *Memory) WriteDouble(addr uint32, v uint64) {
+	m.WriteWord(addr, uint32(v))
+	m.WriteWord(addr+4, uint32(v>>32))
+}
+
+// LoadImage copies img into memory starting at addr.
+func (m *Memory) LoadImage(addr uint32, img []byte) {
+	for i, b := range img {
+		m.StoreByte(addr+uint32(i), b)
+	}
+}
+
+// ReadRange copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadRange(addr uint32, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = m.LoadByte(addr + uint32(i))
+	}
+	return out
+}

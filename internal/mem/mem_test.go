@@ -1,0 +1,118 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestByteRoundTrip(t *testing.T) {
+	m := New()
+	m.StoreByte(0x1000, 0xAB)
+	if got := m.LoadByte(0x1000); got != 0xAB {
+		t.Fatalf("got %#x", got)
+	}
+	if got := m.LoadByte(0x1001); got != 0 {
+		t.Fatalf("untouched byte: got %#x want 0", got)
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	m := New()
+	m.WriteWord(0x2000, 0xDEADBEEF)
+	if got := m.ReadWord(0x2000); got != 0xDEADBEEF {
+		t.Fatalf("got %#x", got)
+	}
+	// Little-endian byte order.
+	if got := m.LoadByte(0x2000); got != 0xEF {
+		t.Fatalf("LE low byte: got %#x", got)
+	}
+	if got := m.LoadByte(0x2003); got != 0xDE {
+		t.Fatalf("LE high byte: got %#x", got)
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	// 4KB pages: a word write at 0xFFE crosses into the next page.
+	m.WriteWord(0xFFE, 0x11223344)
+	if got := m.ReadWord(0xFFE); got != 0x11223344 {
+		t.Fatalf("straddle word: got %#x", got)
+	}
+	m.WriteHalf(0xFFF, 0xA55A)
+	if got := m.ReadHalf(0xFFF); got != 0xA55A {
+		t.Fatalf("straddle half: got %#x", got)
+	}
+}
+
+func TestDoubleRoundTrip(t *testing.T) {
+	m := New()
+	m.WriteDouble(0x3000, 0x0102030405060708)
+	if got := m.ReadDouble(0x3000); got != 0x0102030405060708 {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestLoadImageAndReadRange(t *testing.T) {
+	m := New()
+	img := []byte{1, 2, 3, 4, 5, 6, 7}
+	m.LoadImage(0xFFD, img) // crosses a page boundary
+	if got := m.ReadRange(0xFFD, len(img)); !bytes.Equal(got, img) {
+		t.Fatalf("got %v want %v", got, img)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	m.WriteWord(16, 42)
+	if got := m.ReadWord(16); got != 42 {
+		t.Fatalf("zero value memory: got %d", got)
+	}
+}
+
+// TestRandomAgainstOracle drives random mixed-size accesses and compares
+// against a plain map of bytes.
+func TestRandomAgainstOracle(t *testing.T) {
+	m := New()
+	oracle := make(map[uint32]byte)
+	r := rand.New(rand.NewSource(42))
+	read := func(a uint32) byte { return oracle[a] }
+	for i := 0; i < 20000; i++ {
+		// Confine to a few pages so reads often hit written data.
+		addr := uint32(r.Intn(3 * 4096))
+		switch r.Intn(6) {
+		case 0:
+			b := byte(r.Uint32())
+			m.StoreByte(addr, b)
+			oracle[addr] = b
+		case 1:
+			v := uint16(r.Uint32())
+			m.WriteHalf(addr, v)
+			oracle[addr] = byte(v)
+			oracle[addr+1] = byte(v >> 8)
+		case 2:
+			v := r.Uint32()
+			m.WriteWord(addr, v)
+			for k := 0; k < 4; k++ {
+				oracle[addr+uint32(k)] = byte(v >> (8 * k))
+			}
+		case 3:
+			if got, want := m.LoadByte(addr), read(addr); got != want {
+				t.Fatalf("byte @%#x: got %#x want %#x", addr, got, want)
+			}
+		case 4:
+			want := uint16(read(addr)) | uint16(read(addr+1))<<8
+			if got := m.ReadHalf(addr); got != want {
+				t.Fatalf("half @%#x: got %#x want %#x", addr, got, want)
+			}
+		default:
+			var want uint32
+			for k := 3; k >= 0; k-- {
+				want = want<<8 | uint32(read(addr+uint32(k)))
+			}
+			if got := m.ReadWord(addr); got != want {
+				t.Fatalf("word @%#x: got %#x want %#x", addr, got, want)
+			}
+		}
+	}
+}

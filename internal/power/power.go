@@ -1,0 +1,84 @@
+// Package power evaluates the paper's Equation (1):
+//
+//	P_dcache = E_way·N_way + E_tag·N_tag + P_MAB
+//
+// generalized with refill/write-back traffic, buffer structures (for the
+// baselines that use them) and array leakage, which the paper states is
+// included in its results. Per-event energies come from internal/cacti, MAB
+// active/sleep power from internal/synth (Table 3).
+package power
+
+import (
+	"waymemo/internal/cacti"
+	"waymemo/internal/stats"
+	"waymemo/internal/synth"
+)
+
+// ClockHz is the FR-V operating frequency used in the paper's evaluation.
+const ClockHz = 360e6
+
+// Model bundles the energy parameters for one cache under one technique.
+type Model struct {
+	// Clock is the core frequency in Hz; zero selects ClockHz.
+	Clock float64
+	// Array is the cache array energy set.
+	Array cacti.Energies
+	// MAB is the circuit characterization of the attached MAB; leave zero
+	// for techniques without one.
+	MAB synth.Result
+	// Buffer is the energy set for set/line/filter buffers; leave zero for
+	// techniques without one.
+	Buffer cacti.BufferEnergies
+}
+
+// Breakdown is the power decomposition of Figures 5 and 7 (data memory, tag
+// memory, MAB), extended with buffer and leakage terms.
+type Breakdown struct {
+	DataMW float64 // data-way activity incl. refills and write-backs
+	TagMW  float64 // tag-array activity
+	MABMW  float64 // duty-cycled MAB power
+	BufMW  float64 // set/line/filter buffer activity
+	LeakMW float64 // standing array leakage
+}
+
+// TotalMW sums all components.
+func (b Breakdown) TotalMW() float64 {
+	return b.DataMW + b.TagMW + b.MABMW + b.BufMW + b.LeakMW
+}
+
+// Compute evaluates the power of one cache over an execution of the given
+// cycle count.
+func Compute(s *stats.Counters, cycles uint64, m Model) Breakdown {
+	if cycles == 0 {
+		return Breakdown{}
+	}
+	clock := m.Clock
+	if clock == 0 {
+		clock = ClockHz
+	}
+	seconds := float64(cycles) / clock
+
+	dataPJ := float64(s.WayReads+s.WayWrites)*m.Array.EWayPJ +
+		float64(s.Refills+s.WriteBacks)*m.Array.EFillPJ
+	tagPJ := float64(s.TagReads) * m.Array.ETagPJ
+	bufPJ := float64(s.SetBufReads+s.BufReads)*m.Buffer.EReadPJ +
+		float64(s.SetBufWrites+s.BufWrites)*m.Buffer.EWritePJ
+
+	// The MAB is active on the cycles it is probed (lookup and the update
+	// that follows a miss share the access's cycle slot) and clock-gated
+	// asleep otherwise.
+	duty := float64(s.MABLookups) / float64(cycles)
+	if duty > 1 {
+		duty = 1
+	}
+	mabMW := duty*m.MAB.ActiveMW + (1-duty)*m.MAB.SleepMW
+
+	toMW := 1e-9 / seconds // pJ over seconds → mW
+	return Breakdown{
+		DataMW: dataPJ * toMW,
+		TagMW:  tagPJ * toMW,
+		MABMW:  mabMW,
+		BufMW:  bufPJ*toMW + m.Buffer.LeakMW,
+		LeakMW: m.Array.LeakMW,
+	}
+}

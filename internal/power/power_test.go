@@ -1,0 +1,125 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/cacti"
+	"waymemo/internal/stats"
+	"waymemo/internal/synth"
+)
+
+func baseModel() Model {
+	return Model{Array: cacti.ArrayEnergies(cacti.Tech130, cache.FRV32K)}
+}
+
+func TestZeroCycles(t *testing.T) {
+	b := Compute(&stats.Counters{}, 0, baseModel())
+	if b.TotalMW() != 0 {
+		t.Fatal("power from zero cycles")
+	}
+}
+
+func TestEquationOne(t *testing.T) {
+	// Hand-evaluate Eq.(1) for a simple counter set.
+	m := baseModel()
+	s := &stats.Counters{WayReads: 1000, TagReads: 2000}
+	cycles := uint64(1000)
+	b := Compute(s, cycles, m)
+	seconds := float64(cycles) / ClockHz
+	wantData := 1000 * m.Array.EWayPJ * 1e-9 / seconds
+	wantTag := 2000 * m.Array.ETagPJ * 1e-9 / seconds
+	if math.Abs(b.DataMW-wantData) > 1e-9 || math.Abs(b.TagMW-wantTag) > 1e-9 {
+		t.Fatalf("got %+v want data=%f tag=%f", b, wantData, wantTag)
+	}
+	if b.MABMW != 0 {
+		t.Fatal("MAB power without a MAB")
+	}
+}
+
+func TestMABDutyCycle(t *testing.T) {
+	m := baseModel()
+	m.MAB = synth.Characterize(2, 8)
+	// Fully idle: sleep power only.
+	idle := Compute(&stats.Counters{}, 1000, m)
+	if math.Abs(idle.MABMW-m.MAB.SleepMW) > 1e-9 {
+		t.Fatalf("idle MAB = %f, want sleep %f", idle.MABMW, m.MAB.SleepMW)
+	}
+	// Active every cycle: active power.
+	busy := Compute(&stats.Counters{MABLookups: 1000}, 1000, m)
+	if math.Abs(busy.MABMW-m.MAB.ActiveMW) > 1e-9 {
+		t.Fatalf("busy MAB = %f, want active %f", busy.MABMW, m.MAB.ActiveMW)
+	}
+	// Half duty: midpoint.
+	half := Compute(&stats.Counters{MABLookups: 500}, 1000, m)
+	mid := (m.MAB.ActiveMW + m.MAB.SleepMW) / 2
+	if math.Abs(half.MABMW-mid) > 1e-9 {
+		t.Fatalf("half MAB = %f, want %f", half.MABMW, mid)
+	}
+}
+
+func TestRefillsAndWriteBacksCharged(t *testing.T) {
+	m := baseModel()
+	a := Compute(&stats.Counters{WayReads: 100}, 100, m)
+	b := Compute(&stats.Counters{WayReads: 100, Refills: 10, WriteBacks: 5}, 100, m)
+	if b.DataMW <= a.DataMW {
+		t.Fatal("refill traffic free")
+	}
+}
+
+func TestBufferPower(t *testing.T) {
+	m := baseModel()
+	m.Buffer = cacti.LineBuffer(cacti.Tech130, 2, 32, 18)
+	b := Compute(&stats.Counters{SetBufReads: 1000, SetBufWrites: 100}, 1000, m)
+	if b.BufMW <= m.Buffer.LeakMW {
+		t.Fatal("buffer activity not charged")
+	}
+}
+
+// TestPaperScaleSanity replays the paper's headline scenario with synthetic
+// counters: an original D-cache versus a way-memoized one at a typical
+// access mix. The memoized version must land meaningfully lower, with tag
+// power nearly gone — the Figure 5 shape.
+func TestPaperScaleSanity(t *testing.T) {
+	m := baseModel()
+	cycles := uint64(10_000_000)
+	accesses := uint64(3_000_000) // ~0.3 D-accesses/cycle
+	loads := accesses * 7 / 10
+	stores := accesses - loads
+
+	orig := &stats.Counters{
+		Accesses:  accesses,
+		TagReads:  2 * accesses,
+		WayReads:  2 * loads,
+		WayWrites: stores,
+		Refills:   accesses / 200,
+	}
+	origP := Compute(orig, cycles, m)
+
+	mm := m
+	mm.MAB = synth.Characterize(2, 8)
+	// 90% MAB hit rate (the paper's D-cache figure).
+	hit := accesses * 9 / 10
+	miss := accesses - hit
+	memo := &stats.Counters{
+		Accesses:   accesses,
+		TagReads:   2 * miss,
+		WayReads:   hit*7/10 + 2*(loads-hit*7/10),
+		WayWrites:  stores,
+		Refills:    accesses / 200,
+		MABLookups: accesses,
+	}
+	memoP := Compute(memo, cycles, mm)
+
+	if origP.TotalMW() < 10 || origP.TotalMW() > 60 {
+		t.Errorf("original D-cache power %.1f mW outside the paper's scale", origP.TotalMW())
+	}
+	saving := 1 - memoP.TotalMW()/origP.TotalMW()
+	if saving < 0.2 || saving > 0.6 {
+		t.Errorf("saving %.2f outside the plausible band around the paper's 35%%", saving)
+	}
+	if memoP.TagMW > origP.TagMW/5 {
+		t.Errorf("tag power not collapsed: %.2f vs %.2f", memoP.TagMW, origP.TagMW)
+	}
+}

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "bbbb"}}
+	tb.AddRow("xxxxx", "y")
+	tb.AddRow("z", "w")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines: %q", out)
+	}
+	if lines[0] != "T" {
+		t.Errorf("title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(lines[1], "bbbb") {
+		t.Errorf("header: %q", lines[1])
+	}
+	// All data lines share the separator position.
+	sep := strings.Index(lines[3], "|")
+	if strings.Index(lines[4], "|") != sep || strings.Index(lines[1], "|") != sep {
+		t.Errorf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.AddRow("1,5", "plain")
+	tb.AddRow("he\"llo", "x")
+	var sb strings.Builder
+	tb.RenderCSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "# T\n") {
+		t.Errorf("missing title comment: %q", out)
+	}
+	if !strings.Contains(out, "\"1,5\"") {
+		t.Errorf("comma not quoted: %q", out)
+	}
+	if !strings.Contains(out, "\"he\"\"llo\"") {
+		t.Errorf("quote not escaped: %q", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(5, 10, 10); got != "#####" {
+		t.Errorf("half bar: %q", got)
+	}
+	if got := Bar(20, 10, 10); got != "##########" {
+		t.Errorf("clamped bar: %q", got)
+	}
+	if got := Bar(0, 10, 10); got != "" {
+		t.Errorf("zero bar: %q", got)
+	}
+	if got := Bar(1, 0, 10); got != "" {
+		t.Errorf("zero max: %q", got)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(3.14159, 2) != "3.14" {
+		t.Error("F")
+	}
+	if Pct(0.256) != "25.6%" {
+		t.Error("Pct")
+	}
+}

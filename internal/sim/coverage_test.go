@@ -1,0 +1,272 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"waymemo/internal/asm"
+)
+
+// Full-ISA coverage: every instruction produces its architected result.
+
+func TestShiftVariable(t *testing.T) {
+	c := run(t, `
+		.org 0x10000
+		li  t0, 0xF0      ; value
+		li  t1, 4         ; amount
+		sllv t2, t0, t1   ; 0xF00
+		srlv t3, t2, t1   ; 0xF0
+		li  t4, -256
+		srav t5, t4, t1   ; -16
+		halt
+	`)
+	if c.Regs[9] != 0xF00 || c.Regs[10] != 0xF0 || c.Regs[12] != 0xFFFFFFF0 {
+		t.Fatalf("shifts: %#x %#x %#x", c.Regs[9], c.Regs[10], c.Regs[12])
+	}
+}
+
+func TestShiftAmountMasking(t *testing.T) {
+	// Variable shifts use only the low 5 bits of rs.
+	c := run(t, `
+		.org 0x10000
+		li  t0, 33
+		li  t1, 1
+		sllv t2, t1, t0   ; value 1 << (33&31) = 2
+		halt
+	`)
+	if c.Regs[9] != 2 {
+		t.Fatalf("sllv masking: %d", c.Regs[9])
+	}
+}
+
+func TestUnsignedImmediates(t *testing.T) {
+	// andi/ori/xori zero-extend their immediates.
+	c := run(t, `
+		.org 0x10000
+		li   t0, -1
+		andi t1, t0, 0xFF00   ; 0x0000FF00
+		ori  t2, zero, 0x8000 ; 0x00008000 (not sign extended)
+		xori t3, t0, 0xFFFF   ; 0xFFFF0000
+		halt
+	`)
+	if c.Regs[8] != 0xFF00 || c.Regs[9] != 0x8000 || c.Regs[10] != 0xFFFF0000 {
+		t.Fatalf("%#x %#x %#x", c.Regs[8], c.Regs[9], c.Regs[10])
+	}
+}
+
+func TestSetLessThanImmediates(t *testing.T) {
+	c := run(t, `
+		.org 0x10000
+		li    t0, -5
+		slti  t1, t0, -4     ; 1
+		slti  t2, t0, -6     ; 0
+		sltiu t3, t0, -4     ; 1 (0xFFFFFFFB < 0xFFFFFFFC)
+		sltiu t4, t0, 3      ; 0
+		halt
+	`)
+	want := map[int]uint32{8: 1, 9: 0, 10: 1, 11: 0}
+	for r, v := range want {
+		if c.Regs[r] != v {
+			t.Fatalf("r%d = %d want %d", r, c.Regs[r], v)
+		}
+	}
+}
+
+func TestMulhVariants(t *testing.T) {
+	c := run(t, `
+		.org 0x10000
+		li    t0, -2
+		li    t1, 3
+		mulh  t2, t0, t1   ; high of -6 = -1
+		mulhu t3, t0, t1   ; high of 0xFFFFFFFE*3 = 2
+		halt
+	`)
+	if c.Regs[9] != 0xFFFFFFFF || c.Regs[10] != 2 {
+		t.Fatalf("mulh=%#x mulhu=%#x", c.Regs[9], c.Regs[10])
+	}
+}
+
+func TestDivMinByMinusOne(t *testing.T) {
+	// INT_MIN / -1 wraps to INT_MIN (no trap), remainder 0.
+	c := run(t, `
+		.org 0x10000
+		li  t0, 0x80000000
+		li  t1, -1
+		div t2, t0, t1
+		rem t3, t0, t1
+		halt
+	`)
+	if c.Regs[9] != 0x80000000 || c.Regs[10] != 0 {
+		t.Fatalf("div=%#x rem=%#x", c.Regs[9], c.Regs[10])
+	}
+}
+
+func TestJALRExplicitRd(t *testing.T) {
+	c := run(t, `
+		.org 0x10000
+		la   t0, fn
+		jalr s0, t0       ; link into s0
+		halt
+	fn:	move s1, s0
+		jr   s0
+	`)
+	// la expands to two instructions, so jalr sits at 0x10008 and its link
+	// value is 0x1000c.
+	if c.Regs[18] != 0x1000c {
+		t.Fatalf("s1 = %#x", c.Regs[18])
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	c := run(t, `
+		.org 0x10000
+		li   t0, -1
+		li   t1, 1
+		li   s0, 0
+		bltu t1, t0, L1   ; 1 < 0xFFFFFFFF unsigned: taken
+		halt
+	L1:	ori  s0, s0, 1
+		bgeu t0, t1, L2   ; taken
+		halt
+	L2:	ori  s0, s0, 2
+		bge  t1, t0, L3   ; 1 >= -1 signed: taken
+		halt
+	L3:	ori  s0, s0, 4
+		blt  t0, t1, L4   ; taken
+		halt
+	L4:	ori  s0, s0, 8
+		halt
+	`)
+	if c.Regs[17] != 15 {
+		t.Fatalf("branch mask = %d", c.Regs[17])
+	}
+}
+
+func TestFloatUnaries(t *testing.T) {
+	c := run(t, `
+		.org 0x10000
+		la   t0, k
+		fld  f1, 0(t0)
+		fabs f2, f1
+		fneg f3, f1
+		fmov f4, f3
+		fcle t1, f1, f2
+		halt
+		.align 8
+	k:	.double -2.25
+	`)
+	if c.FRegs[2] != 2.25 || c.FRegs[3] != 2.25 || c.FRegs[4] != 2.25 {
+		t.Fatalf("%v %v %v", c.FRegs[2], c.FRegs[3], c.FRegs[4])
+	}
+	if c.Regs[8] != 1 {
+		t.Fatalf("fcle = %d", c.Regs[8])
+	}
+}
+
+func TestFcvtClamping(t *testing.T) {
+	c := New()
+	c.FRegs[1] = math.NaN()
+	c.FRegs[2] = 1e300
+	c.FRegs[3] = -1e300
+	if clampToInt32(c.FRegs[1]) != 0 {
+		t.Error("NaN clamp")
+	}
+	if clampToInt32(c.FRegs[2]) != math.MaxInt32 {
+		t.Error("overflow clamp")
+	}
+	if clampToInt32(c.FRegs[3]) != math.MinInt32 {
+		t.Error("underflow clamp")
+	}
+}
+
+func TestUnalignedLoadTraps(t *testing.T) {
+	p := mustProg(t, `
+		.org 0x10000
+		li  t0, 0x100001
+		lw  t1, 0(t0)
+		halt
+	`)
+	c := New()
+	c.LoadProgram(p, stackTop)
+	if err := c.Run(10); err == nil || !strings.Contains(err.Error(), "unaligned") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIllegalOpcodeTraps(t *testing.T) {
+	p := mustProg(t, `
+		.org 0x10000
+		.word 0x7C000000   ; opcode 0x1F: unassigned
+	`)
+	c := New()
+	c.LoadProgram(p, stackTop)
+	// The .word is data, so there is no text range; force PC to it.
+	c.PC = 0x10000
+	if err := c.Run(10); err == nil || !strings.Contains(err.Error(), "illegal opcode") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnalignedPCTraps(t *testing.T) {
+	p := mustProg(t, `
+		.org 0x10000
+		li  t0, 0x10002
+		jr  t0
+		halt
+	`)
+	c := New()
+	c.LoadProgram(p, stackTop)
+	if err := c.Run(10); err == nil || !strings.Contains(err.Error(), "unaligned PC") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepAfterHaltIsNoop(t *testing.T) {
+	c := run(t, `
+		.org 0x10000
+		halt
+	`)
+	pc, instrs := c.PC, c.Instrs
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.PC != pc || c.Instrs != instrs {
+		t.Fatal("halted CPU advanced")
+	}
+}
+
+func TestPacketBytesOverride(t *testing.T) {
+	src := `
+		.org 0x10000
+		nop
+		nop
+		nop
+		nop
+		halt
+	`
+	wide := New()
+	wide.PacketBytes = 16
+	wide.LoadProgram(mustProg(t, src), stackTop)
+	if err := wide.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	narrow := New()
+	narrow.PacketBytes = 4
+	narrow.LoadProgram(mustProg(t, src), stackTop)
+	if err := narrow.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if wide.Cycles >= narrow.Cycles {
+		t.Fatalf("packet width had no effect: %d vs %d", wide.Cycles, narrow.Cycles)
+	}
+}
+
+func mustProg(t *testing.T, src string) *asm.Program {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

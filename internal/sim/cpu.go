@@ -1,0 +1,452 @@
+// Package sim implements the FRVL instruction-set simulator.
+//
+// The CPU stands in for the FR-V core of the paper: it executes one 8-byte
+// VLIW fetch packet per cycle and reports two event streams to the attached
+// memory-hierarchy models:
+//
+//   - a FetchEvent whenever the fetch packet changes, classified by how
+//     control arrived (sequential, taken branch with its base+offset, jump to
+//     the link register, or an unpredictable indirect jump), and
+//   - a DataEvent for every load and store, carrying the base register value
+//     and the sign-extended displacement in addition to the effective
+//     address.
+//
+// This matches the information available at the address-generation stage of
+// the pipeline, which is exactly what the paper's Memory Address Buffer
+// consumes (Figures 1 and 2).
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/isa"
+	"waymemo/internal/mem"
+	"waymemo/internal/trace"
+)
+
+// CPU is one FRVL core with its memory.
+type CPU struct {
+	Mem   *mem.Memory
+	Regs  [isa.NumRegs]uint32
+	FRegs [isa.NumRegs]float64
+	PC    uint32
+
+	// Halted is set by the halt instruction.
+	Halted bool
+	// Console accumulates bytes written by outb.
+	Console []byte
+
+	// Fetch receives instruction-cache accesses; Data receives data-cache
+	// accesses. Either may be nil.
+	Fetch trace.FetchSink
+	Data  trace.DataSink
+
+	// Instrs counts executed instructions; Cycles counts fetch packets
+	// (the 2-issue core fetches one packet per cycle).
+	Instrs uint64
+	Cycles uint64
+
+	// PacketBytes overrides the fetch packet size for ablation studies;
+	// zero selects isa.PacketBytes (8). Must be a power of two ≥ 4.
+	PacketBytes uint32
+
+	// Fetch-packet state.
+	curPacket  uint32
+	havePacket bool
+	pendKind   trace.ControlKind
+	pendBase   uint32
+	pendDisp   int32
+	pendValid  bool
+
+	// Decoded-text fast path.
+	textBase   uint32
+	decoded    []isa.Instr
+	textRanges [][2]uint32
+}
+
+// New returns a CPU with a fresh memory.
+func New() *CPU {
+	return &CPU{Mem: mem.New()}
+}
+
+// LoadProgram loads an assembled program image and prepares the decode
+// cache. The PC is set to the program entry and the stack pointer to sp.
+func (c *CPU) LoadProgram(p *asm.Program, sp uint32) {
+	if c.Mem == nil {
+		c.Mem = mem.New()
+	}
+	for _, seg := range p.Segments {
+		c.Mem.LoadImage(seg.Addr, seg.Data)
+	}
+	c.PC = p.Entry
+	c.Regs[isa.RegSP] = sp
+	c.textRanges = p.TextRanges
+	// Pre-decode the contiguous span covering all text ranges.
+	if len(p.TextRanges) > 0 {
+		lo, hi := p.TextRanges[0][0], p.TextRanges[0][1]
+		for _, r := range p.TextRanges[1:] {
+			if r[0] < lo {
+				lo = r[0]
+			}
+			if r[1] > hi {
+				hi = r[1]
+			}
+		}
+		if hi-lo <= 1<<24 { // refuse absurd spans
+			c.textBase = lo
+			c.decoded = make([]isa.Instr, (hi-lo)/isa.Word)
+			for a := lo; a < hi; a += isa.Word {
+				c.decoded[(a-lo)/isa.Word] = isa.Decode(c.Mem.ReadWord(a))
+			}
+		}
+	}
+}
+
+func (c *CPU) decode(pc uint32) isa.Instr {
+	if c.decoded != nil {
+		idx := (pc - c.textBase) / isa.Word
+		if pc >= c.textBase && int(idx) < len(c.decoded) {
+			return c.decoded[idx]
+		}
+	}
+	return isa.Decode(c.Mem.ReadWord(pc))
+}
+
+func (c *CPU) inText(addr uint32) bool {
+	for _, r := range c.textRanges {
+		if addr >= r[0] && addr < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// fetchPacket emits a fetch event when the packet address changes.
+func (c *CPU) fetchPacket() {
+	pb := c.PacketBytes
+	if pb == 0 {
+		pb = isa.PacketBytes
+	}
+	packet := c.PC &^ (pb - 1)
+	if c.havePacket && packet == c.curPacket {
+		// Still inside the current packet; any pending control kind is
+		// consumed without an I-cache access.
+		c.pendValid = false
+		return
+	}
+	ev := trace.FetchEvent{
+		Addr:  packet,
+		Prev:  c.curPacket,
+		First: !c.havePacket,
+	}
+	if c.pendValid {
+		ev.Kind = c.pendKind
+		ev.Base = c.pendBase
+		ev.Disp = c.pendDisp
+	} else {
+		ev.Kind = trace.KindSeq
+		ev.Base = c.curPacket
+		ev.Disp = int32(pb)
+	}
+	c.pendValid = false
+	c.curPacket = packet
+	c.havePacket = true
+	c.Cycles++
+	if c.Fetch != nil {
+		c.Fetch.OnFetch(ev)
+	}
+}
+
+// Step executes one instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return nil
+	}
+	if c.PC%isa.Word != 0 {
+		return fmt.Errorf("sim: unaligned PC 0x%x", c.PC)
+	}
+	c.fetchPacket()
+	in := c.decode(c.PC)
+	nextPC := c.PC + isa.Word
+	switch in.Op {
+	case isa.OpR:
+		if err := c.execR(in); err != nil {
+			return fmt.Errorf("sim: pc=0x%x %s: %w", c.PC, isa.Disassemble(in, c.PC), err)
+		}
+		switch in.Funct {
+		case isa.FnJR, isa.FnJALR:
+			target := c.Regs[in.Rs]
+			if in.Funct == isa.FnJALR {
+				c.setReg(in.Rd, c.PC+isa.Word)
+			}
+			kind := trace.KindIndirect
+			if in.Rs == isa.RegRA {
+				kind = trace.KindLink
+			}
+			c.pend(kind, target, 0)
+			nextPC = target
+		}
+	case isa.OpF:
+		if err := c.execF(in); err != nil {
+			return fmt.Errorf("sim: pc=0x%x %s: %w", c.PC, isa.Disassemble(in, c.PC), err)
+		}
+	case isa.OpJ, isa.OpJAL:
+		if in.Op == isa.OpJAL {
+			c.setReg(isa.RegRA, c.PC+isa.Word)
+		}
+		nextPC = uint32(int64(c.PC) + int64(in.Off26))
+		c.pend(trace.KindBranch, c.PC, in.Off26)
+	case isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE, isa.OpBLTU, isa.OpBGEU:
+		if c.branchTaken(in) {
+			nextPC = uint32(int64(c.PC) + int64(in.Imm))
+			c.pend(trace.KindBranch, c.PC, in.Imm)
+		}
+	case isa.OpADDI:
+		c.setReg(in.Rt, c.Regs[in.Rs]+uint32(in.Imm))
+	case isa.OpSLTI:
+		c.setReg(in.Rt, b2u(int32(c.Regs[in.Rs]) < in.Imm))
+	case isa.OpSLTIU:
+		c.setReg(in.Rt, b2u(c.Regs[in.Rs] < uint32(in.Imm)))
+	case isa.OpANDI:
+		c.setReg(in.Rt, c.Regs[in.Rs]&uint32(uint16(in.Imm)))
+	case isa.OpORI:
+		c.setReg(in.Rt, c.Regs[in.Rs]|uint32(uint16(in.Imm)))
+	case isa.OpXORI:
+		c.setReg(in.Rt, c.Regs[in.Rs]^uint32(uint16(in.Imm)))
+	case isa.OpLUI:
+		c.setReg(in.Rt, uint32(uint16(in.Imm))<<16)
+	case isa.OpLB, isa.OpLH, isa.OpLW, isa.OpLBU, isa.OpLHU, isa.OpFLD,
+		isa.OpSB, isa.OpSH, isa.OpSW, isa.OpFSD:
+		if err := c.execMem(in); err != nil {
+			return fmt.Errorf("sim: pc=0x%x %s: %w", c.PC, isa.Disassemble(in, c.PC), err)
+		}
+	case isa.OpOUTB:
+		c.Console = append(c.Console, byte(c.Regs[in.Rs]))
+	case isa.OpHALT:
+		c.Halted = true
+	default:
+		return fmt.Errorf("sim: pc=0x%x: illegal opcode 0x%x", c.PC, in.Op)
+	}
+	c.Instrs++
+	if !c.Halted {
+		c.PC = nextPC
+	}
+	return nil
+}
+
+func (c *CPU) pend(kind trace.ControlKind, base uint32, disp int32) {
+	c.pendKind, c.pendBase, c.pendDisp, c.pendValid = kind, base, disp, true
+}
+
+func (c *CPU) setReg(r uint8, v uint32) {
+	if r != isa.RegZero {
+		c.Regs[r] = v
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (c *CPU) branchTaken(in isa.Instr) bool {
+	a, b := c.Regs[in.Rs], c.Regs[in.Rt]
+	switch in.Op {
+	case isa.OpBEQ:
+		return a == b
+	case isa.OpBNE:
+		return a != b
+	case isa.OpBLT:
+		return int32(a) < int32(b)
+	case isa.OpBGE:
+		return int32(a) >= int32(b)
+	case isa.OpBLTU:
+		return a < b
+	case isa.OpBGEU:
+		return a >= b
+	}
+	return false
+}
+
+func (c *CPU) execR(in isa.Instr) error {
+	rs, rt := c.Regs[in.Rs], c.Regs[in.Rt]
+	var v uint32
+	switch in.Funct {
+	case isa.FnSLL:
+		v = rt << in.Shamt
+	case isa.FnSRL:
+		v = rt >> in.Shamt
+	case isa.FnSRA:
+		v = uint32(int32(rt) >> in.Shamt)
+	case isa.FnSLLV:
+		v = rt << (rs & 31)
+	case isa.FnSRLV:
+		v = rt >> (rs & 31)
+	case isa.FnSRAV:
+		v = uint32(int32(rt) >> (rs & 31))
+	case isa.FnADD:
+		v = rs + rt
+	case isa.FnSUB:
+		v = rs - rt
+	case isa.FnAND:
+		v = rs & rt
+	case isa.FnOR:
+		v = rs | rt
+	case isa.FnXOR:
+		v = rs ^ rt
+	case isa.FnNOR:
+		v = ^(rs | rt)
+	case isa.FnSLT:
+		v = b2u(int32(rs) < int32(rt))
+	case isa.FnSLTU:
+		v = b2u(rs < rt)
+	case isa.FnMUL:
+		v = rs * rt
+	case isa.FnMULH:
+		v = uint32(uint64(int64(int32(rs))*int64(int32(rt))) >> 32)
+	case isa.FnMULHU:
+		v = uint32(uint64(rs) * uint64(rt) >> 32)
+	case isa.FnDIV:
+		if rt == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		if int32(rs) == math.MinInt32 && int32(rt) == -1 {
+			v = rs
+		} else {
+			v = uint32(int32(rs) / int32(rt))
+		}
+	case isa.FnDIVU:
+		if rt == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		v = rs / rt
+	case isa.FnREM:
+		if rt == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		if int32(rs) == math.MinInt32 && int32(rt) == -1 {
+			v = 0
+		} else {
+			v = uint32(int32(rs) % int32(rt))
+		}
+	case isa.FnREMU:
+		if rt == 0 {
+			return fmt.Errorf("integer division by zero")
+		}
+		v = rs % rt
+	case isa.FnJR, isa.FnJALR:
+		return nil // handled by Step
+	default:
+		return fmt.Errorf("illegal funct 0x%x", in.Funct)
+	}
+	c.setReg(in.Rd, v)
+	return nil
+}
+
+func (c *CPU) execF(in isa.Instr) error {
+	fs, ft := c.FRegs[in.Rs], c.FRegs[in.Rt]
+	switch in.Funct {
+	case isa.FnFADD:
+		c.FRegs[in.Rd] = fs + ft
+	case isa.FnFSUB:
+		c.FRegs[in.Rd] = fs - ft
+	case isa.FnFMUL:
+		c.FRegs[in.Rd] = fs * ft
+	case isa.FnFDIV:
+		c.FRegs[in.Rd] = fs / ft
+	case isa.FnFSQRT:
+		c.FRegs[in.Rd] = math.Sqrt(fs)
+	case isa.FnFABS:
+		c.FRegs[in.Rd] = math.Abs(fs)
+	case isa.FnFNEG:
+		c.FRegs[in.Rd] = -fs
+	case isa.FnFMOV:
+		c.FRegs[in.Rd] = fs
+	case isa.FnFCVTDW:
+		c.FRegs[in.Rd] = float64(int32(c.Regs[in.Rs]))
+	case isa.FnFCVTWD:
+		c.setReg(in.Rd, uint32(clampToInt32(fs)))
+	case isa.FnFCEQ:
+		c.setReg(in.Rd, b2u(fs == ft))
+	case isa.FnFCLT:
+		c.setReg(in.Rd, b2u(fs < ft))
+	case isa.FnFCLE:
+		c.setReg(in.Rd, b2u(fs <= ft))
+	default:
+		return fmt.Errorf("illegal float funct 0x%x", in.Funct)
+	}
+	return nil
+}
+
+func clampToInt32(f float64) int32 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt32:
+		return math.MaxInt32
+	case f <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(f)
+}
+
+func (c *CPU) execMem(in isa.Instr) error {
+	base := c.Regs[in.Rs]
+	addr := base + uint32(in.Imm)
+	size := uint8(in.MemBytes())
+	if addr%uint32(size) != 0 {
+		return fmt.Errorf("unaligned %d-byte access at 0x%x", size, addr)
+	}
+	store := in.IsStore()
+	if store && c.inText(addr) {
+		return fmt.Errorf("store into text at 0x%x (self-modifying code is not supported)", addr)
+	}
+	if c.Data != nil {
+		c.Data.OnData(trace.DataEvent{
+			Addr: addr, Base: base, Disp: in.Imm, Store: store, Size: size,
+		})
+	}
+	switch in.Op {
+	case isa.OpLB:
+		c.setReg(in.Rt, uint32(int32(int8(c.Mem.LoadByte(addr)))))
+	case isa.OpLBU:
+		c.setReg(in.Rt, uint32(c.Mem.LoadByte(addr)))
+	case isa.OpLH:
+		c.setReg(in.Rt, uint32(int32(int16(c.Mem.ReadHalf(addr)))))
+	case isa.OpLHU:
+		c.setReg(in.Rt, uint32(c.Mem.ReadHalf(addr)))
+	case isa.OpLW:
+		c.setReg(in.Rt, c.Mem.ReadWord(addr))
+	case isa.OpFLD:
+		c.FRegs[in.Rt] = math.Float64frombits(c.Mem.ReadDouble(addr))
+	case isa.OpSB:
+		c.Mem.StoreByte(addr, byte(c.Regs[in.Rt]))
+	case isa.OpSH:
+		c.Mem.WriteHalf(addr, uint16(c.Regs[in.Rt]))
+	case isa.OpSW:
+		c.Mem.WriteWord(addr, c.Regs[in.Rt])
+	case isa.OpFSD:
+		c.Mem.WriteDouble(addr, math.Float64bits(c.FRegs[in.Rt]))
+	}
+	return nil
+}
+
+// Run executes until halt or until maxInstrs instructions have retired,
+// whichever comes first. Exceeding the budget is reported as an error, since
+// it almost always means a runaway program.
+func (c *CPU) Run(maxInstrs uint64) error {
+	start := c.Instrs
+	for !c.Halted {
+		if err := c.Step(); err != nil {
+			return err
+		}
+		if c.Instrs-start >= maxInstrs {
+			return fmt.Errorf("sim: instruction budget %d exhausted at pc=0x%x", maxInstrs, c.PC)
+		}
+	}
+	return nil
+}

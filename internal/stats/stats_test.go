@@ -1,0 +1,44 @@
+package stats
+
+import "testing"
+
+func TestDerivedMetrics(t *testing.T) {
+	c := Counters{Accesses: 100, Hits: 90, TagReads: 20, WayReads: 100, WayWrites: 10,
+		MABLookups: 80, MABHits: 60}
+	if got := c.TagsPerAccess(); got != 0.2 {
+		t.Errorf("tags/access = %f", got)
+	}
+	if got := c.WaysPerAccess(); got != 1.1 {
+		t.Errorf("ways/access = %f", got)
+	}
+	if got := c.HitRate(); got != 0.9 {
+		t.Errorf("hit rate = %f", got)
+	}
+	if got := c.MABHitRate(); got != 0.75 {
+		t.Errorf("MAB hit rate = %f", got)
+	}
+}
+
+func TestZeroSafe(t *testing.T) {
+	var c Counters
+	if c.TagsPerAccess() != 0 || c.WaysPerAccess() != 0 || c.HitRate() != 0 || c.MABHitRate() != 0 {
+		t.Error("division by zero not guarded")
+	}
+}
+
+func TestAdd(t *testing.T) {
+	a := Counters{Accesses: 1, Loads: 1, Hits: 1, TagReads: 2, WayReads: 2,
+		Flow: [4]uint64{1, 2, 3, 4}, Violations: 1, SetBufHits: 5, ExtraCycles: 7}
+	b := Counters{Accesses: 10, Stores: 10, Misses: 10, TagReads: 20, WayWrites: 3,
+		Flow: [4]uint64{10, 20, 30, 40}, BufReads: 2, MABBypasses: 9}
+	a.Add(&b)
+	if a.Accesses != 11 || a.TagReads != 22 || a.Flow[3] != 44 {
+		t.Errorf("add: %+v", a)
+	}
+	if a.Loads != 1 || a.Stores != 10 || a.WayReads != 2 || a.WayWrites != 3 {
+		t.Errorf("add: %+v", a)
+	}
+	if a.Violations != 1 || a.SetBufHits != 5 || a.BufReads != 2 || a.ExtraCycles != 7 || a.MABBypasses != 9 {
+		t.Errorf("add: %+v", a)
+	}
+}

@@ -1,0 +1,110 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+// paper values: rows Nt=1,2 × cols Ns=4,8,16,32.
+var (
+	paperArea   = [2][4]float64{{0.016, 0.027, 0.065, 0.307}, {0.019, 0.033, 0.085, 0.311}}
+	paperDelay  = [2][4]float64{{1.00, 1.00, 1.08, 1.14}, {1.02, 1.02, 1.08, 1.16}}
+	paperActive = [2][4]float64{{1.95, 2.37, 3.39, 6.25}, {2.34, 3.07, 4.56, 7.93}}
+	paperSleep  = [2][4]float64{{0.24, 0.40, 0.76, 1.37}, {0.40, 0.68, 1.28, 2.26}}
+	nsCols      = [4]int{4, 8, 16, 32}
+)
+
+func relErr(got, want float64) float64 { return math.Abs(got-want) / want }
+
+func TestTable1Area(t *testing.T) {
+	for nt := 1; nt <= 2; nt++ {
+		for j, ns := range nsCols {
+			got := Characterize(nt, ns).AreaMM2
+			want := paperArea[nt-1][j]
+			if relErr(got, want) > 0.25 {
+				t.Errorf("area %dx%d: got %.4f want %.4f", nt, ns, got, want)
+			}
+		}
+	}
+}
+
+func TestTable2Delay(t *testing.T) {
+	for nt := 1; nt <= 2; nt++ {
+		for j, ns := range nsCols {
+			r := Characterize(nt, ns)
+			want := paperDelay[nt-1][j]
+			if relErr(r.DelayNS, want) > 0.03 {
+				t.Errorf("delay %dx%d: got %.3f want %.3f", nt, ns, r.DelayNS, want)
+			}
+			if !FitsCycle(r) {
+				t.Errorf("delay %dx%d: %f does not fit the 2.5ns cycle", nt, ns, r.DelayNS)
+			}
+		}
+	}
+}
+
+func TestTable3Power(t *testing.T) {
+	for nt := 1; nt <= 2; nt++ {
+		for j, ns := range nsCols {
+			r := Characterize(nt, ns)
+			if relErr(r.ActiveMW, paperActive[nt-1][j]) > 0.035 {
+				t.Errorf("active %dx%d: got %.3f want %.3f", nt, ns, r.ActiveMW, paperActive[nt-1][j])
+			}
+			if relErr(r.SleepMW, paperSleep[nt-1][j]) > 0.08 {
+				t.Errorf("sleep %dx%d: got %.3f want %.3f", nt, ns, r.SleepMW, paperSleep[nt-1][j])
+			}
+			if r.SleepMW >= r.ActiveMW {
+				t.Errorf("%dx%d: sleep %.3f >= active %.3f", nt, ns, r.SleepMW, r.ActiveMW)
+			}
+		}
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Bigger MABs must cost more in every dimension.
+	prev := Characterize(1, 4)
+	for _, ns := range []int{8, 16, 32} {
+		r := Characterize(1, ns)
+		if r.AreaMM2 <= prev.AreaMM2 || r.ActiveMW <= prev.ActiveMW || r.SleepMW <= prev.SleepMW {
+			t.Errorf("non-monotone at Ns=%d", ns)
+		}
+		prev = r
+	}
+	if a, b := Characterize(1, 8), Characterize(2, 8); b.ActiveMW <= a.ActiveMW {
+		t.Error("second tag row is free")
+	}
+}
+
+func TestGridShape(t *testing.T) {
+	g := Grid()
+	if len(g) != 2 || len(g[0]) != 4 {
+		t.Fatalf("grid %dx%d", len(g), len(g[0]))
+	}
+	if g[1][1].TagEntries != 2 || g[1][1].SetEntries != 8 {
+		t.Fatalf("grid labels: %+v", g[1][1])
+	}
+}
+
+func TestStateBits(t *testing.T) {
+	// 2x8: 2*20 + 8*9 + 2*8*2 = 40+72+32 = 144 bits for 16 memoizable
+	// addresses — the compactness claim of §3.3.
+	if got := StateBits(2, 8); got != 144 {
+		t.Fatalf("state bits = %d", got)
+	}
+}
+
+// TestPaperConfigChoices checks the selection logic the paper describes:
+// 2x8 has ~3% of a 32KB cache's area; 2x16 is markedly cheaper than 2x32.
+func TestPaperConfigChoices(t *testing.T) {
+	// A 32KB SRAM macro in 0.13µm is on the order of 1.1 mm².
+	const cacheMM2 = 1.1
+	d := Characterize(2, 8)
+	if pct := d.AreaMM2 / cacheMM2 * 100; pct < 2 || pct > 4.5 {
+		t.Errorf("2x8 area = %.1f%% of cache, paper says ≈3%%", pct)
+	}
+	i16, i32 := Characterize(2, 16), Characterize(2, 32)
+	if i32.AreaMM2 < 3*i16.AreaMM2 {
+		t.Errorf("2x32 (%.3f) should dwarf 2x16 (%.3f), cf. 27.5%% vs 7.5%%",
+			i32.AreaMM2, i16.AreaMM2)
+	}
+}

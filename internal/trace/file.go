@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format, for trace-driven evaluation without re-running
+// the simulator: a magic header followed by fixed-size little-endian
+// records, interleaved in program order.
+//
+//	"WMTRACE1" (8 bytes)
+//	fetch record: 'F' addr(4) prev(4) kind(1) base(4) disp(4) flags(1)
+//	data record:  'D' addr(4) base(4) disp(4) flags(1) size(1)
+
+const fileMagic = "WMTRACE1"
+
+// Writer streams events to an io.Writer in the trace file format. It
+// implements both FetchSink and DataSink, so it can be attached to a CPU
+// directly (or teed next to live controllers).
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter starts a trace on w.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+func (t *Writer) put32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if t.err == nil {
+		_, t.err = t.w.Write(b[:])
+	}
+}
+
+func (t *Writer) put8(v byte) {
+	if t.err == nil {
+		t.err = t.w.WriteByte(v)
+	}
+}
+
+// OnFetch records one fetch event.
+func (t *Writer) OnFetch(ev FetchEvent) {
+	t.put8('F')
+	t.put32(ev.Addr)
+	t.put32(ev.Prev)
+	t.put8(byte(ev.Kind))
+	t.put32(ev.Base)
+	t.put32(uint32(ev.Disp))
+	var flags byte
+	if ev.First {
+		flags |= 1
+	}
+	t.put8(flags)
+}
+
+// OnData records one data event.
+func (t *Writer) OnData(ev DataEvent) {
+	t.put8('D')
+	t.put32(ev.Addr)
+	t.put32(ev.Base)
+	t.put32(uint32(ev.Disp))
+	var flags byte
+	if ev.Store {
+		flags |= 1
+	}
+	t.put8(flags)
+	t.put8(ev.Size)
+}
+
+// Flush finishes the trace and reports any deferred write error.
+func (t *Writer) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// ReadAll parses a trace and dispatches every record to the sinks (either
+// may be nil). Records are replayed in their original interleaving.
+func ReadAll(r io.Reader, fetch FetchSink, data DataSink) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return fmt.Errorf("trace: bad magic %q", magic)
+	}
+	get32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	for {
+		tag, err := br.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch tag {
+		case 'F':
+			var ev FetchEvent
+			if ev.Addr, err = get32(); err != nil {
+				return err
+			}
+			if ev.Prev, err = get32(); err != nil {
+				return err
+			}
+			k, err := br.ReadByte()
+			if err != nil {
+				return err
+			}
+			ev.Kind = ControlKind(k)
+			if ev.Base, err = get32(); err != nil {
+				return err
+			}
+			d, err := get32()
+			if err != nil {
+				return err
+			}
+			ev.Disp = int32(d)
+			flags, err := br.ReadByte()
+			if err != nil {
+				return err
+			}
+			ev.First = flags&1 != 0
+			if fetch != nil {
+				fetch.OnFetch(ev)
+			}
+		case 'D':
+			var ev DataEvent
+			if ev.Addr, err = get32(); err != nil {
+				return err
+			}
+			if ev.Base, err = get32(); err != nil {
+				return err
+			}
+			d, err := get32()
+			if err != nil {
+				return err
+			}
+			ev.Disp = int32(d)
+			flags, err := br.ReadByte()
+			if err != nil {
+				return err
+			}
+			ev.Store = flags&1 != 0
+			if ev.Size, err = br.ReadByte(); err != nil {
+				return err
+			}
+			if data != nil {
+				data.OnData(ev)
+			}
+		default:
+			return fmt.Errorf("trace: unknown record tag %#x", tag)
+		}
+	}
+}

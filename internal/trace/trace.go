@@ -1,0 +1,178 @@
+// Package trace defines the instruction-fetch and data-access event streams
+// produced by the instruction-set simulator and consumed by the cache
+// controllers (the original cache, the baselines, and the Memory Address
+// Buffer of the paper).
+//
+// Every event carries the information the hardware would have at the address
+// generation stage: a base value and a signed displacement, not just the
+// final address. This is what lets the MAB be probed in parallel with the
+// 32-bit adder (paper §3).
+package trace
+
+// ControlKind describes how control reached the current fetch packet. It maps
+// one-to-one onto the three MAB input types of Figure 2 of the paper, plus
+// the sequential case and the unpredictable indirect case.
+type ControlKind uint8
+
+const (
+	// KindSeq is straight-line flow: the previous packet fell through.
+	// MAB input: base = previous packet address, disp = packet stride.
+	KindSeq ControlKind = iota
+	// KindBranch is a taken PC-relative branch or direct jump/call.
+	// MAB input: base = branch address, disp = encoded offset.
+	KindBranch
+	// KindLink is a jump to the link register (function return).
+	// MAB input: base = link register value, disp = 0.
+	KindLink
+	// KindIndirect is a computed jump through a non-link register. The MAB
+	// has no base+displacement form for it and is bypassed.
+	KindIndirect
+)
+
+// String returns the lower-case name of the kind.
+func (k ControlKind) String() string {
+	switch k {
+	case KindSeq:
+		return "seq"
+	case KindBranch:
+		return "branch"
+	case KindLink:
+		return "link"
+	case KindIndirect:
+		return "indirect"
+	}
+	return "unknown"
+}
+
+// FetchEvent is one instruction-cache access: the fetch of one VLIW packet.
+type FetchEvent struct {
+	Addr  uint32      // packet address being fetched (packet aligned)
+	Prev  uint32      // previously fetched packet address
+	Kind  ControlKind // how control arrived here
+	Base  uint32      // MAB base input (see ControlKind)
+	Disp  int32       // MAB displacement input
+	First bool        // true for the very first fetch after reset
+}
+
+// DataEvent is one data-cache access issued by a load or store.
+type DataEvent struct {
+	Addr  uint32 // effective address (Base + Disp)
+	Base  uint32 // base register value
+	Disp  int32  // sign-extended displacement
+	Store bool
+	Size  uint8 // access size in bytes (1, 2, 4 or 8)
+}
+
+// FetchSink consumes instruction fetch events.
+type FetchSink interface {
+	OnFetch(ev FetchEvent)
+}
+
+// DataSink consumes data access events.
+type DataSink interface {
+	OnData(ev DataEvent)
+}
+
+// FetchFunc adapts a function to the FetchSink interface.
+type FetchFunc func(FetchEvent)
+
+// OnFetch calls f(ev).
+func (f FetchFunc) OnFetch(ev FetchEvent) { f(ev) }
+
+// DataFunc adapts a function to the DataSink interface.
+type DataFunc func(DataEvent)
+
+// OnData calls f(ev).
+func (f DataFunc) OnData(ev DataEvent) { f(ev) }
+
+// FetchTee fans one fetch stream out to several sinks, so multiple cache
+// techniques can observe the same execution in a single simulator run.
+func FetchTee(sinks ...FetchSink) FetchSink {
+	return FetchFunc(func(ev FetchEvent) {
+		for _, s := range sinks {
+			s.OnFetch(ev)
+		}
+	})
+}
+
+// DataTee fans one data stream out to several sinks.
+func DataTee(sinks ...DataSink) DataSink {
+	return DataFunc(func(ev DataEvent) {
+		for _, s := range sinks {
+			s.OnData(ev)
+		}
+	})
+}
+
+// Recorder captures both streams for trace-driven replay in tests.
+type Recorder struct {
+	Fetches []FetchEvent
+	Datas   []DataEvent
+}
+
+// OnFetch appends ev to the recorded fetch stream.
+func (r *Recorder) OnFetch(ev FetchEvent) { r.Fetches = append(r.Fetches, ev) }
+
+// OnData appends ev to the recorded data stream.
+func (r *Recorder) OnData(ev DataEvent) { r.Datas = append(r.Datas, ev) }
+
+// ReplayFetches feeds a recorded fetch stream to a sink.
+func ReplayFetches(evs []FetchEvent, s FetchSink) {
+	for _, ev := range evs {
+		s.OnFetch(ev)
+	}
+}
+
+// ReplayDatas feeds a recorded data stream to a sink.
+func ReplayDatas(evs []DataEvent, s DataSink) {
+	for _, ev := range evs {
+		s.OnData(ev)
+	}
+}
+
+// FlowCase is the four-way classification of instruction flow from Section 2
+// of the paper (Panwar & Rennels' taxonomy).
+type FlowCase uint8
+
+const (
+	// IntraSeq: same cache line, sequential flow (case 1).
+	IntraSeq FlowCase = iota
+	// IntraNonSeq: same cache line, taken branch (case 2).
+	IntraNonSeq
+	// InterSeq: next cache line, sequential flow (case 3).
+	InterSeq
+	// InterNonSeq: different cache line via taken branch (case 4).
+	InterNonSeq
+)
+
+// String returns a short name for the flow case.
+func (c FlowCase) String() string {
+	switch c {
+	case IntraSeq:
+		return "intra-seq"
+	case IntraNonSeq:
+		return "intra-nonseq"
+	case InterSeq:
+		return "inter-seq"
+	case InterNonSeq:
+		return "inter-nonseq"
+	}
+	return "unknown"
+}
+
+// Classify maps a fetch event onto the paper's four flow cases given the
+// cache line size. Indirect jumps classify as non-sequential.
+func Classify(ev FetchEvent, lineBytes uint32) FlowCase {
+	sameLine := ev.Addr/lineBytes == ev.Prev/lineBytes
+	seq := ev.Kind == KindSeq
+	switch {
+	case sameLine && seq:
+		return IntraSeq
+	case sameLine:
+		return IntraNonSeq
+	case seq:
+		return InterSeq
+	default:
+		return InterNonSeq
+	}
+}

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTeeFanout(t *testing.T) {
+	var a, b Recorder
+	tee := FetchTee(&a, &b)
+	tee.OnFetch(FetchEvent{Addr: 0x100})
+	if len(a.Fetches) != 1 || len(b.Fetches) != 1 {
+		t.Fatal("tee did not fan out")
+	}
+	dt := DataTee(&a, &b)
+	dt.OnData(DataEvent{Addr: 0x200})
+	if len(a.Datas) != 1 || len(b.Datas) != 1 {
+		t.Fatal("data tee did not fan out")
+	}
+}
+
+func TestReplay(t *testing.T) {
+	evs := []FetchEvent{{Addr: 1}, {Addr: 2}, {Addr: 3}}
+	var r Recorder
+	ReplayFetches(evs, &r)
+	if len(r.Fetches) != 3 || r.Fetches[2].Addr != 3 {
+		t.Fatal("replay mismatch")
+	}
+	des := []DataEvent{{Addr: 4}, {Addr: 5}}
+	ReplayDatas(des, &r)
+	if len(r.Datas) != 2 {
+		t.Fatal("data replay mismatch")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[ControlKind]string{
+		KindSeq: "seq", KindBranch: "branch", KindLink: "link", KindIndirect: "indirect",
+	} {
+		if k.String() != want {
+			t.Errorf("%d: %q", k, k.String())
+		}
+	}
+	for c, want := range map[FlowCase]string{
+		IntraSeq: "intra-seq", IntraNonSeq: "intra-nonseq",
+		InterSeq: "inter-seq", InterNonSeq: "inter-nonseq",
+	} {
+		if c.String() != want {
+			t.Errorf("%d: %q", c, c.String())
+		}
+	}
+}
+
+func randFetch(r *rand.Rand) FetchEvent {
+	return FetchEvent{
+		Addr:  r.Uint32() &^ 7,
+		Prev:  r.Uint32() &^ 7,
+		Kind:  ControlKind(r.Intn(4)),
+		Base:  r.Uint32(),
+		Disp:  int32(r.Uint32()),
+		First: r.Intn(10) == 0,
+	}
+}
+
+func randData(r *rand.Rand) DataEvent {
+	sizes := []uint8{1, 2, 4, 8}
+	return DataEvent{
+		Addr: r.Uint32(), Base: r.Uint32(), Disp: int32(r.Uint32()),
+		Store: r.Intn(2) == 0, Size: sizes[r.Intn(4)],
+	}
+}
+
+// TestFileRoundTrip writes a random interleaving of events and reads it
+// back, demanding exact equality and preserved ordering.
+func TestFileRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantF []FetchEvent
+	var wantD []DataEvent
+	for i := 0; i < 5000; i++ {
+		if r.Intn(2) == 0 {
+			ev := randFetch(r)
+			wantF = append(wantF, ev)
+			w.OnFetch(ev)
+		} else {
+			ev := randData(r)
+			wantD = append(wantD, ev)
+			w.OnData(ev)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var got Recorder
+	if err := ReadAll(&buf, &got, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fetches) != len(wantF) || len(got.Datas) != len(wantD) {
+		t.Fatalf("counts: %d/%d vs %d/%d", len(got.Fetches), len(got.Datas), len(wantF), len(wantD))
+	}
+	for i := range wantF {
+		if got.Fetches[i] != wantF[i] {
+			t.Fatalf("fetch %d: %+v != %+v", i, got.Fetches[i], wantF[i])
+		}
+	}
+	for i := range wantD {
+		if got.Datas[i] != wantD[i] {
+			t.Fatalf("data %d: %+v != %+v", i, got.Datas[i], wantD[i])
+		}
+	}
+}
+
+func TestFileErrors(t *testing.T) {
+	if err := ReadAll(strings.NewReader("NOTATRACE"), nil, nil); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated record.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.OnData(DataEvent{Addr: 1, Size: 4})
+	w.Flush()
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if err := ReadAll(bytes.NewReader(trunc), nil, nil); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+// TestClassifyProperty: classification is total and consistent with its
+// definition for random events.
+func TestClassifyProperty(t *testing.T) {
+	f := func(addr, prev uint32, kindRaw uint8) bool {
+		ev := FetchEvent{Addr: addr, Prev: prev, Kind: ControlKind(kindRaw % 4)}
+		c := Classify(ev, 32)
+		sameLine := addr/32 == prev/32
+		seq := ev.Kind == KindSeq
+		switch c {
+		case IntraSeq:
+			return sameLine && seq
+		case IntraNonSeq:
+			return sameLine && !seq
+		case InterSeq:
+			return !sameLine && seq
+		case InterNonSeq:
+			return !sameLine && !seq
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}

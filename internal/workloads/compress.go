@@ -1,0 +1,184 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/sim"
+)
+
+// Compress: LZW compression (the algorithm of the classic UNIX compress)
+// with 12-bit codes and an open-addressing hash dictionary. Codes are
+// emitted as 16-bit units. The dictionary spans 48KB, so unlike the media
+// kernels this benchmark has a working set bigger than the D-cache —
+// matching compress's weaker locality in the paper's figures.
+
+const (
+	lzwInLen     = 6144
+	lzwTableSize = 8192
+	lzwMaxCodes  = 4096
+	lzwRepeats   = 8
+)
+
+func lzwInput() []byte {
+	vocab := []string{
+		"the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog",
+		"cache", "memory", "address", "buffer", "power", "tag", "way",
+		"processor", "energy", "access", "line", "set", "associative",
+		"memoization", "displacement", "register",
+	}
+	rng := xorshift32(0xC0FFEE)
+	out := make([]byte, 0, lzwInLen)
+	for len(out) < lzwInLen {
+		w := vocab[rng.next()%uint32(len(vocab))]
+		out = append(out, w...)
+		out = append(out, ' ')
+	}
+	return out[:lzwInLen]
+}
+
+// lzwRef is the bit-exact reference of the assembly algorithm.
+func lzwRef(in []byte) []uint16 {
+	keys := make([]int32, lzwTableSize)
+	codes := make([]uint16, lzwTableSize)
+	var out []uint16
+	prefix := int32(in[0])
+	next := int32(256)
+	for i := 1; i < len(in); i++ {
+		ch := int32(in[i])
+		k := prefix<<8 + ch + 1
+		h := (ch<<6 ^ prefix*31) & (lzwTableSize - 1)
+		for {
+			if keys[h] == k {
+				prefix = int32(codes[h])
+				break
+			}
+			if keys[h] == 0 {
+				out = append(out, uint16(prefix))
+				if next < lzwMaxCodes {
+					keys[h] = k
+					codes[h] = uint16(next)
+					next++
+				}
+				prefix = ch
+				break
+			}
+			h = (h + 1) & (lzwTableSize - 1)
+		}
+	}
+	out = append(out, uint16(prefix))
+	return out
+}
+
+const lzwCode = `
+main:	push ra
+	li   s9, 8             ; repeats (dictionary rebuilt each time)
+c_rep:	jal  lzw_reset
+	jal  lzw_compress
+	addi s9, s9, -1
+	bnez s9, c_rep
+	pop  ra
+	ret
+
+lzw_reset:                     ; clear the key table
+	la   t0, lzwKeys
+	li   t1, 8192
+cr_l:	sw   zero, 0(t0)
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, cr_l
+	ret
+
+lzw_compress:
+	la   s0, lzwIn
+	li   s1, 6144
+	lbu  s2, 0(s0)         ; prefix = first byte
+	addi s0, s0, 1
+	addi s1, s1, -1
+	li   s3, 256           ; next code
+	la   s4, lzwOut
+cc_loop:
+	beqz s1, cc_done
+	lbu  t0, 0(s0)         ; ch
+	addi s0, s0, 1
+	addi s1, s1, -1
+	sll  t1, s2, 8         ; k = prefix<<8 + ch + 1
+	add  t1, t1, t0
+	addi t1, t1, 1
+	sll  t2, t0, 6         ; h = (ch<<6 ^ prefix*31) & 8191
+	li   t3, 31
+	mul  t4, s2, t3
+	xor  t2, t2, t4
+	andi t2, t2, 8191
+cc_probe:
+	la   t5, lzwKeys
+	sll  t6, t2, 2
+	add  t5, t5, t6
+	lw   t7, 0(t5)
+	beq  t7, t1, cc_found
+	beqz t7, cc_insert
+	addi t2, t2, 1
+	andi t2, t2, 8191
+	b    cc_probe
+cc_found:
+	la   t5, lzwCodes      ; prefix = codes[h]
+	sll  t6, t2, 1
+	add  t5, t5, t6
+	lhu  s2, 0(t5)
+	b    cc_loop
+cc_insert:
+	sh   s2, 0(s4)         ; emit prefix
+	addi s4, s4, 2
+	li   t6, 4096
+	bge  s3, t6, cc_full
+	sw   t1, 0(t5)         ; keys[h] = k (t5 still points at the slot)
+	la   t6, lzwCodes
+	sll  t7, t2, 1
+	add  t6, t6, t7
+	sh   s3, 0(t6)         ; codes[h] = next
+	addi s3, s3, 1
+cc_full:
+	move s2, t0            ; prefix = ch
+	b    cc_loop
+cc_done:
+	sh   s2, 0(s4)         ; flush final prefix
+	addi s4, s4, 2
+	la   t0, lzwOut        ; record output length in bytes
+	sub  t1, s4, t0
+	la   t2, lzwLen
+	sw   t1, 0(t2)
+	ret
+`
+
+// Compress builds the benchmark.
+func Compress() Workload {
+	in := lzwInput()
+	want := lzwRef(in)
+	data := "\t.org DATA\n" +
+		dirBytes("lzwIn", in) +
+		"\t.align 4\nlzwLen:\t.space 4\n" +
+		"lzwOut:\t.space 16384\n" +
+		"lzwKeys:\t.space 32768\n" +
+		"lzwCodes:\t.space 16384\n"
+	return Workload{
+		Name:    "compress",
+		Sources: []string{lzwCode, data},
+		Check: func(c *sim.CPU, p *asm.Program) error {
+			n := c.Mem.ReadWord(p.Symbols["lzwLen"])
+			if int(n) != len(want)*2 {
+				return fmt.Errorf("output length %d bytes, want %d", n, len(want)*2)
+			}
+			if len(want)*2 >= lzwInLen {
+				return fmt.Errorf("no compression achieved (%d codes for %d bytes)", len(want), lzwInLen)
+			}
+			got := c.Mem.ReadRange(p.Symbols["lzwOut"], int(n))
+			for i, w := range want {
+				if g := binary.LittleEndian.Uint16(got[2*i:]); g != w {
+					return fmt.Errorf("code[%d] = %d, want %d", i, g, w)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,198 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/sim"
+)
+
+// DCT: 2-D 8x8 forward DCT over a 64x64 greyscale image, fixed point Q13,
+// computed as C·X·Cᵀ in two integer matrix-multiply passes — the classic
+// media kernel of the paper's benchmark list.
+
+// dctCoeffs builds the Q13 DCT-II coefficient matrix; the same table is
+// embedded in the program image and used by the Go reference, so there is no
+// floating-point divergence between them.
+func dctCoeffs() []int16 {
+	c := make([]int16, 64)
+	for u := 0; u < 8; u++ {
+		s := math.Sqrt(2.0 / 8.0)
+		if u == 0 {
+			s = math.Sqrt(1.0 / 8.0)
+		}
+		for x := 0; x < 8; x++ {
+			v := s * math.Cos(float64(2*x+1)*float64(u)*math.Pi/16)
+			c[u*8+x] = int16(math.Round(v * 8192))
+		}
+	}
+	return c
+}
+
+// dctImage generates the deterministic 64x64 input.
+func dctImage() []byte {
+	img := make([]byte, 64*64)
+	rng := xorshift32(0x1234567)
+	for i := range img {
+		// Smooth-ish content: blend coordinates with noise, like a natural
+		// image rather than white noise.
+		x, y := i%64, i/64
+		img[i] = byte((x*3 + y*2) + int(rng.next()%64))
+	}
+	return img
+}
+
+// dctRef is the bit-exact Go reference.
+func dctRef(img []byte, c []int16) []int16 {
+	out := make([]int16, 64*64)
+	var tmp [64]int32
+	for by := 0; by < 8; by++ {
+		for bx := 0; bx < 8; bx++ {
+			for u := 0; u < 8; u++ {
+				for x := 0; x < 8; x++ {
+					var sum int32
+					for k := 0; k < 8; k++ {
+						pix := int32(img[(by*8+k)*64+bx*8+x]) - 128
+						sum += int32(c[u*8+k]) * pix
+					}
+					tmp[u*8+x] = (sum + 4096) >> 13
+				}
+			}
+			for u := 0; u < 8; u++ {
+				for v := 0; v < 8; v++ {
+					var sum int32
+					for k := 0; k < 8; k++ {
+						sum += tmp[u*8+k] * int32(c[v*8+k])
+					}
+					out[(by*8+u)*64+bx*8+v] = int16((sum + 4096) >> 13)
+				}
+			}
+		}
+	}
+	return out
+}
+
+const dctCode = `
+; void main(): DCT of every 8x8 block of the 64x64 image, repeated.
+main:	push ra
+	li   s9, 2             ; repeats
+m_rep:	li   s0, 0             ; by
+m_by:	li   s1, 0             ; bx
+m_bx:	la   a0, dctImage      ; src = image + by*512 + bx*8
+	sll  t0, s0, 9
+	add  a0, a0, t0
+	sll  t0, s1, 3
+	add  a0, a0, t0
+	la   a1, dctOut        ; dst = out + by*1024 + bx*16
+	sll  t0, s0, 10
+	add  a1, a1, t0
+	sll  t0, s1, 4
+	add  a1, a1, t0
+	jal  dct_block
+	addi s1, s1, 1
+	li   t9, 8
+	blt  s1, t9, m_bx
+	addi s0, s0, 1
+	li   t9, 8
+	blt  s0, t9, m_by
+	addi s9, s9, -1
+	bnez s9, m_rep
+	pop  ra
+	ret
+
+; dct_block(a0 = src bytes stride 64, a1 = dst int16 stride 128B)
+dct_block:
+	la   v0, dctC
+	la   v1, dctTmp
+	; pass 1: tmp = C * (X - 128)
+	li   t0, 0             ; u
+p1_u:	li   t1, 0             ; x
+p1_x:	li   t3, 0             ; sum
+	li   t2, 0             ; k
+	sll  t4, t0, 4         ; &C[u][0]
+	add  t4, v0, t4
+	add  t5, a0, t1        ; &X[0][x]
+p1_k:	lh   t6, 0(t4)
+	lbu  t7, 0(t5)
+	addi t7, t7, -128
+	mul  t8, t6, t7
+	add  t3, t3, t8
+	addi t4, t4, 2
+	addi t5, t5, 64
+	addi t2, t2, 1
+	li   t9, 8
+	blt  t2, t9, p1_k
+	addi t3, t3, 4096
+	sra  t3, t3, 13
+	sll  t6, t0, 5         ; tmp[u*8+x]
+	sll  t7, t1, 2
+	add  t6, t6, t7
+	add  t6, v1, t6
+	sw   t3, 0(t6)
+	addi t1, t1, 1
+	li   t9, 8
+	blt  t1, t9, p1_x
+	addi t0, t0, 1
+	li   t9, 8
+	blt  t0, t9, p1_u
+	; pass 2: out = tmp * C^T
+	li   t0, 0             ; u
+p2_u:	li   t1, 0             ; v
+p2_v:	li   t3, 0
+	li   t2, 0
+	sll  t4, t0, 5         ; &tmp[u][0]
+	add  t4, v1, t4
+	sll  t5, t1, 4         ; &C[v][0]
+	add  t5, v0, t5
+p2_k:	lw   t6, 0(t4)
+	lh   t7, 0(t5)
+	mul  t8, t6, t7
+	add  t3, t3, t8
+	addi t4, t4, 4
+	addi t5, t5, 2
+	addi t2, t2, 1
+	li   t9, 8
+	blt  t2, t9, p2_k
+	addi t3, t3, 4096
+	sra  t3, t3, 13
+	sll  t6, t0, 7         ; dst + u*128 + v*2
+	sll  t7, t1, 1
+	add  t6, t6, t7
+	add  t6, a1, t6
+	sh   t3, 0(t6)
+	addi t1, t1, 1
+	li   t9, 8
+	blt  t1, t9, p2_v
+	addi t0, t0, 1
+	li   t9, 8
+	blt  t0, t9, p2_u
+	ret
+`
+
+// DCT builds the benchmark.
+func DCT() Workload {
+	img := dctImage()
+	coeffs := dctCoeffs()
+	data := "\t.org DATA\n" +
+		dirBytes("dctImage", img) +
+		"\t.align 4\n" + dirHalves("dctC", coeffs) +
+		"\t.align 4\ndctTmp:\t.space 256\n" +
+		"\t.align 4\ndctOut:\t.space 8192\n"
+	want := dctRef(img, coeffs)
+	return Workload{
+		Name:    "DCT",
+		Sources: []string{dctCode, data},
+		Check: func(c *sim.CPU, p *asm.Program) error {
+			got := c.Mem.ReadRange(p.Symbols["dctOut"], len(want)*2)
+			for i, w := range want {
+				g := int16(binary.LittleEndian.Uint16(got[2*i:]))
+				if g != w {
+					return fmt.Errorf("dctOut[%d] = %d, want %d", i, g, w)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,299 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/sim"
+)
+
+// Dhrystone: a faithful miniature of the classic integer benchmark — global
+// variables, array updates through small procedures, a record copy and a
+// string comparison per iteration, all through real call/return flow.
+
+const (
+	dhryIters    = 4000
+	dhryArr1Len  = 80 // words
+	dhryArr2Rows = 57 // rows of 40 words
+	dhryArr2Cols = 40
+)
+
+var dhryStr1 = dhryPad("DHRYSTONE PROGRAM, SOME STRING")
+var dhryStr2 = dhryPad("DHRYSTONE PROGRAM, S1ME STRING")
+
+func dhryPad(s string) []byte {
+	b := make([]byte, 32)
+	copy(b, s)
+	return b
+}
+
+func dhryRecInit() []int32 {
+	rec := make([]int32, 12)
+	rec[0], rec[1] = 1, 2
+	rng := xorshift32(0xD0D0)
+	for i := 2; i < 12; i++ {
+		rec[i] = int32(rng.next() % 1000)
+	}
+	return rec
+}
+
+// dhryState is the Go reference state.
+type dhryState struct {
+	arr1    [dhryArr1Len]int32
+	arr2    [dhryArr2Rows * dhryArr2Cols]int32
+	recA    [12]int32
+	recB    [12]int32
+	intGlob int32
+	bool_   int32
+	char_   int32
+	check   uint32
+}
+
+func dhryStrcmp(a, b []byte) int32 {
+	for k := 0; k < 31; k++ {
+		if d := int32(a[k]) - int32(b[k]); d != 0 {
+			return d
+		}
+		// note: compares up to 31 bytes like the assembly loop
+	}
+	return 0
+}
+
+func dhryRef() *dhryState {
+	st := &dhryState{}
+	copy(st.recA[:], dhryRecInit())
+	for i := int32(1); i <= dhryIters; i++ {
+		st.intGlob = i
+		st.char_ = 65
+		if dhryStrcmp(dhryStr1, dhryStr2) > 0 {
+			st.intGlob += 7
+		} else {
+			st.intGlob += 3
+		}
+		v := i + 10 + st.intGlob
+		loc := (i & 31) + 5
+		// Proc8
+		st.arr1[loc] = v
+		st.arr1[loc+1] = st.arr1[loc]
+		st.arr1[loc+30] = loc
+		row := loc * dhryArr2Cols
+		st.arr2[row+loc] = loc
+		st.arr2[row+loc+1] = loc
+		st.arr2[row+loc-1]++
+		st.arr2[row+20*dhryArr2Cols+loc] = st.arr1[loc]
+		st.intGlob = 5 + v%17
+		// Proc1: record copy and updates
+		st.recB = st.recA
+		st.recB[0] = i
+		st.recB[1] = st.intGlob & 3
+		st.recA[0] = st.recB[0] + 2
+		// BoolGlob
+		if st.arr1[loc+1] > v {
+			st.bool_ = 1
+		} else {
+			st.bool_ = 0
+		}
+	}
+	// Checksum pass.
+	var c uint32
+	for _, w := range st.arr1 {
+		c = c*31 + uint32(w)
+	}
+	for _, w := range st.arr2 {
+		c = c*31 + uint32(w)
+	}
+	c += uint32(st.intGlob) + uint32(st.bool_) + uint32(st.char_)
+	c += uint32(st.recA[0]) + uint32(st.recB[0])
+	st.check = c
+	return st
+}
+
+const dhryCode = `
+main:	push ra
+	li   s0, 1             ; i
+	li   s8, 4000          ; iterations
+d_loop:	la   t0, dhryGlob      ; IntGlob = i; CharGlob = 'A'
+	sw   s0, 0(t0)
+	li   t1, 65
+	sw   t1, 8(t0)
+	la   a0, dhryStr1
+	la   a1, dhryStr2
+	jal  dstrcmp
+	la   t0, dhryGlob
+	lw   t1, 0(t0)
+	blez v0, d_cmp3
+	addi t1, t1, 7
+	b    d_cmpd
+d_cmp3:	addi t1, t1, 3
+d_cmpd:	sw   t1, 0(t0)
+	add  s2, s0, t1        ; v = i + 10 + IntGlob
+	addi s2, s2, 10
+	andi s3, s0, 31        ; loc = (i & 31) + 5
+	addi s3, s3, 5
+	move a0, s3
+	move a1, s2
+	jal  dproc8
+	move a0, s0
+	jal  dproc1
+	la   t0, dhryArr1      ; BoolGlob = Arr1[loc+1] > v
+	sll  t1, s3, 2
+	add  t0, t0, t1
+	lw   t2, 4(t0)
+	slt  t3, s2, t2
+	la   t0, dhryGlob
+	sw   t3, 4(t0)
+	addi s0, s0, 1
+	ble  s0, s8, d_loop
+	jal  dchecksum
+	pop  ra
+	ret
+
+; dstrcmp(a0, a1) -> v0: first byte difference within 31 bytes
+dstrcmp:
+	li   t2, 0
+dsc_l:	lbu  t0, 0(a0)
+	lbu  t1, 0(a1)
+	sub  v0, t0, t1
+	bnez v0, dsc_r
+	addi a0, a0, 1
+	addi a1, a1, 1
+	addi t2, t2, 1
+	li   t9, 31
+	blt  t2, t9, dsc_l
+	li   v0, 0
+dsc_r:	ret
+
+; dproc8(a0 = loc, a1 = v): the array-update procedure
+dproc8:	la   t0, dhryArr1
+	sll  t1, a0, 2
+	add  t1, t0, t1
+	sw   a1, 0(t1)         ; Arr1[loc] = v
+	sw   a1, 4(t1)         ; Arr1[loc+1] = Arr1[loc]
+	sw   a0, 120(t1)       ; Arr1[loc+30] = loc
+	la   t2, dhryArr2
+	li   t3, 160
+	mul  t4, a0, t3
+	add  t2, t2, t4        ; &Arr2[loc][0]
+	sll  t5, a0, 2
+	add  t5, t2, t5        ; &Arr2[loc][loc]
+	sw   a0, 0(t5)
+	sw   a0, 4(t5)
+	lw   t6, -4(t5)
+	addi t6, t6, 1
+	sw   t6, -4(t5)
+	addi t2, t2, 3200      ; &Arr2[loc+20][0]
+	sll  t5, a0, 2
+	add  t5, t2, t5
+	sw   a1, 0(t5)         ; Arr2[loc+20][loc] = Arr1[loc]
+	li   t3, 17            ; IntGlob = 5 + v % 17
+	rem  t4, a1, t3
+	addi t4, t4, 5
+	la   t0, dhryGlob
+	sw   t4, 0(t0)
+	ret
+
+; dproc1(a0 = i): RecB <- RecA word copy, then field updates
+dproc1:	la   t0, dhryRecA
+	la   t1, dhryRecB
+	li   t2, 12
+dp1_c:	lw   t3, 0(t0)
+	sw   t3, 0(t1)
+	addi t0, t0, 4
+	addi t1, t1, 4
+	addi t2, t2, -1
+	bnez t2, dp1_c
+	la   t0, dhryRecA
+	la   t1, dhryRecB
+	sw   a0, 0(t1)         ; RecB.int = i
+	la   t2, dhryGlob
+	lw   t3, 0(t2)
+	andi t3, t3, 3
+	sw   t3, 4(t1)         ; RecB.enum = IntGlob & 3
+	addi t4, a0, 2
+	sw   t4, 0(t0)         ; RecA.int = i + 2
+	ret
+
+; dchecksum: fold all mutable state into dhryCheck
+dchecksum:
+	li   v0, 0
+	la   t0, dhryArr1
+	li   t1, 80
+	li   t3, 31
+dck_1:	lw   t2, 0(t0)
+	mul  v0, v0, t3
+	add  v0, v0, t2
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, dck_1
+	la   t0, dhryArr2
+	li   t1, 2280
+dck_2:	lw   t2, 0(t0)
+	mul  v0, v0, t3
+	add  v0, v0, t2
+	addi t0, t0, 4
+	addi t1, t1, -1
+	bnez t1, dck_2
+	la   t0, dhryGlob
+	lw   t2, 0(t0)
+	add  v0, v0, t2
+	lw   t2, 4(t0)
+	add  v0, v0, t2
+	lw   t2, 8(t0)
+	add  v0, v0, t2
+	la   t1, dhryRecA
+	lw   t2, 0(t1)
+	add  v0, v0, t2
+	la   t1, dhryRecB
+	lw   t2, 0(t1)
+	add  v0, v0, t2
+	la   t1, dhryCheck
+	sw   v0, 0(t1)
+	ret
+`
+
+// Dhrystone builds the benchmark.
+func Dhrystone() Workload {
+	data := "\t.org DATA\n" +
+		"dhryGlob:\t.space 16\n" +
+		dirBytes("dhryStr1", dhryStr1) +
+		dirBytes("dhryStr2", dhryStr2) +
+		"\t.align 4\ndhryArr1:\t.space 320\n" +
+		"dhryArr2:\t.space 9120\n" +
+		dirWords("dhryRecA", dhryRecInit()) +
+		"dhryRecB:\t.space 48\n" +
+		"dhryCheck:\t.space 4\n"
+	want := dhryRef()
+	return Workload{
+		Name:    "dhrystone",
+		Sources: []string{dhryCode, data},
+		Check: func(c *sim.CPU, p *asm.Program) error {
+			rd32 := func(sym string, idx int) int32 {
+				return int32(c.Mem.ReadWord(p.Symbols[sym] + uint32(4*idx)))
+			}
+			for i, w := range want.arr1 {
+				if got := rd32("dhryArr1", i); got != w {
+					return fmt.Errorf("arr1[%d] = %d, want %d", i, got, w)
+				}
+			}
+			for i, w := range want.arr2 {
+				if got := rd32("dhryArr2", i); got != w {
+					return fmt.Errorf("arr2[%d] = %d, want %d", i, got, w)
+				}
+			}
+			if got := rd32("dhryRecA", 0); got != want.recA[0] {
+				return fmt.Errorf("recA.int = %d, want %d", got, want.recA[0])
+			}
+			for i := range want.recB {
+				if got := rd32("dhryRecB", i); got != want.recB[i] {
+					return fmt.Errorf("recB[%d] = %d, want %d", i, got, want.recB[i])
+				}
+			}
+			gotCheck := binary.LittleEndian.Uint32(c.Mem.ReadRange(p.Symbols["dhryCheck"], 4))
+			if gotCheck != want.check {
+				return fmt.Errorf("checksum = %#x, want %#x", gotCheck, want.check)
+			}
+			return nil
+		},
+	}
+}

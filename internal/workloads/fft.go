@@ -1,0 +1,203 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/sim"
+)
+
+// FFT: 1024-point radix-2 decimation-in-time complex FFT, fixed point with
+// Q14 twiddles and per-stage scaling, table-driven bit reversal.
+
+const fftN = 1024
+const fftRepeats = 4
+
+func fftTwiddles() []int16 {
+	w := make([]int16, fftN) // 512 complex pairs
+	for k := 0; k < fftN/2; k++ {
+		ang := 2 * math.Pi * float64(k) / fftN
+		w[2*k] = int16(math.Round(math.Cos(ang) * 16384))
+		w[2*k+1] = int16(math.Round(-math.Sin(ang) * 16384))
+	}
+	return w
+}
+
+func fftRevTable() []int16 {
+	rev := make([]int16, fftN)
+	for i := 0; i < fftN; i++ {
+		r := 0
+		for b := 0; b < 10; b++ {
+			r = r<<1 | (i >> b & 1)
+		}
+		rev[i] = int16(r)
+	}
+	return rev
+}
+
+func fftInput() []int16 {
+	in := make([]int16, 2*fftN)
+	rng := xorshift32(0xBEEF)
+	for i := range in {
+		in[i] = int16(rng.next()%8192) - 4096
+	}
+	return in
+}
+
+// fftRef performs the identical fixed-point computation in Go.
+func fftRef(in, w, rev []int16) []int16 {
+	x := make([]int16, len(in))
+	copy(x, in)
+	for i := 0; i < fftN; i++ {
+		r := int(uint16(rev[i]))
+		if r > i {
+			x[2*i], x[2*r] = x[2*r], x[2*i]
+			x[2*i+1], x[2*r+1] = x[2*r+1], x[2*i+1]
+		}
+	}
+	for l := 2; l <= fftN; l <<= 1 {
+		half, step := l/2, fftN/l
+		for base := 0; base < fftN; base += l {
+			k := 0
+			for j := 0; j < half; j++ {
+				ai := (base + j) * 2
+				bi := ai + half*2
+				bre, bim := int32(x[bi]), int32(x[bi+1])
+				wr, wi := int32(w[2*k]), int32(w[2*k+1])
+				tr := (bre*wr - bim*wi + 8192) >> 14
+				ti := (bre*wi + bim*wr + 8192) >> 14
+				are, aim := int32(x[ai]), int32(x[ai+1])
+				x[ai] = int16((are + tr) >> 1)
+				x[ai+1] = int16((aim + ti) >> 1)
+				x[bi] = int16((are - tr) >> 1)
+				x[bi+1] = int16((aim - ti) >> 1)
+				k += step
+			}
+		}
+	}
+	return x
+}
+
+const fftCode = `
+main:	push ra
+	li   s9, 4             ; repeats
+f_rep:	la   t0, fftIn         ; copy input into work buffer
+	la   t1, fftX
+	li   t2, 1024
+f_cp:	lw   t3, 0(t0)
+	sw   t3, 0(t1)
+	addi t0, t0, 4
+	addi t1, t1, 4
+	addi t2, t2, -1
+	bnez t2, f_cp
+	jal  fft1024
+	addi s9, s9, -1
+	bnez s9, f_rep
+	pop  ra
+	ret
+
+fft1024:
+	; table-driven bit-reversal permutation
+	la   t0, fftRevT
+	la   t1, fftX
+	li   t2, 0             ; i
+fr_i:	sll  t3, t2, 1
+	add  t3, t0, t3
+	lhu  t3, 0(t3)         ; r
+	ble  t3, t2, fr_nx
+	sll  t4, t2, 2
+	add  t4, t1, t4
+	sll  t5, t3, 2
+	add  t5, t1, t5
+	lw   t6, 0(t4)
+	lw   t7, 0(t5)
+	sw   t7, 0(t4)
+	sw   t6, 0(t5)
+fr_nx:	addi t2, t2, 1
+	li   t9, 1024
+	blt  t2, t9, fr_i
+	; stages
+	li   s0, 2             ; len
+fs_len:	sra  s1, s0, 1         ; half
+	li   t9, 1024
+	div  s2, t9, s0        ; twiddle step
+	li   s3, 0             ; base
+fs_bse:	li   s4, 0             ; j
+	li   s5, 0             ; k
+fs_j:	add  t0, s3, s4
+	sll  t0, t0, 2
+	la   t1, fftX
+	add  t0, t1, t0        ; &a
+	sll  t1, s1, 2
+	add  t1, t0, t1        ; &b
+	lh   t2, 0(t1)         ; b.re
+	lh   t3, 2(t1)         ; b.im
+	la   t4, fftW
+	sll  t5, s5, 2
+	add  t4, t4, t5
+	lh   t5, 0(t4)         ; wr
+	lh   t6, 2(t4)         ; wi
+	mul  t7, t2, t5        ; tr = (b.re*wr - b.im*wi + 8192) >> 14
+	mul  t8, t3, t6
+	sub  t7, t7, t8
+	addi t7, t7, 8192
+	sra  t7, t7, 14
+	mul  t8, t2, t6        ; ti = (b.re*wi + b.im*wr + 8192) >> 14
+	mul  t2, t3, t5
+	add  t8, t8, t2
+	addi t8, t8, 8192
+	sra  t8, t8, 14
+	lh   t2, 0(t0)         ; a.re
+	lh   t3, 2(t0)         ; a.im
+	add  t4, t2, t7        ; scaled butterfly outputs
+	sra  t4, t4, 1
+	sh   t4, 0(t0)
+	add  t4, t3, t8
+	sra  t4, t4, 1
+	sh   t4, 2(t0)
+	sub  t4, t2, t7
+	sra  t4, t4, 1
+	sh   t4, 0(t1)
+	sub  t4, t3, t8
+	sra  t4, t4, 1
+	sh   t4, 2(t1)
+	add  s5, s5, s2
+	addi s4, s4, 1
+	blt  s4, s1, fs_j
+	add  s3, s3, s0
+	li   t9, 1024
+	blt  s3, t9, fs_bse
+	sll  s0, s0, 1
+	li   t9, 1024
+	ble  s0, t9, fs_len
+	ret
+`
+
+// FFT builds the benchmark.
+func FFT() Workload {
+	in := fftInput()
+	w := fftTwiddles()
+	rev := fftRevTable()
+	data := "\t.org DATA\n" +
+		dirHalves("fftIn", in) +
+		"\t.align 4\n" + dirHalves("fftW", w) +
+		"\t.align 4\n" + dirHalves("fftRevT", rev) +
+		"\t.align 4\nfftX:\t.space 4096\n"
+	want := fftRef(in, w, rev)
+	return Workload{
+		Name:    "FFT",
+		Sources: []string{fftCode, data},
+		Check: func(c *sim.CPU, p *asm.Program) error {
+			got := c.Mem.ReadRange(p.Symbols["fftX"], len(want)*2)
+			for i, wv := range want {
+				g := int16(binary.LittleEndian.Uint16(got[2*i:]))
+				if g != wv {
+					return fmt.Errorf("fftX[%d] = %d, want %d", i, g, wv)
+				}
+			}
+			return nil
+		},
+	}
+}

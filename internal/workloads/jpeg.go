@@ -1,0 +1,281 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/sim"
+)
+
+// JPEGEnc: the guts of a baseline JPEG encoder — per-8x8-block forward DCT
+// (same Q13 kernel as the DCT benchmark), quantization with the standard
+// luminance table, zigzag reordering and run-length encoding of the AC
+// coefficients into a halfword stream.
+
+const jpegRepeats = 3
+
+// jpegQuant is the standard JPEG luminance quantization table.
+var jpegQuant = []int16{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// jpegZigzag is the standard zigzag scan order.
+var jpegZigzag = []byte{
+	0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+func jpegImage() []byte {
+	img := make([]byte, 64*64)
+	rng := xorshift32(0xFACE)
+	for i := range img {
+		x, y := i%64, i/64
+		// Blocky gradient with texture: compresses like a natural image.
+		v := 96 + (x*x)/48 + (y*5)/2 + int(rng.next()%24)
+		img[i] = byte(v)
+	}
+	return img
+}
+
+// jpegRef is the bit-exact reference.
+func jpegRef(img []byte, c, qt []int16, zz []byte) []uint16 {
+	var out []uint16
+	var tmp, coef [64]int32
+	var q, z [64]int16
+	for by := 0; by < 8; by++ {
+		for bx := 0; bx < 8; bx++ {
+			for u := 0; u < 8; u++ {
+				for x := 0; x < 8; x++ {
+					var sum int32
+					for k := 0; k < 8; k++ {
+						pix := int32(img[(by*8+k)*64+bx*8+x]) - 128
+						sum += int32(c[u*8+k]) * pix
+					}
+					tmp[u*8+x] = (sum + 4096) >> 13
+				}
+			}
+			for u := 0; u < 8; u++ {
+				for v := 0; v < 8; v++ {
+					var sum int32
+					for k := 0; k < 8; k++ {
+						sum += tmp[u*8+k] * int32(c[v*8+k])
+					}
+					coef[u*8+v] = int32(int16((sum + 4096) >> 13))
+				}
+			}
+			for i := 0; i < 64; i++ {
+				q[i] = int16(coef[i] / int32(qt[i]))
+			}
+			for i := 0; i < 64; i++ {
+				z[i] = q[zz[i]]
+			}
+			out = append(out, uint16(z[0]))
+			run := uint16(0)
+			for i := 1; i < 64; i++ {
+				if z[i] == 0 {
+					run++
+				} else {
+					out = append(out, run, uint16(z[i]))
+					run = 0
+				}
+			}
+			out = append(out, 0x7FFF)
+		}
+	}
+	return out
+}
+
+const jpegCode = `
+main:	push ra
+	li   s9, 3             ; repeats
+j_rep:	la   s6, jpgOut        ; output stream pointer
+	li   s0, 0             ; by
+j_by:	li   s1, 0             ; bx
+j_bx:	la   a0, jpgImg
+	sll  t0, s0, 9
+	add  a0, a0, t0
+	sll  t0, s1, 3
+	add  a0, a0, t0
+	jal  jdct
+	jal  jquant
+	jal  jrle
+	addi s1, s1, 1
+	li   t9, 8
+	blt  s1, t9, j_bx
+	addi s0, s0, 1
+	li   t9, 8
+	blt  s0, t9, j_by
+	la   t0, jpgOut        ; record stream length
+	sub  t1, s6, t0
+	la   t2, jpgLen
+	sw   t1, 0(t2)
+	addi s9, s9, -1
+	bnez s9, j_rep
+	pop  ra
+	ret
+
+; jdct(a0 = 8x8 block in the image, stride 64) -> jpgCoef[64] halves
+jdct:	la   v0, jpgC
+	la   v1, jpgTmp
+	li   t0, 0
+jp1_u:	li   t1, 0
+jp1_x:	li   t3, 0
+	li   t2, 0
+	sll  t4, t0, 4
+	add  t4, v0, t4
+	add  t5, a0, t1
+jp1_k:	lh   t6, 0(t4)
+	lbu  t7, 0(t5)
+	addi t7, t7, -128
+	mul  t8, t6, t7
+	add  t3, t3, t8
+	addi t4, t4, 2
+	addi t5, t5, 64
+	addi t2, t2, 1
+	li   t9, 8
+	blt  t2, t9, jp1_k
+	addi t3, t3, 4096
+	sra  t3, t3, 13
+	sll  t6, t0, 5
+	sll  t7, t1, 2
+	add  t6, t6, t7
+	add  t6, v1, t6
+	sw   t3, 0(t6)
+	addi t1, t1, 1
+	li   t9, 8
+	blt  t1, t9, jp1_x
+	addi t0, t0, 1
+	li   t9, 8
+	blt  t0, t9, jp1_u
+	li   t0, 0
+jp2_u:	li   t1, 0
+jp2_v:	li   t3, 0
+	li   t2, 0
+	sll  t4, t0, 5
+	add  t4, v1, t4
+	sll  t5, t1, 4
+	add  t5, v0, t5
+jp2_k:	lw   t6, 0(t4)
+	lh   t7, 0(t5)
+	mul  t8, t6, t7
+	add  t3, t3, t8
+	addi t4, t4, 4
+	addi t5, t5, 2
+	addi t2, t2, 1
+	li   t9, 8
+	blt  t2, t9, jp2_k
+	addi t3, t3, 4096
+	sra  t3, t3, 13
+	la   t5, jpgCoef
+	sll  t6, t0, 4
+	sll  t7, t1, 1
+	add  t6, t6, t7
+	add  t6, t5, t6
+	sh   t3, 0(t6)
+	addi t1, t1, 1
+	li   t9, 8
+	blt  t1, t9, jp2_v
+	addi t0, t0, 1
+	li   t9, 8
+	blt  t0, t9, jp2_u
+	ret
+
+; jquant: jpgQ = jpgCoef / jpgQt, then zigzag into jpgZZ
+jquant:	la   t0, jpgCoef
+	la   t1, jpgQt
+	la   t2, jpgQ
+	li   t3, 64
+jq_l:	lh   t4, 0(t0)
+	lh   t5, 0(t1)
+	div  t6, t4, t5
+	sh   t6, 0(t2)
+	addi t0, t0, 2
+	addi t1, t1, 2
+	addi t2, t2, 2
+	addi t3, t3, -1
+	bnez t3, jq_l
+	la   t0, jpgZig
+	la   t1, jpgQ
+	la   t2, jpgZZ
+	li   t3, 64
+jz_l:	lbu  t4, 0(t0)
+	sll  t4, t4, 1
+	add  t4, t1, t4
+	lh   t5, 0(t4)
+	sh   t5, 0(t2)
+	addi t0, t0, 1
+	addi t2, t2, 2
+	addi t3, t3, -1
+	bnez t3, jz_l
+	ret
+
+; jrle: append [DC][(run,val)*][0x7FFF] halfwords at s6
+jrle:	la   t0, jpgZZ
+	lh   t1, 0(t0)
+	sh   t1, 0(s6)
+	addi s6, s6, 2
+	li   t2, 0             ; zero run
+	li   t3, 1             ; i
+jr_l:	sll  t4, t3, 1
+	add  t4, t0, t4
+	lh   t5, 0(t4)
+	bnez t5, jr_nz
+	addi t2, t2, 1
+	b    jr_nx
+jr_nz:	sh   t2, 0(s6)
+	sh   t5, 2(s6)
+	addi s6, s6, 4
+	li   t2, 0
+jr_nx:	addi t3, t3, 1
+	li   t9, 64
+	blt  t3, t9, jr_l
+	li   t4, 0x7FFF
+	sh   t4, 0(s6)
+	addi s6, s6, 2
+	ret
+`
+
+// JPEGEnc builds the benchmark.
+func JPEGEnc() Workload {
+	img := jpegImage()
+	coeffs := dctCoeffs()
+	want := jpegRef(img, coeffs, jpegQuant, jpegZigzag)
+	data := "\t.org DATA\n" +
+		dirBytes("jpgImg", img) +
+		"\t.align 4\n" + dirHalves("jpgC", coeffs) +
+		"\t.align 4\n" + dirHalves("jpgQt", jpegQuant) +
+		dirBytes("jpgZig", jpegZigzag) +
+		"\t.align 4\njpgTmp:\t.space 256\n" +
+		"jpgCoef:\t.space 128\n" +
+		"jpgQ:\t.space 128\n" +
+		"jpgZZ:\t.space 128\n" +
+		"jpgLen:\t.space 4\n" +
+		"jpgOut:\t.space 16384\n"
+	return Workload{
+		Name:    "jpeg_enc",
+		Sources: []string{jpegCode, data},
+		Check: func(c *sim.CPU, p *asm.Program) error {
+			n := c.Mem.ReadWord(p.Symbols["jpgLen"])
+			if int(n) != len(want)*2 {
+				return fmt.Errorf("stream length %d, want %d", n, len(want)*2)
+			}
+			got := c.Mem.ReadRange(p.Symbols["jpgOut"], int(n))
+			for i, w := range want {
+				if g := binary.LittleEndian.Uint16(got[2*i:]); g != w {
+					return fmt.Errorf("stream[%d] = %#x, want %#x", i, g, w)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,356 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/sim"
+)
+
+// MPEG2Enc: the encoder's inner loop — full-search motion estimation (±3,
+// SAD over 16x16 macroblocks) between two 64x64 frames, followed by the
+// residual's 8x8 forward DCT and uniform quantization. Per macroblock the
+// output stream holds the motion vector, the best SAD and the four
+// quantized coefficient blocks.
+
+const mpeg2Repeats = 2
+const mpeg2Search = 3
+
+func mpeg2Frames() (ref, cur []byte) {
+	ref = make([]byte, 64*64)
+	cur = make([]byte, 64*64)
+	rng := xorshift32(0x5EED)
+	for i := range ref {
+		x, y := i%64, i/64
+		ref[i] = byte(64 + x*2 + y + int(rng.next()%32))
+	}
+	clamp := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > 63 {
+			return 63
+		}
+		return v
+	}
+	// The current frame is the reference shifted by (+2,+1) plus noise, so
+	// the search finds consistent motion vectors.
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			cur[y*64+x] = ref[clamp(y+1)*64+clamp(x+2)] + byte(rng.next()%4)
+		}
+	}
+	return ref, cur
+}
+
+// mpeg2Ref is the bit-exact reference.
+func mpeg2Ref(ref, cur []byte, c []int16) []byte {
+	var out []byte
+	emit16 := func(v uint16) { out = binary.LittleEndian.AppendUint16(out, v) }
+	emit32 := func(v uint32) { out = binary.LittleEndian.AppendUint32(out, v) }
+	var res [256]int16
+	var tmp [64]int32
+	for mby := 0; mby < 4; mby++ {
+		for mbx := 0; mbx < 4; mbx++ {
+			best, bdx, bdy := int32(0x7FFFFFFF), int32(0), int32(0)
+			for dy := -mpeg2Search; dy <= mpeg2Search; dy++ {
+				y := mby*16 + dy
+				if y < 0 || y > 48 {
+					continue
+				}
+				for dx := -mpeg2Search; dx <= mpeg2Search; dx++ {
+					x := mbx*16 + dx
+					if x < 0 || x > 48 {
+						continue
+					}
+					var sad int32
+					for r := 0; r < 16; r++ {
+						for q := 0; q < 16; q++ {
+							d := int32(cur[(mby*16+r)*64+mbx*16+q]) - int32(ref[(y+r)*64+x+q])
+							if d < 0 {
+								d = -d
+							}
+							sad += d
+						}
+					}
+					if sad < best {
+						best, bdx, bdy = sad, int32(dx), int32(dy)
+					}
+				}
+			}
+			emit16(uint16(bdx))
+			emit16(uint16(bdy))
+			emit32(uint32(best))
+			for r := 0; r < 16; r++ {
+				for q := 0; q < 16; q++ {
+					res[r*16+q] = int16(int32(cur[(mby*16+r)*64+mbx*16+q]) -
+						int32(ref[(mby*16+int(bdy)+r)*64+mbx*16+int(bdx)+q]))
+				}
+			}
+			for sb := 0; sb < 4; sb++ {
+				row, col := (sb>>1)*8, (sb&1)*8
+				for u := 0; u < 8; u++ {
+					for x := 0; x < 8; x++ {
+						var sum int32
+						for k := 0; k < 8; k++ {
+							sum += int32(c[u*8+k]) * int32(res[(row+k)*16+col+x])
+						}
+						tmp[u*8+x] = (sum + 4096) >> 13
+					}
+				}
+				for u := 0; u < 8; u++ {
+					for v := 0; v < 8; v++ {
+						var sum int32
+						for k := 0; k < 8; k++ {
+							sum += tmp[u*8+k] * int32(c[v*8+k])
+						}
+						coef := int32(int16((sum + 4096) >> 13))
+						emit16(uint16(int16(coef / 16)))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+const mpeg2Code = `
+main:	push ra
+	li   s9, 2             ; repeats
+p_rep:	la   s6, mpgOut
+	li   s0, 0             ; mby
+p_by:	li   s1, 0             ; mbx
+p_bx:	li   s2, 0x7FFFFFFF    ; best SAD
+	li   s3, 0             ; best dx
+	li   s4, 0             ; best dy
+	li   s5, -3            ; dy
+p_dy:	sll  t0, s0, 4
+	add  t0, t0, s5
+	bltz t0, p_dyn
+	li   t9, 48
+	bgt  t0, t9, p_dyn
+	li   s7, -3            ; dx
+p_dx:	sll  t1, s1, 4
+	add  t1, t1, s7
+	bltz t1, p_dxn
+	li   t9, 48
+	bgt  t1, t9, p_dxn
+	sll  t2, s0, 10        ; cur MB base: mby*1024 + mbx*16
+	sll  t3, s1, 4
+	add  t2, t2, t3
+	la   a0, mpgCur
+	add  a0, a0, t2
+	sll  t2, t0, 6         ; ref candidate base: y*64 + x
+	add  t2, t2, t1
+	la   a1, mpgRef
+	add  a1, a1, t2
+	jal  msad
+	bge  v0, s2, p_nb
+	move s2, v0
+	move s3, s7
+	move s4, s5
+p_nb:
+p_dxn:	addi s7, s7, 1
+	li   t9, 3
+	ble  s7, t9, p_dx
+p_dyn:	addi s5, s5, 1
+	li   t9, 3
+	ble  s5, t9, p_dy
+	sh   s3, 0(s6)         ; motion vector and SAD
+	sh   s4, 2(s6)
+	sw   s2, 4(s6)
+	addi s6, s6, 8
+	sll  t0, s0, 4         ; residual against the best candidate
+	add  t0, t0, s4
+	sll  t1, s1, 4
+	add  t1, t1, s3
+	sll  t2, t0, 6
+	add  t2, t2, t1
+	la   a1, mpgRef
+	add  a1, a1, t2
+	sll  t2, s0, 10
+	sll  t3, s1, 4
+	add  t2, t2, t3
+	la   a0, mpgCur
+	add  a0, a0, t2
+	jal  mres
+	li   s7, 0             ; sub-block
+p_sb:	la   a0, mpgRes
+	sra  t0, s7, 1
+	sll  t0, t0, 8         ; (sb>>1) * 8 rows * 32 bytes
+	add  a0, a0, t0
+	andi t1, s7, 1
+	sll  t1, t1, 4
+	add  a0, a0, t1
+	jal  mdct
+	jal  mquant
+	addi s7, s7, 1
+	li   t9, 4
+	blt  s7, t9, p_sb
+	addi s1, s1, 1
+	li   t9, 4
+	blt  s1, t9, p_bx
+	addi s0, s0, 1
+	li   t9, 4
+	blt  s0, t9, p_by
+	la   t0, mpgOut
+	sub  t1, s6, t0
+	la   t2, mpgLen
+	sw   t1, 0(t2)
+	addi s9, s9, -1
+	bnez s9, p_rep
+	pop  ra
+	ret
+
+; msad(a0 = cur 16x16 stride 64, a1 = ref candidate) -> v0
+msad:	li   v0, 0
+	li   t2, 16
+ms_r:	li   t3, 16
+ms_c:	lbu  t4, 0(a0)
+	lbu  t5, 0(a1)
+	sub  t6, t4, t5
+	bgez t6, ms_p
+	neg  t6, t6
+ms_p:	add  v0, v0, t6
+	addi a0, a0, 1
+	addi a1, a1, 1
+	addi t3, t3, -1
+	bnez t3, ms_c
+	addi a0, a0, 48
+	addi a1, a1, 48
+	addi t2, t2, -1
+	bnez t2, ms_r
+	ret
+
+; mres(a0 = cur MB, a1 = best ref): mpgRes[16][16] halves = cur - ref
+mres:	la   t0, mpgRes
+	li   t2, 16
+mr_r:	li   t3, 16
+mr_c:	lbu  t4, 0(a0)
+	lbu  t5, 0(a1)
+	sub  t6, t4, t5
+	sh   t6, 0(t0)
+	addi a0, a0, 1
+	addi a1, a1, 1
+	addi t0, t0, 2
+	addi t3, t3, -1
+	bnez t3, mr_c
+	addi a0, a0, 48
+	addi a1, a1, 48
+	addi t2, t2, -1
+	bnez t2, mr_r
+	ret
+
+; mdct(a0 = 8x8 halves sub-block of mpgRes, row stride 32B) -> mpgCoef
+mdct:	la   v0, mpgC
+	la   v1, mpgTmp
+	li   t0, 0
+q1_u:	li   t1, 0
+q1_x:	li   t3, 0
+	li   t2, 0
+	sll  t4, t0, 4
+	add  t4, v0, t4
+	sll  t5, t1, 1
+	add  t5, a0, t5
+q1_k:	lh   t6, 0(t4)
+	lh   t7, 0(t5)
+	mul  t8, t6, t7
+	add  t3, t3, t8
+	addi t4, t4, 2
+	addi t5, t5, 32
+	addi t2, t2, 1
+	li   t9, 8
+	blt  t2, t9, q1_k
+	addi t3, t3, 4096
+	sra  t3, t3, 13
+	sll  t6, t0, 5
+	sll  t7, t1, 2
+	add  t6, t6, t7
+	add  t6, v1, t6
+	sw   t3, 0(t6)
+	addi t1, t1, 1
+	li   t9, 8
+	blt  t1, t9, q1_x
+	addi t0, t0, 1
+	li   t9, 8
+	blt  t0, t9, q1_u
+	li   t0, 0
+q2_u:	li   t1, 0
+q2_v:	li   t3, 0
+	li   t2, 0
+	sll  t4, t0, 5
+	add  t4, v1, t4
+	sll  t5, t1, 4
+	add  t5, v0, t5
+q2_k:	lw   t6, 0(t4)
+	lh   t7, 0(t5)
+	mul  t8, t6, t7
+	add  t3, t3, t8
+	addi t4, t4, 4
+	addi t5, t5, 2
+	addi t2, t2, 1
+	li   t9, 8
+	blt  t2, t9, q2_k
+	addi t3, t3, 4096
+	sra  t3, t3, 13
+	la   t5, mpgCoef
+	sll  t6, t0, 4
+	sll  t7, t1, 1
+	add  t6, t6, t7
+	add  t6, t5, t6
+	sh   t3, 0(t6)
+	addi t1, t1, 1
+	li   t9, 8
+	blt  t1, t9, q2_v
+	addi t0, t0, 1
+	li   t9, 8
+	blt  t0, t9, q2_u
+	ret
+
+; mquant: append mpgCoef / 16 (64 halves) at s6
+mquant:	la   t0, mpgCoef
+	li   t3, 64
+	li   t5, 16
+mq_l:	lh   t4, 0(t0)
+	div  t6, t4, t5
+	sh   t6, 0(s6)
+	addi t0, t0, 2
+	addi s6, s6, 2
+	addi t3, t3, -1
+	bnez t3, mq_l
+	ret
+`
+
+// MPEG2Enc builds the benchmark.
+func MPEG2Enc() Workload {
+	ref, cur := mpeg2Frames()
+	coeffs := dctCoeffs()
+	want := mpeg2Ref(ref, cur, coeffs)
+	data := "\t.org DATA\n" +
+		dirBytes("mpgRef", ref) +
+		dirBytes("mpgCur", cur) +
+		"\t.align 4\n" + dirHalves("mpgC", coeffs) +
+		"\t.align 4\nmpgTmp:\t.space 256\n" +
+		"mpgCoef:\t.space 128\n" +
+		"mpgRes:\t.space 512\n" +
+		"mpgLen:\t.space 4\n" +
+		"mpgOut:\t.space 16384\n"
+	return Workload{
+		Name:    "mpeg2enc",
+		Sources: []string{mpeg2Code, data},
+		Check: func(c *sim.CPU, p *asm.Program) error {
+			n := c.Mem.ReadWord(p.Symbols["mpgLen"])
+			if int(n) != len(want) {
+				return fmt.Errorf("stream length %d, want %d", n, len(want))
+			}
+			got := c.Mem.ReadRange(p.Symbols["mpgOut"], int(n))
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("stream[%d] = %#x, want %#x", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,438 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/sim"
+)
+
+// Whetstone: a miniature of the classic floating-point benchmark. The
+// transcendental modules use explicit Horner polynomials (tables shared
+// between the assembly and the Go reference), so the computation is
+// bit-exact: the simulator executes IEEE-754 double ops with Go semantics.
+
+const whetIters = 1500
+
+// Polynomial coefficient tables (highest order first, Horner form).
+var (
+	whetS = []float64{-1.0 / 5040, 1.0 / 120, -1.0 / 6}                                   // sin(x)/x tail over x²
+	whetC = []float64{-1.0 / 720, 1.0 / 24, -0.5}                                         // cos tail over x²
+	whetA = []float64{-1.0 / 7, 1.0 / 5, -1.0 / 3}                                        // atan tail over x²
+	whetL = []float64{-1.0 / 8, 1.0 / 7, -1.0 / 6, 1.0 / 5, -1.0 / 4, 1.0 / 3, -0.5, 1.0} // log(1+u)/u
+	whetE = []float64{1.0 / 40320, 1.0 / 5040, 1.0 / 720, 1.0 / 120, 1.0 / 24, 1.0 / 6, 0.5, 1.0, 1.0}
+)
+
+// The classic whetstone constants.
+const (
+	whetT  = 0.499975
+	whetT1 = 0.50025
+	whetT2 = 2.0
+)
+
+func whetHorner(c []float64, x float64) float64 {
+	r := c[0]
+	for _, k := range c[1:] {
+		r = r*x + k
+	}
+	return r
+}
+
+func whetPsin(x float64) float64 {
+	x2 := x * x
+	r := whetHorner(whetS, x2)
+	r = r * x2
+	r = r * x
+	return r + x
+}
+
+func whetPcos(x float64) float64 {
+	x2 := x * x
+	r := whetHorner(whetC, x2)
+	r = r * x2
+	return r + 1.0
+}
+
+func whetPatan(x float64) float64 {
+	x2 := x * x
+	r := whetHorner(whetA, x2)
+	r = r * x2
+	r = r * x
+	return r + x
+}
+
+func whetPlog(x float64) float64 {
+	u := x - 1.0
+	r := whetHorner(whetL, u)
+	return r * u
+}
+
+func whetPexp(x float64) float64 {
+	return whetHorner(whetE, x)
+}
+
+// whetRef runs the reference computation and returns the 12 output doubles
+// plus the two integer outputs.
+func whetRef() ([]float64, int32, int32) {
+	x1, x2, x3, x4 := 1.0, -1.0, -1.0, -1.0
+	e1 := []float64{1.0, -1.0, -1.0, -1.0}
+	x, y, z := 0.5, 0.5, 0.0
+	x1r := 0.75
+	var j, acc int32
+	j = 1
+	for i := int32(1); i <= whetIters; i++ {
+		// Module 1: simple identifiers.
+		for k := 0; k < 10; k++ {
+			t := ((x1 + x2) + x3) - x4
+			x1 = t * whetT
+			t = ((x1 + x2) - x3) + x4
+			x2 = t * whetT
+			t = ((x1 - x2) + x3) + x4
+			x3 = t * whetT
+			t = ((-x1 + x2) + x3) + x4
+			x4 = t * whetT
+		}
+		// Module 2: array passed as parameter.
+		for k := 0; k < 6; k++ {
+			t := ((e1[0] + e1[1]) + e1[2]) - e1[3]
+			e1[0] = t * whetT
+			t = ((e1[0] + e1[1]) - e1[2]) + e1[3]
+			e1[1] = t * whetT
+			t = ((e1[0] - e1[1]) + e1[2]) + e1[3]
+			e1[2] = t * whetT
+			t = ((-e1[0] + e1[1]) + e1[2]) + e1[3]
+			e1[3] = t / whetT2
+		}
+		// Module 3: conditional jumps.
+		for k := 0; k < 10; k++ {
+			if j == 1 {
+				j = 2
+			} else {
+				j = 3
+			}
+			if j > 2 {
+				j = 0
+			} else {
+				j = 1
+			}
+			if j < 1 {
+				j = 1
+			} else {
+				j = 0
+			}
+		}
+		// Module 4: integer arithmetic.
+		acc = acc*3 + (i*2)%7 + j
+		// Module 5: trigonometric functions.
+		den := whetPcos(x+y) + whetPcos(x-y)
+		den = den - 1.0
+		num := whetPsin(x) * whetPcos(x)
+		x = whetPatan(num/den) * whetT
+		den = whetPcos(x+y) + whetPcos(x-y)
+		den = den - 1.0
+		num = whetPsin(y) * whetPcos(y)
+		y = whetPatan(num/den) * whetT
+		// Module 6: procedure call.
+		p1 := whetT * (x + y)
+		p2 := whetT * (p1 + y)
+		z = (p1 + p2) / whetT2
+		// Modules 7/8: exp/log/sqrt chain.
+		x1r = math.Sqrt(whetPexp(whetPlog(x1r) / whetT1))
+	}
+	return []float64{x1, x2, x3, x4, e1[0], e1[1], e1[2], e1[3], x, y, z, x1r}, j, acc
+}
+
+const whetCode = `
+; FP register plan: f9=T (permanent), f10..f17 live state
+; (x1,x2,x3,x4,x,y,z,x1r), f6/f7 cross-call temps. Helpers clobber f0-f5.
+main:	push ra
+	la   s7, whetK
+	fld  f9, 0(s7)         ; T
+	fld  f10, 32(s7)       ; x1 = 1.0
+	fld  f11, 40(s7)       ; x2 = -1.0
+	fmov f12, f11          ; x3
+	fmov f13, f11          ; x4
+	fld  f14, 48(s7)       ; x = 0.5
+	fmov f15, f14          ; y
+	fld  f16, 56(s7)       ; z = 0.0
+	fld  f17, 64(s7)       ; x1r = 0.75
+	li   s1, 1             ; j
+	li   s2, 0             ; acc
+	li   s0, 1             ; i
+	li   s3, 1500          ; iterations
+w_loop:
+	; --- module 1 ---
+	li   t0, 10
+w1_l:	fadd f0, f10, f11
+	fadd f0, f0, f12
+	fsub f0, f0, f13
+	fmul f10, f0, f9
+	fadd f0, f10, f11
+	fsub f0, f0, f12
+	fadd f0, f0, f13
+	fmul f11, f0, f9
+	fsub f0, f10, f11
+	fadd f0, f0, f12
+	fadd f0, f0, f13
+	fmul f12, f0, f9
+	fneg f0, f10
+	fadd f0, f0, f11
+	fadd f0, f0, f12
+	fadd f0, f0, f13
+	fmul f13, f0, f9
+	addi t0, t0, -1
+	bnez t0, w1_l
+	; --- module 2: array through a procedure ---
+	la   a0, whetE1
+	jal  wpa
+	; --- module 3: conditional jumps ---
+	li   t0, 10
+w3_l:	li   t2, 1
+	bne  s1, t2, w3_a
+	li   s1, 2
+	b    w3_b
+w3_a:	li   s1, 3
+w3_b:	li   t2, 2
+	ble  s1, t2, w3_c
+	li   s1, 0
+	b    w3_d
+w3_c:	li   s1, 1
+w3_d:	bgtz s1, w3_e
+	li   s1, 1
+	b    w3_f
+w3_e:	li   s1, 0
+w3_f:	addi t0, t0, -1
+	bnez t0, w3_l
+	; --- module 4: integer arithmetic ---
+	li   t1, 3
+	mul  s2, s2, t1
+	sll  t1, s0, 1
+	li   t2, 7
+	rem  t1, t1, t2
+	add  s2, s2, t1
+	add  s2, s2, s1
+	; --- module 5: trig chain for x then y ---
+	fadd f1, f14, f15
+	jal  pcos
+	fmov f6, f0
+	fsub f1, f14, f15
+	jal  pcos
+	fadd f6, f6, f0
+	fld  f4, 72(s7)        ; 1.0
+	fsub f6, f6, f4        ; den
+	fmov f1, f14
+	jal  psin
+	fmov f7, f0
+	fmov f1, f14
+	jal  pcos
+	fmul f7, f7, f0        ; num
+	fdiv f1, f7, f6
+	jal  patan
+	fmul f14, f0, f9       ; x = patan(num/den) * T
+	fadd f1, f14, f15
+	jal  pcos
+	fmov f6, f0
+	fsub f1, f14, f15
+	jal  pcos
+	fadd f6, f6, f0
+	fld  f4, 72(s7)
+	fsub f6, f6, f4
+	fmov f1, f15
+	jal  psin
+	fmov f7, f0
+	fmov f1, f15
+	jal  pcos
+	fmul f7, f7, f0
+	fdiv f1, f7, f6
+	jal  patan
+	fmul f15, f0, f9       ; y
+	; --- module 6: procedure call ---
+	fmov f1, f14
+	fmov f2, f15
+	jal  wp3
+	fmov f16, f0           ; z
+	; --- modules 7/8: sqrt(exp(log(x1r)/T1)) ---
+	fmov f1, f17
+	jal  plog
+	fld  f4, 8(s7)         ; T1
+	fdiv f1, f0, f4
+	jal  pexp
+	fsqrt f17, f0
+	addi s0, s0, 1
+	ble  s0, s3, w_loop
+	; --- store outputs ---
+	la   t0, whetOut
+	fsd  f10, 0(t0)
+	fsd  f11, 8(t0)
+	fsd  f12, 16(t0)
+	fsd  f13, 24(t0)
+	la   t1, whetE1
+	fld  f0, 0(t1)
+	fsd  f0, 32(t0)
+	fld  f0, 8(t1)
+	fsd  f0, 40(t0)
+	fld  f0, 16(t1)
+	fsd  f0, 48(t0)
+	fld  f0, 24(t1)
+	fsd  f0, 56(t0)
+	fsd  f14, 64(t0)
+	fsd  f15, 72(t0)
+	fsd  f16, 80(t0)
+	fsd  f17, 88(t0)
+	sw   s1, 96(t0)
+	sw   s2, 100(t0)
+	pop  ra
+	ret
+
+; phorner(a0 = coeff table, a1 = #coeffs, f1 = x) -> f0
+phorner:
+	fld  f0, 0(a0)
+	addi a1, a1, -1
+ph_l:	addi a0, a0, 8
+	fld  f2, 0(a0)
+	fmul f0, f0, f1
+	fadd f0, f0, f2
+	addi a1, a1, -1
+	bnez a1, ph_l
+	ret
+
+; psin(f1) -> f0, clobbers f0-f3
+psin:	push ra
+	fmov f3, f1
+	fmul f1, f1, f1
+	la   a0, whetS
+	li   a1, 3
+	jal  phorner
+	fmul f0, f0, f1
+	fmul f0, f0, f3
+	fadd f0, f0, f3
+	pop  ra
+	ret
+
+; pcos(f1) -> f0
+pcos:	push ra
+	fmul f1, f1, f1
+	la   a0, whetC
+	li   a1, 3
+	jal  phorner
+	fmul f0, f0, f1
+	la   t0, whetK
+	fld  f2, 72(t0)        ; 1.0
+	fadd f0, f0, f2
+	pop  ra
+	ret
+
+; patan(f1) -> f0
+patan:	push ra
+	fmov f3, f1
+	fmul f1, f1, f1
+	la   a0, whetA
+	li   a1, 3
+	jal  phorner
+	fmul f0, f0, f1
+	fmul f0, f0, f3
+	fadd f0, f0, f3
+	pop  ra
+	ret
+
+; plog(f1) -> f0  (log(1+u) series at u = x-1)
+plog:	push ra
+	la   t0, whetK
+	fld  f2, 72(t0)        ; 1.0
+	fsub f1, f1, f2
+	fmov f3, f1
+	la   a0, whetL
+	li   a1, 8
+	jal  phorner
+	fmul f0, f0, f3
+	pop  ra
+	ret
+
+; pexp(f1) -> f0
+pexp:	push ra
+	la   a0, whetEc
+	li   a1, 9
+	jal  phorner
+	pop  ra
+	ret
+
+; wpa(a0 = &E1[0]): module-2 body, 6 inner repetitions
+wpa:	li   t0, 6
+	la   t1, whetK
+	fld  f4, 16(t1)        ; T2
+wpa_l:	fld  f0, 0(a0)
+	fld  f1, 8(a0)
+	fld  f2, 16(a0)
+	fld  f3, 24(a0)
+	fadd f5, f0, f1
+	fadd f5, f5, f2
+	fsub f5, f5, f3
+	fmul f0, f5, f9
+	fsd  f0, 0(a0)
+	fadd f5, f0, f1
+	fsub f5, f5, f2
+	fadd f5, f5, f3
+	fmul f1, f5, f9
+	fsd  f1, 8(a0)
+	fsub f5, f0, f1
+	fadd f5, f5, f2
+	fadd f5, f5, f3
+	fmul f2, f5, f9
+	fsd  f2, 16(a0)
+	fneg f5, f0
+	fadd f5, f5, f1
+	fadd f5, f5, f2
+	fadd f5, f5, f3
+	fdiv f3, f5, f4
+	fsd  f3, 24(a0)
+	addi t0, t0, -1
+	bnez t0, wpa_l
+	ret
+
+; wp3(f1 = x, f2 = y) -> f0 = z
+wp3:	fadd f0, f1, f2
+	fmul f0, f0, f9        ; p1 = T*(x+y)
+	fadd f3, f0, f2
+	fmul f3, f3, f9        ; p2 = T*(p1+y)
+	fadd f0, f0, f3
+	la   t0, whetK
+	fld  f4, 16(t0)
+	fdiv f0, f0, f4
+	ret
+`
+
+// Whetstone builds the benchmark.
+func Whetstone() Workload {
+	consts := []float64{whetT, whetT1, whetT2, 0, 1.0, -1.0, 0.5, 0.0, 0.75, 1.0}
+	data := "\t.org DATA\n" +
+		dirDoubles("whetK", consts) +
+		dirDoubles("whetS", whetS) +
+		dirDoubles("whetC", whetC) +
+		dirDoubles("whetA", whetA) +
+		dirDoubles("whetL", whetL) +
+		dirDoubles("whetEc", whetE) +
+		dirDoubles("whetE1", []float64{1.0, -1.0, -1.0, -1.0}) +
+		"\t.align 8\nwhetOut:\t.space 104\n"
+	wantF, wantJ, wantAcc := whetRef()
+	return Workload{
+		Name:    "whetstone",
+		Sources: []string{whetCode, data},
+		Check: func(c *sim.CPU, p *asm.Program) error {
+			base := p.Symbols["whetOut"]
+			for i, w := range wantF {
+				got := math.Float64frombits(c.Mem.ReadDouble(base + uint32(8*i)))
+				if math.Float64bits(got) != math.Float64bits(w) {
+					return fmt.Errorf("whetOut[%d] = %v, want %v", i, got, w)
+				}
+			}
+			if got := int32(c.Mem.ReadWord(base + 96)); got != wantJ {
+				return fmt.Errorf("j = %d, want %d", got, wantJ)
+			}
+			if got := int32(c.Mem.ReadWord(base + 100)); got != wantAcc {
+				return fmt.Errorf("acc = %d, want %d", got, wantAcc)
+			}
+			return nil
+		},
+	}
+}

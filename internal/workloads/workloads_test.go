@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"testing"
+
+	"waymemo/internal/trace"
+)
+
+// TestAllWorkloadsValidate runs every benchmark to completion and checks its
+// output against the Go reference — the end-to-end proof that the ISA,
+// assembler, simulator and the benchmark programs agree.
+func TestAllWorkloadsValidate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			c, err := Run(w, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Instrs < 100_000 {
+				t.Errorf("%s retired only %d instructions; too small to be representative", w.Name, c.Instrs)
+			}
+			t.Logf("%s: %d instrs, %d cycles", w.Name, c.Instrs, c.Cycles)
+		})
+	}
+}
+
+// TestWorkloadEventStreams checks that every benchmark produces both fetch
+// and data traffic with plausible structure.
+func TestWorkloadEventStreams(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			var nFetch, nData, nStore, nLink uint64
+			c, err := Run(w,
+				trace.FetchFunc(func(ev trace.FetchEvent) {
+					nFetch++
+					if ev.Kind == trace.KindLink {
+						nLink++
+					}
+				}),
+				trace.DataFunc(func(ev trace.DataEvent) {
+					nData++
+					if ev.Store {
+						nStore++
+					}
+					if ev.Base+uint32(ev.Disp) != ev.Addr {
+						t.Fatalf("base+disp != addr in %s", w.Name)
+					}
+				}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nFetch != c.Cycles {
+				t.Errorf("fetches %d != cycles %d", nFetch, c.Cycles)
+			}
+			if nData == 0 || nStore == 0 {
+				t.Errorf("no data traffic: loads+stores=%d stores=%d", nData, nStore)
+			}
+			if nLink == 0 {
+				t.Errorf("no function returns observed")
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("dct"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("expected error")
+	}
+}
