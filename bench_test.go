@@ -7,6 +7,7 @@ package waymemo_test
 // prints the reproduced numbers.
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -15,24 +16,25 @@ import (
 	"waymemo/internal/core"
 	"waymemo/internal/experiments"
 	"waymemo/internal/sim"
+	"waymemo/internal/suite"
 	"waymemo/internal/synth"
 	"waymemo/internal/trace"
 	"waymemo/internal/workloads"
 )
 
 var (
-	suiteOnce sync.Once
-	suite     *experiments.Results
-	suiteErr  error
+	suiteOnce    sync.Once
+	suiteResults *suite.Results
+	suiteErr     error
 )
 
-func getSuite(b *testing.B) *experiments.Results {
+func getSuite(b *testing.B) *suite.Results {
 	b.Helper()
-	suiteOnce.Do(func() { suite, suiteErr = experiments.RunAll() })
+	suiteOnce.Do(func() { suiteResults, suiteErr = suite.Run(context.Background()) })
 	if suiteErr != nil {
 		b.Fatal(suiteErr)
 	}
-	return suite
+	return suiteResults
 }
 
 // BenchmarkTable1 regenerates the MAB area grid (Table 1).
@@ -98,7 +100,7 @@ func BenchmarkFigure4(b *testing.B) {
 }
 
 // Figure4Rows is split out so the compiler cannot fold the benchmark away.
-func Figure4Rows(r *experiments.Results) []experiments.AccessRow {
+func Figure4Rows(r *suite.Results) []experiments.AccessRow {
 	return experiments.Figure4(r)
 }
 
@@ -110,7 +112,7 @@ func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Figure5(r)
 	}
-	total := map[string]float64{}
+	total := map[suite.ID]float64{}
 	for _, row := range rows {
 		total[row.Tech] += row.B.TotalMW()
 	}
@@ -126,8 +128,8 @@ func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Figure6(r)
 	}
-	sum := map[string]float64{}
-	cnt := map[string]int{}
+	sum := map[suite.ID]float64{}
+	cnt := map[suite.ID]int{}
 	for _, row := range rows {
 		sum[row.Tech] += row.Tags
 		cnt[row.Tech]++
@@ -144,7 +146,7 @@ func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rows = experiments.Figure7(r)
 	}
-	total := map[string]float64{}
+	total := map[suite.ID]float64{}
 	for _, row := range rows {
 		total[row.Tech] += row.B.TotalMW()
 	}
@@ -165,10 +167,22 @@ func BenchmarkFigure8(b *testing.B) {
 }
 
 // BenchmarkSuite times one full pass of the seven benchmarks with every
-// technique attached — the cost of regenerating Figures 4-8 from scratch.
+// technique attached — the cost of regenerating Figures 4-8 from scratch —
+// at the default parallelism.
 func BenchmarkSuite(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RunAll(); err != nil {
+		if _, err := suite.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteSequential is BenchmarkSuite pinned to one worker — the
+// pre-parallelism baseline; the ratio to BenchmarkSuite is the speedup the
+// worker pool buys.
+func BenchmarkSuiteSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Run(context.Background(), suite.WithParallelism(1)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,11 +19,11 @@ import (
 	"waymemo/internal/baseline"
 	"waymemo/internal/cache"
 	"waymemo/internal/core"
-	"waymemo/internal/experiments"
 	"waymemo/internal/power"
 	"waymemo/internal/report"
 	"waymemo/internal/sim"
 	"waymemo/internal/stats"
+	"waymemo/internal/suite"
 	"waymemo/internal/trace"
 )
 
@@ -94,13 +94,14 @@ func main() {
 			report.F(s.TagsPerAccess(), 3), report.F(s.WaysPerAccess(), 3),
 			report.F(b.TotalMW(), 2))
 	}
-	addRow("D", "original", dOrig.Stats, experiments.DModel(experiments.DOrig))
-	dm := experiments.DModel(experiments.DOrig)
+	arr := suite.ArrayModel(geo)
+	addRow("D", "original", dOrig.Stats, arr)
+	dm := arr
 	dm.MAB = dMAB.MAB.Characterize()
 	addRow("D", "mab-"+dcfg.String(), dMAB.Stats, dm)
-	addRow("I", "original", iOrig.Stats, experiments.IModel(experiments.IOrig))
-	addRow("I", "approach[4]", iA4.Stats, experiments.IModel(experiments.IOrig))
-	im := experiments.IModel(experiments.IOrig)
+	addRow("I", "original", iOrig.Stats, arr)
+	addRow("I", "approach[4]", iA4.Stats, arr)
+	im := arr
 	im.MAB = iMAB.MAB.Characterize()
 	addRow("I", "mab-"+icfg.String(), iMAB.Stats, im)
 	t.Render(os.Stdout)

@@ -2,13 +2,20 @@
 //
 // Usage:
 //
-//	wmx [-exp all|table1|table2|table3|fig4|fig5|fig6|fig7|fig8] [-csv]
+//	wmx [-exp NAME] [-csv] [-j N]
+//
+// NAME is one of: all, table1, table2, table3, fig4, fig5, fig6, fig7,
+// fig8, ablation-d, ablation-i, consistency, packet, report.
 //
 // Running with -exp all (the default) executes the seven-benchmark suite
-// once and prints every table and figure of the evaluation section.
+// once and prints every table and figure of the evaluation section. The
+// ablation studies (ablation-d, ablation-i, consistency, packet) go beyond
+// the paper's figures; report emits the full EXPERIMENTS.md on stdout.
+// Benchmarks run concurrently (-j workers, default GOMAXPROCS).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,12 +23,38 @@ import (
 
 	"waymemo/internal/experiments"
 	"waymemo/internal/report"
+	"waymemo/internal/suite"
 )
 
+// expNames lists every accepted -exp value, in help order.
+var expNames = []string{
+	"all",
+	"table1", "table2", "table3",
+	"fig4", "fig5", "fig6", "fig7", "fig8",
+	"ablation-d", "ablation-i", "consistency", "packet",
+	"report",
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, table1..table3, fig4..fig8")
+	exp := flag.String("exp", "all",
+		"experiment to run: "+strings.Join(expNames, ", "))
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	par := flag.Int("j", 0, "benchmarks to simulate concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	which := strings.ToLower(*exp)
+	known := false
+	for _, n := range expNames {
+		if which == n {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "wmx: unknown experiment %q (valid: %s)\n",
+			*exp, strings.Join(expNames, ", "))
+		os.Exit(2)
+	}
 
 	emit := func(t report.Table) {
 		if *csv {
@@ -32,19 +65,27 @@ func main() {
 		fmt.Println()
 	}
 
-	which := strings.ToLower(*exp)
-	needSuite := which == "all" || strings.HasPrefix(which, "fig")
-	var results *experiments.Results
-	if needSuite {
-		fmt.Fprintln(os.Stderr, "running the seven-benchmark suite...")
-		var err error
-		results, err = experiments.RunAll()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wmx:", err)
-			os.Exit(1)
-		}
+	ctx := context.Background()
+	runSuite := func(banner string) *experiments.Results {
+		fmt.Fprintln(os.Stderr, banner)
+		r, err := suite.Run(ctx,
+			suite.WithParallelism(*par),
+			suite.WithProgress(func(p suite.Progress) {
+				if p.Done {
+					fmt.Fprintf(os.Stderr, "  %s done\n", p.Workload)
+				}
+			}))
+		exitOn(err)
+		return r
 	}
 
+	var results *experiments.Results
+	if which == "all" || strings.HasPrefix(which, "fig") {
+		results = runSuite("running the seven-benchmark suite...")
+	}
+
+	// ran guards the expNames list against drifting from the dispatch
+	// below: every accepted name must produce output.
 	ran := false
 	want := func(name string) bool {
 		if which == "all" || which == name {
@@ -87,25 +128,25 @@ func main() {
 	// Studies beyond the paper's figures (not part of -exp all).
 	if which == "ablation-d" {
 		ran = true
-		rows, err := experiments.AblationD()
+		rows, err := experiments.AblationD(ctx, suite.WithParallelism(*par))
 		exitOn(err)
 		emit(experiments.AblationTable("D-cache techniques (7-benchmark average)", rows))
 	}
 	if which == "ablation-i" {
 		ran = true
-		rows, err := experiments.AblationI()
+		rows, err := experiments.AblationI(ctx, suite.WithParallelism(*par))
 		exitOn(err)
 		emit(experiments.AblationTable("I-cache techniques (7-benchmark average)", rows))
 	}
 	if which == "consistency" {
 		ran = true
-		rows, err := experiments.AblationConsistency()
+		rows, err := experiments.AblationConsistency(ctx, suite.WithParallelism(*par))
 		exitOn(err)
 		emit(experiments.ConsistencyTable(rows))
 	}
 	if which == "packet" {
 		ran = true
-		rows, err := experiments.AblationPacket()
+		rows, err := experiments.AblationPacket(ctx, suite.WithParallelism(*par))
 		exitOn(err)
 		emit(experiments.PacketTable(rows))
 	}
@@ -113,22 +154,22 @@ func main() {
 		// Regenerate EXPERIMENTS.md on stdout: the full suite plus every
 		// ablation study.
 		ran = true
-		fmt.Fprintln(os.Stderr, "running the seven-benchmark suite and all ablations...")
-		results, err := experiments.RunAll()
+		results := runSuite("running the seven-benchmark suite and all ablations...")
+		ablD, err := experiments.AblationD(ctx, suite.WithParallelism(*par))
 		exitOn(err)
-		ablD, err := experiments.AblationD()
+		ablI, err := experiments.AblationI(ctx, suite.WithParallelism(*par))
 		exitOn(err)
-		ablI, err := experiments.AblationI()
+		cons, err := experiments.AblationConsistency(ctx, suite.WithParallelism(*par))
 		exitOn(err)
-		cons, err := experiments.AblationConsistency()
-		exitOn(err)
-		packet, err := experiments.AblationPacket()
+		packet, err := experiments.AblationPacket(ctx, suite.WithParallelism(*par))
 		exitOn(err)
 		experiments.WriteMarkdown(os.Stdout, results, ablD, ablI, cons, packet)
 	}
 	if !ran {
-		fmt.Fprintf(os.Stderr, "wmx: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		// Unreachable while expNames and the dispatch above agree; catches
+		// a name added to the list without a branch.
+		fmt.Fprintf(os.Stderr, "wmx: experiment %q accepted but not dispatched\n", *exp)
+		os.Exit(1)
 	}
 }
 

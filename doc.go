@@ -7,7 +7,8 @@
 // substrate (ISA, assembler, simulator) in internal/isa, internal/asm and
 // internal/sim, the cache and power models in internal/cache,
 // internal/cacti, internal/synth and internal/power, the paper's seven
-// benchmarks in internal/workloads, and the table/figure regeneration in
+// benchmarks in internal/workloads, the technique registry and parallel
+// suite runner in internal/suite, and the table/figure rendering in
 // internal/experiments.
 //
 // See README.md for a tour, DESIGN.md for the system inventory and

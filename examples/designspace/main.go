@@ -2,55 +2,53 @@
 // benchmark suite and reports the power-optimal size — reproducing the
 // paper's finding that 2 tag entries x 8 set-index entries is optimal:
 // bigger MABs win a few more hits but their own power outgrows the savings.
+//
+// The sweep is exactly what the suite API is for: every grid point is one
+// suite.MABDataTechnique value, the runner attaches all of them to a single
+// pass over each benchmark, and the benchmarks themselves run in parallel.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"waymemo/internal/cache"
-	"waymemo/internal/cacti"
 	"waymemo/internal/core"
-	"waymemo/internal/power"
-	"waymemo/internal/stats"
-	"waymemo/internal/synth"
-	"waymemo/internal/trace"
+	"waymemo/internal/suite"
 	"waymemo/internal/workloads"
 )
 
 func main() {
-	geo := cache.FRV32K
-	arr := cacti.ArrayEnergies(cacti.Tech130, geo)
 	type cfg struct{ nt, ns int }
-	grid := []cfg{}
+	var grid []cfg
 	for _, nt := range []int{1, 2} {
 		for _, ns := range []int{4, 8, 16, 32} {
 			grid = append(grid, cfg{nt, ns})
 		}
 	}
 
-	// One controller per configuration plus the original baseline, all fed
-	// from a single pass over the seven benchmarks.
+	// The original baseline plus one technique per grid point, all fed from
+	// a single pass over the seven benchmarks.
+	techs := []suite.Technique{suite.MustLookup(suite.Data, suite.DOrig)}
+	ids := make(map[cfg]suite.ID, len(grid))
+	for _, g := range grid {
+		id := suite.ID(fmt.Sprintf("mab-%dx%d", g.nt, g.ns))
+		ids[g] = id
+		techs = append(techs, suite.MABDataTechnique(id, "grid point",
+			core.Config{TagEntries: g.nt, SetEntries: g.ns}))
+	}
+
+	r, err := suite.Run(context.Background(), suite.WithTechniques(techs...))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	totalMW := make(map[cfg]float64)
 	var origMW float64
-	for _, w := range workloads.All() {
-		ctls := make([]*core.DController, len(grid))
-		sinks := make([]trace.DataSink, 0, len(grid)+1)
-		origStats := &stats.Counters{}
-		origCtl := newOriginal(geo, origStats)
-		sinks = append(sinks, origCtl)
-		for i, g := range grid {
-			ctls[i] = core.NewDController(geo, core.Config{TagEntries: g.nt, SetEntries: g.ns})
-			sinks = append(sinks, ctls[i])
-		}
-		c, err := workloads.Run(w, nil, trace.DataTee(sinks...))
-		if err != nil {
-			log.Fatal(err)
-		}
-		origMW += power.Compute(origStats, c.Cycles, power.Model{Array: arr}).TotalMW()
-		for i, g := range grid {
-			m := power.Model{Array: arr, MAB: synth.Characterize(g.nt, g.ns)}
-			totalMW[g] += power.Compute(ctls[i].Stats, c.Cycles, m).TotalMW()
+	for _, b := range r.Benchmarks {
+		origMW += b.DPower(suite.DOrig).TotalMW()
+		for _, g := range grid {
+			totalMW[g] += b.DPower(ids[g]).TotalMW()
 		}
 	}
 
@@ -60,48 +58,13 @@ func main() {
 	best, bestCfg := 1e18, cfg{}
 	for _, g := range grid {
 		avg := totalMW[g] / n
-		mabP := synth.Characterize(g.nt, g.ns)
+		// Every result row carries its technique's power model.
+		mabMW := r.Benchmarks[0].D[ids[g]].Model.MAB.ActiveMW
 		fmt.Printf("%dx%-6d %12.2f %11.1f%% %10.2f\n", g.nt, g.ns, avg,
-			(1-avg/(origMW/n))*100, mabP.ActiveMW)
+			(1-avg/(origMW/n))*100, mabMW)
 		if avg < best {
 			best, bestCfg = avg, g
 		}
 	}
 	fmt.Printf("\npower-optimal configuration: %dx%d (paper: 2x8)\n", bestCfg.nt, bestCfg.ns)
-}
-
-// newOriginal adapts the conventional-access accounting to a DataSink
-// without importing the baseline package (keeps the example self-contained
-// on the core API).
-func newOriginal(geo cache.Config, s *stats.Counters) trace.DataSink {
-	c := cache.New(geo)
-	return trace.DataFunc(func(ev trace.DataEvent) {
-		s.Accesses++
-		ways := uint64(geo.Ways)
-		s.TagReads += ways
-		way, hit := c.Lookup(ev.Addr)
-		if hit {
-			s.Hits++
-			if !ev.Store {
-				s.WayReads += ways
-			}
-		} else {
-			s.Misses++
-			if !ev.Store {
-				s.WayReads += ways
-			}
-			var evc cache.Eviction
-			way, evc = c.Fill(ev.Addr)
-			s.Refills++
-			s.WayWrites++
-			if evc.Dirty {
-				s.WriteBacks++
-			}
-		}
-		c.Touch(ev.Addr, way)
-		if ev.Store {
-			s.WayWrites++
-			c.MarkDirty(ev.Addr, way)
-		}
-	})
 }

@@ -1,25 +1,22 @@
 // icache_loop compares the paper's I-cache technique against Panwar &
 // Rennels [4] on call-heavy loop code, showing where the MAB's three input
-// types (sequential stride, branch offset, link register) pay off.
+// types (sequential stride, branch offset, link register) pay off. All
+// three techniques come straight from the standard registry.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"waymemo/internal/asm"
-	"waymemo/internal/baseline"
-	"waymemo/internal/cache"
-	"waymemo/internal/core"
-	"waymemo/internal/sim"
-	"waymemo/internal/trace"
+	"waymemo/internal/suite"
+	"waymemo/internal/workloads"
 )
 
 // A loop spanning several cache lines whose body calls two helpers: every
 // iteration produces inter-line sequential flow, taken branches and two
 // link-register returns.
 const program = `
-	.org 0x10000
 main:	li   s0, 20000
 	li   s1, 0
 loop:	move a0, s1
@@ -54,39 +51,40 @@ helper2:
 `
 
 func main() {
-	prog, err := asm.Assemble(program)
+	w := workloads.Workload{Name: "icache_loop", Sources: []string{program},
+		MaxInstrs: 10_000_000}
+	r, err := suite.Run(context.Background(),
+		suite.WithWorkloads(w),
+		suite.WithTechniques(
+			suite.MustLookup(suite.Fetch, suite.IA4),
+			suite.MustLookup(suite.Fetch, suite.IMAB8),
+			suite.MustLookup(suite.Fetch, suite.IMAB16),
+		))
 	if err != nil {
 		log.Fatal(err)
 	}
-	geo := cache.FRV32K
-	a4 := baseline.NewApproach4I(geo)
-	m8 := core.NewIController(geo, core.Config{TagEntries: 2, SetEntries: 8})
-	m16 := core.NewIController(geo, core.DefaultI)
+	b := r.Benchmarks[0]
+	a4 := b.I[suite.IA4].Stats
+	m8 := b.I[suite.IMAB8].Stats
+	m16 := b.I[suite.IMAB16].Stats
 
-	cpu := sim.New()
-	cpu.Fetch = trace.FetchTee(a4, m8, m16)
-	cpu.LoadProgram(prog, 0x001F0000)
-	if err := cpu.Run(10_000_000); err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Printf("%d fetch packets\n\n", cpu.Cycles)
+	fmt.Printf("%d fetch packets\n\n", b.Cycles)
 	fmt.Println("flow mix (approach [4]'s view):")
 	names := []string{"intra-seq", "intra-nonseq", "inter-seq", "inter-nonseq"}
-	for i, n := range a4.Stats.Flow {
+	for i, n := range a4.Flow {
 		fmt.Printf("  %-13s %7d (%.1f%%)\n", names[i], n,
-			float64(n)/float64(a4.Stats.Accesses)*100)
+			float64(n)/float64(a4.Accesses)*100)
 	}
 	fmt.Println()
 	fmt.Printf("%-18s %12s %12s\n", "technique", "tags/access", "ways/access")
 	show := func(name string, tags, ways float64) {
 		fmt.Printf("%-18s %12.3f %12.3f\n", name, tags, ways)
 	}
-	show("approach [4]", a4.Stats.TagsPerAccess(), a4.Stats.WaysPerAccess())
-	show("MAB 2x8", m8.Stats.TagsPerAccess(), m8.Stats.WaysPerAccess())
-	show("MAB 2x16", m16.Stats.TagsPerAccess(), m16.Stats.WaysPerAccess())
+	show("approach [4]", a4.TagsPerAccess(), a4.WaysPerAccess())
+	show("MAB 2x8", m8.TagsPerAccess(), m8.WaysPerAccess())
+	show("MAB 2x16", m16.TagsPerAccess(), m16.WaysPerAccess())
 	fmt.Println()
 	fmt.Printf("[4] handles only intra-line sequential flow; the MAB also\n")
 	fmt.Printf("memoizes the line crossings, the taken branches and the returns\n")
-	fmt.Printf("(MAB 2x16 hit rate on those: %.1f%%).\n", m16.Stats.MABHitRate()*100)
+	fmt.Printf("(MAB 2x16 hit rate on those: %.1f%%).\n", m16.MABHitRate()*100)
 }

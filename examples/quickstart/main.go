@@ -1,24 +1,20 @@
-// Quickstart: assemble a small program, run it with a way-memoized data and
-// instruction cache next to the conventional baselines, and print the tag /
-// way / power savings — the paper's result in thirty lines of setup.
+// Quickstart: wrap a small assembly program as a workload, run it through
+// the suite runner with way-memoized caches next to the conventional
+// baselines, and print the tag / way / power savings — the paper's result
+// in twenty lines of setup.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"waymemo/internal/asm"
-	"waymemo/internal/baseline"
-	"waymemo/internal/cache"
-	"waymemo/internal/cacti"
-	"waymemo/internal/core"
-	"waymemo/internal/power"
-	"waymemo/internal/sim"
-	"waymemo/internal/trace"
+	"waymemo/internal/suite"
+	"waymemo/internal/workloads"
 )
 
+// The workload prologue jumps to main; data lives in the usual data region.
 const program = `
-	.org 0x10000
 ; sum an array, scale it, and write it back - a typical embedded loop
 main:	la   t0, data
 	li   t1, 1024          ; elements
@@ -41,43 +37,39 @@ result:	.space 4
 `
 
 func main() {
-	prog, err := asm.Assemble(program)
+	w := workloads.Workload{Name: "quickstart", Sources: []string{program},
+		MaxInstrs: 10_000_000}
+
+	// Two techniques per cache, picked from the standard registry: the
+	// conventional baseline and the paper's MAB configuration.
+	r, err := suite.Run(context.Background(),
+		suite.WithWorkloads(w),
+		suite.WithTechniques(
+			suite.MustLookup(suite.Data, suite.DOrig),
+			suite.MustLookup(suite.Data, suite.DMAB),
+			suite.MustLookup(suite.Fetch, suite.IOrig),
+			suite.MustLookup(suite.Fetch, suite.IMAB16),
+		))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	geo := cache.FRV32K // the paper's 32KB 2-way cache
-	origD := baseline.NewOriginalD(geo)
-	mabD := core.NewDController(geo, core.DefaultD) // 2x8 MAB
-	origI := baseline.NewOriginalI(geo)
-	mabI := core.NewIController(geo, core.DefaultI) // 2x16 MAB
+	b := r.Benchmarks[0]
+	origD, mabD := b.D[suite.DOrig].Stats, b.D[suite.DMAB].Stats
+	origI, mabI := b.I[suite.IOrig].Stats, b.I[suite.IMAB16].Stats
+	pOrigD, pMabD := b.DPower(suite.DOrig), b.DPower(suite.DMAB)
+	pOrigI, pMabI := b.IPower(suite.IOrig), b.IPower(suite.IMAB16)
 
-	cpu := sim.New()
-	cpu.Data = trace.DataTee(origD, mabD)
-	cpu.Fetch = trace.FetchTee(origI, mabI)
-	cpu.LoadProgram(prog, 0x001F0000)
-	if err := cpu.Run(10_000_000); err != nil {
-		log.Fatal(err)
-	}
-
-	arr := cacti.ArrayEnergies(cacti.Tech130, geo)
-	pOrigD := power.Compute(origD.Stats, cpu.Cycles, power.Model{Array: arr})
-	pMabD := power.Compute(mabD.Stats, cpu.Cycles,
-		power.Model{Array: arr, MAB: mabD.MAB.Characterize()})
-	pOrigI := power.Compute(origI.Stats, cpu.Cycles, power.Model{Array: arr})
-	pMabI := power.Compute(mabI.Stats, cpu.Cycles,
-		power.Model{Array: arr, MAB: mabI.MAB.Characterize()})
-
-	fmt.Printf("program ran %d instructions in %d cycles\n\n", cpu.Instrs, cpu.Cycles)
+	fmt.Printf("program ran %d instructions in %d cycles\n\n", b.Instrs, b.Cycles)
 	fmt.Printf("D-cache: tags/access %.2f -> %.2f, ways/access %.2f -> %.2f\n",
-		origD.Stats.TagsPerAccess(), mabD.Stats.TagsPerAccess(),
-		origD.Stats.WaysPerAccess(), mabD.Stats.WaysPerAccess())
+		origD.TagsPerAccess(), mabD.TagsPerAccess(),
+		origD.WaysPerAccess(), mabD.WaysPerAccess())
 	fmt.Printf("D-cache power: %.2f mW -> %.2f mW (%.0f%% saving)\n\n",
 		pOrigD.TotalMW(), pMabD.TotalMW(), (1-pMabD.TotalMW()/pOrigD.TotalMW())*100)
 	fmt.Printf("I-cache: tags/access %.2f -> %.2f\n",
-		origI.Stats.TagsPerAccess(), mabI.Stats.TagsPerAccess())
+		origI.TagsPerAccess(), mabI.TagsPerAccess())
 	fmt.Printf("I-cache power: %.2f mW -> %.2f mW (%.0f%% saving)\n\n",
 		pOrigI.TotalMW(), pMabI.TotalMW(), (1-pMabI.TotalMW()/pOrigI.TotalMW())*100)
 	fmt.Printf("D-MAB hit rate: %.1f%%   I-MAB hit rate: %.1f%%\n",
-		mabD.Stats.MABHitRate()*100, mabI.Stats.MABHitRate()*100)
+		mabD.MABHitRate()*100, mabI.MABHitRate()*100)
 }

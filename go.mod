@@ -1,0 +1,3 @@
+module waymemo
+
+go 1.24

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"waymemo/internal/baseline"
@@ -9,10 +10,9 @@ import (
 	"waymemo/internal/core"
 	"waymemo/internal/power"
 	"waymemo/internal/report"
-	"waymemo/internal/stats"
+	"waymemo/internal/suite"
 	"waymemo/internal/synth"
 	"waymemo/internal/trace"
-	"waymemo/internal/workloads"
 )
 
 // This file holds the studies beyond the paper's published figures: the
@@ -20,6 +20,10 @@ import (
 // MAB+line-buffer combination the conclusion announces, the consistency
 // policy comparison motivated by the §3.3 analysis (see DESIGN.md), and a
 // fetch-packet-width sensitivity study.
+//
+// Each study expresses its one-off configurations as ad hoc suite.Technique
+// values (no registration needed) and hands them to suite.Run, so the
+// studies inherit the runner's parallelism and cancellation for free.
 
 // AblationRow is one technique's aggregate over the seven benchmarks.
 type AblationRow struct {
@@ -31,139 +35,120 @@ type AblationRow struct {
 	BufHitRate   float64
 }
 
+// dTech and iTech build one-off techniques for the studies below.
+func dTech(id suite.ID, f suite.Factory) suite.Technique {
+	return suite.Technique{ID: id, Domain: suite.Data, New: f}
+}
+
+func iTech(id suite.ID, f suite.Factory) suite.Technique {
+	return suite.Technique{ID: id, Domain: suite.Fetch, New: f}
+}
+
+// lineBufferEnergies is the single-entry line buffer shared by the
+// line-buffer baseline and the MAB+line-buffer combination.
+func lineBufferEnergies(geo cache.Config) cacti.BufferEnergies {
+	return cacti.LineBuffer(cacti.Tech130, 1, geo.LineBytes, geo.TagBits())
+}
+
 // AblationD compares all data-cache techniques, including the related work
-// of Section 2 and the paper's announced line-buffer combination.
-func AblationD() ([]AblationRow, error) {
-	type entry struct {
-		name  string
-		sink  trace.DataSink
-		stat  *stats.Counters
-		model power.Model
-	}
-	arr := arrayEnergies
+// of Section 2 and the paper's announced line-buffer combination. Extra
+// suite options (parallelism, progress, ...) pass through to the runner.
+func AblationD(ctx context.Context, opts ...suite.Option) ([]AblationRow, error) {
 	l0geo := cache.Config{Sets: 8, Ways: 1, LineBytes: 32} // 256B filter cache
-	bufE := cacti.LineBuffer(cacti.Tech130, 1, Geometry.LineBytes, Geometry.TagBits())
-	sums := map[string]*AblationRow{}
-	var order []string
-	var totalCycles uint64
-
-	for _, w := range workloads.All() {
-		orig := baseline.NewOriginalD(Geometry)
-		tp := baseline.NewTwoPhaseD(Geometry)
-		lb := baseline.NewLineBufferD(Geometry)
-		fc := baseline.NewFilterCacheD(l0geo, Geometry)
-		sb := baseline.NewSetBufferD(Geometry)
-		mab := core.NewDController(Geometry, core.DefaultD)
-		mablb := core.NewDLineBufferController(Geometry, core.DefaultD)
-
-		entries := []entry{
-			{"original", orig, orig.Stats, power.Model{Array: arr}},
-			{"two-phase[8]", tp, tp.Stats, power.Model{Array: arr}},
-			{"line-buffer[13]", lb, lb.Stats, power.Model{Array: arr, Buffer: bufE}},
-			{"filter-cache[6]", fc, fc.Stats, power.Model{Array: arr,
-				Buffer: cacti.LineBuffer(cacti.Tech130, l0geo.Sets, l0geo.LineBytes, 24)}},
-			{"setbuf[14]", sb, sb.Stats, DModel(DSetBuf)},
-			{"mab-2x8", mab, mab.Stats, DModel(DMAB)},
-			{"mab-2x8+linebuf", mablb, mablb.Stats, power.Model{Array: arr,
-				MAB: synth.Characterize(2, 8), Buffer: bufE}},
-		}
-		sinks := make([]trace.DataSink, len(entries))
-		for i := range entries {
-			sinks[i] = entries[i].sink
-		}
-		c, err := workloads.Run(w, nil, trace.DataTee(sinks...))
-		if err != nil {
-			return nil, err
-		}
-		totalCycles += c.Cycles
-		for _, e := range entries {
-			row := sums[e.name]
-			if row == nil {
-				row = &AblationRow{Tech: e.name}
-				sums[e.name] = row
-				order = append(order, e.name)
-			}
-			row.Tags += e.stat.TagsPerAccess()
-			row.Ways += e.stat.WaysPerAccess()
-			row.PowerMW += power.Compute(e.stat, c.Cycles, e.model).TotalMW()
-			row.CyclePenalty += float64(e.stat.ExtraCycles) / float64(c.Cycles)
-			if e.stat.BufReads+e.stat.SetBufReads > 0 {
-				row.BufHitRate += float64(e.stat.BufHits+e.stat.SetBufHits) /
-					float64(e.stat.BufReads+e.stat.SetBufReads)
-			}
-		}
+	techs := []suite.Technique{
+		suite.MustLookup(suite.Data, DOrig),
+		dTech("two-phase[8]", func(geo cache.Config) suite.Instance {
+			c := baseline.NewTwoPhaseD(geo)
+			return suite.Instance{Data: c, Stats: c.Stats, Model: suite.ArrayModel(geo)}
+		}),
+		dTech("line-buffer[13]", func(geo cache.Config) suite.Instance {
+			c := baseline.NewLineBufferD(geo)
+			m := suite.ArrayModel(geo)
+			m.Buffer = lineBufferEnergies(geo)
+			return suite.Instance{Data: c, Stats: c.Stats, Model: m}
+		}),
+		dTech("filter-cache[6]", func(geo cache.Config) suite.Instance {
+			c := baseline.NewFilterCacheD(l0geo, geo)
+			m := suite.ArrayModel(geo)
+			m.Buffer = cacti.LineBuffer(cacti.Tech130, l0geo.Sets, l0geo.LineBytes, 24)
+			return suite.Instance{Data: c, Stats: c.Stats, Model: m}
+		}),
+		suite.MustLookup(suite.Data, DSetBuf),
+		suite.MustLookup(suite.Data, DMAB),
+		dTech("mab-2x8+linebuf", func(geo cache.Config) suite.Instance {
+			c := core.NewDLineBufferController(geo, core.DefaultD)
+			m := suite.ArrayModel(geo)
+			m.MAB = synth.Characterize(2, 8)
+			m.Buffer = lineBufferEnergies(geo)
+			return suite.Instance{Data: c, Stats: c.Stats, Model: m}
+		}),
 	}
-	n := float64(len(workloads.All()))
-	var rows []AblationRow
-	for _, name := range order {
-		r := *sums[name]
-		r.Tags /= n
-		r.Ways /= n
-		r.PowerMW /= n
-		r.CyclePenalty /= n
-		r.BufHitRate /= n
-		rows = append(rows, r)
+	runOpts := append([]suite.Option{suite.WithGeometry(Geometry)}, opts...)
+	r, err := suite.Run(ctx, append(runOpts, suite.WithTechniques(techs...))...)
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+	return aggregateAblation(r, techs, true), nil
 }
 
 // AblationI compares the instruction-cache techniques of Section 2.
-func AblationI() ([]AblationRow, error) {
-	sums := map[string]*AblationRow{}
-	var order []string
-	for _, w := range workloads.All() {
-		orig := baseline.NewOriginalI(Geometry)
-		a4 := baseline.NewApproach4I(Geometry)
-		wp := baseline.NewWayPredictI(Geometry)
-		ma := baseline.NewMaLinksI(Geometry)
-		mab := core.NewIController(Geometry, core.DefaultI)
+func AblationI(ctx context.Context, opts ...suite.Option) ([]AblationRow, error) {
+	techs := []suite.Technique{
+		suite.MustLookup(suite.Fetch, IOrig),
+		suite.MustLookup(suite.Fetch, IA4),
+		iTech("way-predict[9]", func(geo cache.Config) suite.Instance {
+			c := baseline.NewWayPredictI(geo)
+			return suite.Instance{Fetch: c, Stats: c.Stats, Model: suite.ArrayModel(geo)}
+		}),
+		iTech("ma-links[11]", func(geo cache.Config) suite.Instance {
+			c := baseline.NewMaLinksI(geo)
+			m := suite.ArrayModel(geo)
+			m.Buffer = cacti.LineBuffer(cacti.Tech130, 1, 1, 2) // two link bits
+			return suite.Instance{Fetch: c, Stats: c.Stats, Model: m}
+		}),
+		suite.MustLookup(suite.Fetch, IMAB16),
+	}
+	runOpts := append([]suite.Option{suite.WithGeometry(Geometry)}, opts...)
+	r, err := suite.Run(ctx, append(runOpts, suite.WithTechniques(techs...))...)
+	if err != nil {
+		return nil, err
+	}
+	return aggregateAblation(r, techs, false), nil
+}
 
-		type entry struct {
-			name  string
-			sink  trace.FetchSink
-			stat  *stats.Counters
-			model power.Model
-		}
-		entries := []entry{
-			{"original", orig, orig.Stats, power.Model{Array: arrayEnergies}},
-			{"approach[4]", a4, a4.Stats, power.Model{Array: arrayEnergies}},
-			{"way-predict[9]", wp, wp.Stats, power.Model{Array: arrayEnergies}},
-			{"ma-links[11]", ma, ma.Stats, power.Model{Array: arrayEnergies,
-				Buffer: cacti.LineBuffer(cacti.Tech130, 1, 1, 2)}}, // two link bits
-			{"mab-2x16", mab, mab.Stats, IModel(IMAB16)},
-		}
-		sinks := make([]trace.FetchSink, len(entries))
-		for i := range entries {
-			sinks[i] = entries[i].sink
-		}
-		c, err := workloads.Run(w, trace.FetchTee(sinks...), nil)
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range entries {
-			row := sums[e.name]
-			if row == nil {
-				row = &AblationRow{Tech: e.name}
-				sums[e.name] = row
-				order = append(order, e.name)
+// aggregateAblation averages per-benchmark counters into one row per
+// technique, preserving the technique order.
+func aggregateAblation(r *suite.Results, techs []suite.Technique, withBuf bool) []AblationRow {
+	rows := make([]AblationRow, len(techs))
+	for i, t := range techs {
+		rows[i].Tech = string(t.ID)
+	}
+	for _, b := range r.Benchmarks {
+		for i, t := range techs {
+			tr := b.D[t.ID]
+			if t.Domain == suite.Fetch {
+				tr = b.I[t.ID]
 			}
-			row.Tags += e.stat.TagsPerAccess()
-			row.Ways += e.stat.WaysPerAccess()
-			row.PowerMW += power.Compute(e.stat, c.Cycles, e.model).TotalMW()
-			row.CyclePenalty += float64(e.stat.ExtraCycles) / float64(c.Cycles)
+			s := tr.Stats
+			rows[i].Tags += s.TagsPerAccess()
+			rows[i].Ways += s.WaysPerAccess()
+			rows[i].PowerMW += power.Compute(s, b.Cycles, tr.Model).TotalMW()
+			rows[i].CyclePenalty += float64(s.ExtraCycles) / float64(b.Cycles)
+			if withBuf && s.BufReads+s.SetBufReads > 0 {
+				rows[i].BufHitRate += float64(s.BufHits+s.SetBufHits) /
+					float64(s.BufReads+s.SetBufReads)
+			}
 		}
 	}
-	n := float64(len(workloads.All()))
-	var rows []AblationRow
-	for _, name := range order {
-		r := *sums[name]
-		r.Tags /= n
-		r.Ways /= n
-		r.PowerMW /= n
-		r.CyclePenalty /= n
-		rows = append(rows, r)
+	n := float64(len(r.Benchmarks))
+	for i := range rows {
+		rows[i].Tags /= n
+		rows[i].Ways /= n
+		rows[i].PowerMW /= n
+		rows[i].CyclePenalty /= n
+		rows[i].BufHitRate /= n
 	}
-	return rows, nil
+	return rows
 }
 
 // AblationTable renders ablation rows.
@@ -188,7 +173,7 @@ type ConsistencyRow struct {
 // AblationConsistency compares the sound evict-invalidate policy with the
 // paper's pure LRU rules (including both readings of the §3.3 large-
 // displacement clearing rule).
-func AblationConsistency() ([]ConsistencyRow, error) {
+func AblationConsistency(ctx context.Context, opts ...suite.Option) ([]ConsistencyRow, error) {
 	configs := []struct {
 		name string
 		cfg  core.Config
@@ -201,27 +186,32 @@ func AblationConsistency() ([]ConsistencyRow, error) {
 		{"paper rules, Nt=1 (provable)", core.Config{TagEntries: 1, SetEntries: 8,
 			Consistency: core.PolicyPaper, Clear: core.ClearAll}},
 	}
+	techs := make([]suite.Technique, len(configs))
+	for i, c := range configs {
+		cfg := c.cfg
+		techs[i] = dTech(suite.ID(c.name), func(geo cache.Config) suite.Instance {
+			ctl := core.NewDController(geo, cfg)
+			return suite.Instance{Data: ctl, Stats: ctl.Stats}
+		})
+	}
+	runOpts := append([]suite.Option{suite.WithGeometry(Geometry)}, opts...)
+	r, err := suite.Run(ctx, append(runOpts, suite.WithTechniques(techs...))...)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]ConsistencyRow, len(configs))
 	for i, c := range configs {
 		rows[i].Policy = c.name
 	}
-	for _, w := range workloads.All() {
-		ctls := make([]*core.DController, len(configs))
-		sinks := make([]trace.DataSink, len(configs))
-		for i, c := range configs {
-			ctls[i] = core.NewDController(Geometry, c.cfg)
-			sinks[i] = ctls[i]
-		}
-		if _, err := workloads.Run(w, nil, trace.DataTee(sinks...)); err != nil {
-			return nil, err
-		}
-		for i := range configs {
-			rows[i].Violations += ctls[i].Stats.Violations
-			rows[i].MABHitRate += ctls[i].Stats.MABHitRate()
-			rows[i].TagsPerAcc += ctls[i].Stats.TagsPerAccess()
+	for _, b := range r.Benchmarks {
+		for i := range techs {
+			s := b.D[techs[i].ID].Stats
+			rows[i].Violations += s.Violations
+			rows[i].MABHitRate += s.MABHitRate()
+			rows[i].TagsPerAcc += s.TagsPerAccess()
 		}
 	}
-	n := float64(len(workloads.All()))
+	n := float64(len(r.Benchmarks))
 	for i := range rows {
 		rows[i].MABHitRate /= n
 		rows[i].TagsPerAcc /= n
@@ -252,27 +242,31 @@ type PacketRow struct {
 // AblationPacket re-runs the suite with 4-, 8- and 16-byte fetch packets:
 // wider packets mean fewer I-cache accesses but a smaller intra-line
 // sequential fraction per access.
-func AblationPacket() ([]PacketRow, error) {
+func AblationPacket(ctx context.Context, opts ...suite.Option) ([]PacketRow, error) {
+	techs := []suite.Technique{
+		suite.MustLookup(suite.Fetch, IA4),
+		suite.MustLookup(suite.Fetch, IMAB16),
+	}
 	var rows []PacketRow
 	for _, pb := range []uint32{4, 8, 16} {
-		var row PacketRow
-		row.PacketBytes = pb
+		runOpts := append([]suite.Option{suite.WithGeometry(Geometry)}, opts...)
+		r, err := suite.Run(ctx, append(runOpts,
+			suite.WithTechniques(techs...), suite.WithPacketBytes(pb))...)
+		if err != nil {
+			return nil, err
+		}
+		row := PacketRow{PacketBytes: pb}
 		var nb float64
-		for _, w := range workloads.All() {
-			a4 := baseline.NewApproach4I(Geometry)
-			mab := core.NewIController(Geometry, core.DefaultI)
-			c, err := workloads.RunPacket(w, trace.FetchTee(a4, mab), nil, pb)
-			if err != nil {
-				return nil, err
-			}
-			row.Cycles += c.Cycles
+		for _, b := range r.Benchmarks {
+			a4, mab := b.I[IA4].Stats, b.I[IMAB16].Stats
+			row.Cycles += b.Cycles
 			var total uint64
-			for _, f := range a4.Stats.Flow {
+			for _, f := range a4.Flow {
 				total += f
 			}
-			row.IntraSeq += float64(a4.Stats.Flow[trace.IntraSeq]) / float64(total)
-			row.A4Tags += a4.Stats.TagsPerAccess()
-			row.MABTags += mab.Stats.TagsPerAccess()
+			row.IntraSeq += float64(a4.Flow[trace.IntraSeq]) / float64(total)
+			row.A4Tags += a4.TagsPerAccess()
+			row.MABTags += mab.TagsPerAccess()
 			nb++
 		}
 		row.IntraSeq /= nb

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -10,7 +11,7 @@ func TestAblationD(t *testing.T) {
 		t.Skip("ablation suite in -short mode")
 	}
 	start := time.Now()
-	rows, err := AblationD()
+	rows, err := AblationD(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +58,7 @@ func TestAblationI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation suite in -short mode")
 	}
-	rows, err := AblationI()
+	rows, err := AblationI(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestAblationConsistency(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation suite in -short mode")
 	}
-	rows, err := AblationConsistency()
+	rows, err := AblationConsistency(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestAblationPacket(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation suite in -short mode")
 	}
-	rows, err := AblationPacket()
+	rows, err := AblationPacket(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

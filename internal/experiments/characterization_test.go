@@ -23,7 +23,7 @@ func TestPerBenchmarkMABHitRates(t *testing.T) {
 		"mpeg2enc":  0.70,
 	}
 	for _, b := range r.Benchmarks {
-		d := b.D[DMAB]
+		d := b.D[DMAB].Stats
 		if hr := d.MABHitRate(); hr < dFloor[b.Name] {
 			t.Errorf("%s: D-MAB hit rate %.2f below floor %.2f", b.Name, hr, dFloor[b.Name])
 		}
@@ -34,7 +34,7 @@ func TestPerBenchmarkMABHitRates(t *testing.T) {
 		}
 		// The I-MAB covers loops and calls almost completely on these
 		// kernels (whetstone's many small helpers churn its tables most).
-		i := b.I[IMAB16]
+		i := b.I[IMAB16].Stats
 		if hr := i.MABHitRate(); hr < 0.85 {
 			t.Errorf("%s: I-MAB hit rate %.2f below 0.85", b.Name, hr)
 		}
@@ -43,7 +43,7 @@ func TestPerBenchmarkMABHitRates(t *testing.T) {
 	// paper's figures show.
 	var compressHR, minOtherHR float64 = 0, 1
 	for _, b := range r.Benchmarks {
-		hr := b.D[DMAB].MABHitRate()
+		hr := b.D[DMAB].Stats.MABHitRate()
 		if b.Name == "compress" {
 			compressHR = hr
 		} else if hr < minOtherHR {
@@ -64,10 +64,10 @@ func TestCacheHitRatesRealistic(t *testing.T) {
 		if b.Name == "compress" {
 			floor = 0.85 // its 48KB dictionary exceeds the 32KB D-cache
 		}
-		if hr := b.D[DOrig].HitRate(); hr < floor {
+		if hr := b.D[DOrig].Stats.HitRate(); hr < floor {
 			t.Errorf("%s: D hit rate %.3f suspiciously low", b.Name, hr)
 		}
-		if hr := b.I[IOrig].HitRate(); hr < 0.98 {
+		if hr := b.I[IOrig].Stats.HitRate(); hr < 0.98 {
 			t.Errorf("%s: I hit rate %.3f suspiciously low", b.Name, hr)
 		}
 	}
@@ -77,7 +77,7 @@ func TestCacheHitRatesRealistic(t *testing.T) {
 // loads and stores (the write-back-buffer modelling depends on it).
 func TestStoreFractionPlausible(t *testing.T) {
 	for _, b := range getSuite(t).Benchmarks {
-		s := b.D[DOrig]
+		s := b.D[DOrig].Stats
 		frac := float64(s.Stores) / float64(s.Accesses)
 		if frac < 0.02 || frac > 0.60 {
 			t.Errorf("%s: store fraction %.2f outside [0.02,0.60]", b.Name, frac)

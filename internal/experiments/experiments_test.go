@@ -5,23 +5,24 @@ import (
 	"sync"
 	"testing"
 
+	"waymemo/internal/suite"
 	"waymemo/internal/trace"
 )
 
 var (
-	suiteOnce sync.Once
-	suite     *Results
-	suiteErr  error
+	suiteOnce    sync.Once
+	suiteResults *Results
+	suiteErr     error
 )
 
 // getSuite runs the full benchmark suite once and shares it across tests.
 func getSuite(t *testing.T) *Results {
 	t.Helper()
-	suiteOnce.Do(func() { suite, suiteErr = RunAll() })
+	suiteOnce.Do(func() { suiteResults, suiteErr = RunAll() })
 	if suiteErr != nil {
 		t.Fatal(suiteErr)
 	}
-	return suite
+	return suiteResults
 }
 
 func TestSuiteCoversSevenBenchmarks(t *testing.T) {
@@ -47,17 +48,17 @@ func TestSuiteCoversSevenBenchmarks(t *testing.T) {
 // misses; the MAB and [4] must not change I-cache behaviour either.
 func TestTechniquesAgreeFunctionally(t *testing.T) {
 	for _, b := range getSuite(t).Benchmarks {
-		o := b.D[DOrig]
+		o := b.D[DOrig].Stats
 		for _, tech := range DTechs {
-			s := b.D[tech]
+			s := b.D[tech].Stats
 			if s.Hits != o.Hits || s.Misses != o.Misses {
 				t.Errorf("%s/%s: hits %d/%d vs original %d/%d",
 					b.Name, tech, s.Hits, s.Misses, o.Hits, o.Misses)
 			}
 		}
-		oi := b.I[IOrig]
+		oi := b.I[IOrig].Stats
 		for _, tech := range ITechs {
-			s := b.I[tech]
+			s := b.I[tech].Stats
 			if s.Hits != oi.Hits || s.Misses != oi.Misses {
 				t.Errorf("%s/%s: I hits %d/%d vs original %d/%d",
 					b.Name, tech, s.Hits, s.Misses, oi.Hits, oi.Misses)
@@ -70,11 +71,11 @@ func TestTechniquesAgreeFunctionally(t *testing.T) {
 // way may ever be stale.
 func TestNoViolations(t *testing.T) {
 	for _, b := range getSuite(t).Benchmarks {
-		if v := b.D[DMAB].Violations; v != 0 {
+		if v := b.D[DMAB].Stats.Violations; v != 0 {
 			t.Errorf("%s: D violations %d", b.Name, v)
 		}
-		for _, tech := range []string{IMAB8, IMAB16, IMAB32} {
-			if v := b.I[tech].Violations; v != 0 {
+		for _, tech := range []suite.ID{IMAB8, IMAB16, IMAB32} {
+			if v := b.I[tech].Stats.Violations; v != 0 {
 				t.Errorf("%s/%s: I violations %d", b.Name, tech, v)
 			}
 		}
@@ -88,7 +89,7 @@ func TestFigure4Shape(t *testing.T) {
 	r := getSuite(t)
 	var reduction float64
 	for _, b := range r.Benchmarks {
-		orig, sb, mab := b.D[DOrig], b.D[DSetBuf], b.D[DMAB]
+		orig, sb, mab := b.D[DOrig].Stats, b.D[DSetBuf].Stats, b.D[DMAB].Stats
 		if got := orig.TagsPerAccess(); math.Abs(got-2.0) > 1e-9 {
 			t.Errorf("%s: original tags/access = %f", b.Name, got)
 		}
@@ -121,20 +122,20 @@ func TestFigure6Shape(t *testing.T) {
 	r := getSuite(t)
 	var a4Red float64
 	for _, b := range r.Benchmarks {
-		a4 := b.I[IA4]
+		a4 := b.I[IA4].Stats
 		if a4.TagsPerAccess() >= 2.0 {
 			t.Errorf("%s: [4] tags/access = %f", b.Name, a4.TagsPerAccess())
 		}
 		a4Red += 1 - a4.TagsPerAccess()/2.0
 		prev := a4.TagsPerAccess()
-		for _, tech := range []string{IMAB8, IMAB16, IMAB32} {
-			cur := b.I[tech].TagsPerAccess()
+		for _, tech := range []suite.ID{IMAB8, IMAB16, IMAB32} {
+			cur := b.I[tech].Stats.TagsPerAccess()
 			if cur > prev+1e-9 {
 				t.Errorf("%s: %s tags/access %f > smaller config %f", b.Name, tech, cur, prev)
 			}
 			prev = cur
 		}
-		if m16 := b.I[IMAB16]; m16.TagsPerAccess() > 0.5*a4.TagsPerAccess()+1e-9 {
+		if m16 := b.I[IMAB16].Stats; m16.TagsPerAccess() > 0.5*a4.TagsPerAccess()+1e-9 {
 			t.Errorf("%s: 2x16 MAB did not halve [4]'s tag accesses (%f vs %f)",
 				b.Name, m16.TagsPerAccess(), a4.TagsPerAccess())
 		}
@@ -152,7 +153,7 @@ func TestFigure6Shape(t *testing.T) {
 func TestFigure5Shape(t *testing.T) {
 	r := getSuite(t)
 	rows := Figure5(r)
-	get := func(bench, tech string) float64 {
+	get := func(bench string, tech suite.ID) float64 {
 		for _, row := range rows {
 			if row.Bench == bench && row.Tech == tech {
 				return row.B.TotalMW()
@@ -195,7 +196,7 @@ func TestFigure5Shape(t *testing.T) {
 func TestFigure7Shape(t *testing.T) {
 	r := getSuite(t)
 	rows := Figure7(r)
-	get := func(bench, tech string) float64 {
+	get := func(bench string, tech suite.ID) float64 {
 		for _, row := range rows {
 			if row.Bench == bench && row.Tech == tech {
 				return row.B.TotalMW()
@@ -250,7 +251,7 @@ func TestFigure8Shape(t *testing.T) {
 // [4]'s 60% saving and the paper's flow taxonomy).
 func TestFlowDistribution(t *testing.T) {
 	for _, b := range getSuite(t).Benchmarks {
-		s := b.I[IOrig]
+		s := b.I[IOrig].Stats
 		var total uint64
 		for _, f := range s.Flow {
 			total += f

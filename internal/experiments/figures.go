@@ -5,6 +5,7 @@ import (
 
 	"waymemo/internal/power"
 	"waymemo/internal/report"
+	"waymemo/internal/suite"
 	"waymemo/internal/synth"
 )
 
@@ -12,7 +13,7 @@ import (
 // activations per cache access.
 type AccessRow struct {
 	Bench string
-	Tech  string
+	Tech  suite.ID
 	Tags  float64
 	Ways  float64
 }
@@ -23,7 +24,7 @@ func Figure4(r *Results) []AccessRow {
 	var rows []AccessRow
 	for _, b := range r.Benchmarks {
 		for _, tech := range DTechs {
-			s := b.D[tech]
+			s := b.D[tech].Stats
 			rows = append(rows, AccessRow{b.Name, tech, s.TagsPerAccess(), s.WaysPerAccess()})
 		}
 	}
@@ -36,7 +37,7 @@ func Figure6(r *Results) []AccessRow {
 	var rows []AccessRow
 	for _, b := range r.Benchmarks {
 		for _, tech := range ITechs {
-			s := b.I[tech]
+			s := b.I[tech].Stats
 			rows = append(rows, AccessRow{b.Name, tech, s.TagsPerAccess(), s.WaysPerAccess()})
 		}
 	}
@@ -48,7 +49,7 @@ func AccessTable(title string, rows []AccessRow) report.Table {
 	t := report.Table{Title: title,
 		Columns: []string{"benchmark", "technique", "tags/access", "ways/access"}}
 	for _, r := range rows {
-		t.AddRow(r.Bench, r.Tech, report.F(r.Tags, 3), report.F(r.Ways, 3))
+		t.AddRow(r.Bench, string(r.Tech), report.F(r.Tags, 3), report.F(r.Ways, 3))
 	}
 	return t
 }
@@ -57,7 +58,7 @@ func AccessTable(title string, rows []AccessRow) report.Table {
 // under one technique.
 type PowerRow struct {
 	Bench string
-	Tech  string
+	Tech  suite.ID
 	B     power.Breakdown
 }
 
@@ -66,9 +67,7 @@ func Figure5(r *Results) []PowerRow {
 	var rows []PowerRow
 	for _, b := range r.Benchmarks {
 		for _, tech := range DTechs {
-			rows = append(rows, PowerRow{
-				b.Name, tech, power.Compute(b.D[tech], b.Cycles, DModel(tech)),
-			})
+			rows = append(rows, PowerRow{b.Name, tech, b.DPower(tech)})
 		}
 	}
 	return rows
@@ -79,9 +78,7 @@ func Figure7(r *Results) []PowerRow {
 	var rows []PowerRow
 	for _, b := range r.Benchmarks {
 		for _, tech := range ITechs {
-			rows = append(rows, PowerRow{
-				b.Name, tech, power.Compute(b.I[tech], b.Cycles, IModel(tech)),
-			})
+			rows = append(rows, PowerRow{b.Name, tech, b.IPower(tech)})
 		}
 	}
 	return rows
@@ -92,7 +89,7 @@ func PowerTable(title string, rows []PowerRow) report.Table {
 	t := report.Table{Title: title, Columns: []string{
 		"benchmark", "technique", "data mW", "tag mW", "MAB mW", "buf mW", "leak mW", "total mW"}}
 	for _, r := range rows {
-		t.AddRow(r.Bench, r.Tech,
+		t.AddRow(r.Bench, string(r.Tech),
 			report.F(r.B.DataMW, 2), report.F(r.B.TagMW, 2), report.F(r.B.MABMW, 2),
 			report.F(r.B.BufMW, 2), report.F(r.B.LeakMW, 2), report.F(r.B.TotalMW(), 2))
 	}
@@ -121,11 +118,13 @@ func (t TotalRow) OursTotal() float64 { return t.OursD + t.OursI }
 func Figure8(r *Results) []TotalRow {
 	var rows []TotalRow
 	for _, b := range r.Benchmarks {
-		baseD := power.Compute(b.D[DOrig], b.Cycles, DModel(DOrig)).TotalMW()
-		baseI := power.Compute(b.I[IA4], b.Cycles, IModel(IA4)).TotalMW()
-		oursD := power.Compute(b.D[DMAB], b.Cycles, DModel(DMAB)).TotalMW()
-		oursI := power.Compute(b.I[IMAB16], b.Cycles, IModel(IMAB16)).TotalMW()
-		row := TotalRow{Bench: b.Name, BaseD: baseD, BaseI: baseI, OursD: oursD, OursI: oursI}
+		row := TotalRow{
+			Bench: b.Name,
+			BaseD: b.DPower(DOrig).TotalMW(),
+			BaseI: b.IPower(IA4).TotalMW(),
+			OursD: b.DPower(DMAB).TotalMW(),
+			OursI: b.IPower(IMAB16).TotalMW(),
+		}
 		row.Saving = 1 - row.OursTotal()/row.BaseTotal()
 		rows = append(rows, row)
 	}

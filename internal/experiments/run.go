@@ -1,125 +1,64 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation section. One simulator pass per benchmark drives all cache
-// techniques simultaneously through event tees, so every technique observes
-// the identical access stream — the same methodology as trace-driven
-// evaluation on the Softune ISS.
+// evaluation section. The execution machinery lives in internal/suite (a
+// technique registry plus a parallel runner); this package is the rendering
+// layer that knows which technique goes in which figure, plus the ablation
+// studies beyond the published results.
 package experiments
 
 import (
-	"waymemo/internal/baseline"
+	"context"
+
 	"waymemo/internal/cache"
-	"waymemo/internal/cacti"
-	"waymemo/internal/core"
-	"waymemo/internal/power"
-	"waymemo/internal/stats"
-	"waymemo/internal/synth"
-	"waymemo/internal/trace"
+	"waymemo/internal/suite"
 	"waymemo/internal/workloads"
 )
 
-// Technique keys of the standard suite.
+// Technique keys of the standard suite, re-exported from internal/suite for
+// the rendering lists below.
 const (
-	DOrig   = "original"
-	DSetBuf = "setbuf[14]"
-	DMAB    = "mab-2x8"
+	DOrig   = suite.DOrig
+	DSetBuf = suite.DSetBuf
+	DMAB    = suite.DMAB
 
-	IOrig  = "original"
-	IA4    = "approach[4]"
-	IMAB8  = "mab-2x8"
-	IMAB16 = "mab-2x16"
-	IMAB32 = "mab-2x32"
+	IOrig  = suite.IOrig
+	IA4    = suite.IA4
+	IMAB8  = suite.IMAB8
+	IMAB16 = suite.IMAB16
+	IMAB32 = suite.IMAB32
 )
 
-// DTechs and ITechs list the technique keys in figure order.
+// DTechs and ITechs list the technique keys in figure order. This is the
+// rendering list: a newly registered technique shows up in the figures by
+// adding its key here — no runner or figure-code changes.
 var (
-	DTechs = []string{DOrig, DSetBuf, DMAB}
-	ITechs = []string{IA4, IMAB8, IMAB16, IMAB32}
+	DTechs = []suite.ID{DOrig, DSetBuf, DMAB}
+	ITechs = []suite.ID{IA4, IMAB8, IMAB16, IMAB32}
 )
 
 // Geometry is the cache configuration of the paper (32KB, 2-way, 512 sets,
 // 32-byte lines, for both I and D).
 var Geometry = cache.FRV32K
 
-// BenchResult holds one benchmark's counters for every technique.
-type BenchResult struct {
-	Name   string
-	Cycles uint64
-	Instrs uint64
-	D      map[string]*stats.Counters
-	I      map[string]*stats.Counters
-}
+// Results and BenchResult alias the suite types so existing figure callers
+// keep compiling.
+type (
+	Results     = suite.Results
+	BenchResult = suite.BenchResult
+)
 
-// Results is the full suite outcome.
-type Results struct {
-	Benchmarks []BenchResult
-}
-
-// RunAll executes the seven benchmarks with every standard technique
-// attached.
+// RunAll executes the seven benchmarks with every registered technique
+// attached, on this package's Geometry.
+//
+// Deprecated: use suite.Run, which takes a context and runs benchmarks in
+// parallel. RunAll remains as a convenience for the figure pipeline.
 func RunAll() (*Results, error) {
-	return RunSuite(workloads.All())
+	return suite.Run(context.Background(), suite.WithGeometry(Geometry))
 }
 
-// RunSuite executes the given workloads with the standard technique set.
+// RunSuite executes the given workloads with the registered technique set.
+//
+// Deprecated: use suite.Run with suite.WithWorkloads.
 func RunSuite(ws []workloads.Workload) (*Results, error) {
-	var out Results
-	for _, w := range ws {
-		dOrig := baseline.NewOriginalD(Geometry)
-		dSB := baseline.NewSetBufferD(Geometry)
-		dMAB := core.NewDController(Geometry, core.DefaultD)
-		iOrig := baseline.NewOriginalI(Geometry)
-		iA4 := baseline.NewApproach4I(Geometry)
-		iM8 := core.NewIController(Geometry, core.Config{TagEntries: 2, SetEntries: 8})
-		iM16 := core.NewIController(Geometry, core.DefaultI)
-		iM32 := core.NewIController(Geometry, core.Config{TagEntries: 2, SetEntries: 32})
-
-		c, err := workloads.Run(w,
-			trace.FetchTee(iOrig, iA4, iM8, iM16, iM32),
-			trace.DataTee(dOrig, dSB, dMAB))
-		if err != nil {
-			return nil, err
-		}
-		out.Benchmarks = append(out.Benchmarks, BenchResult{
-			Name:   w.Name,
-			Cycles: c.Cycles,
-			Instrs: c.Instrs,
-			D: map[string]*stats.Counters{
-				DOrig: dOrig.Stats, DSetBuf: dSB.Stats, DMAB: dMAB.Stats,
-			},
-			I: map[string]*stats.Counters{
-				IOrig: iOrig.Stats, IA4: iA4.Stats,
-				IMAB8: iM8.Stats, IMAB16: iM16.Stats, IMAB32: iM32.Stats,
-			},
-		})
-	}
-	return &out, nil
-}
-
-// arrayEnergies is shared by all power models.
-var arrayEnergies = cacti.ArrayEnergies(cacti.Tech130, Geometry)
-
-// DModel returns the power model for a D-cache technique key.
-func DModel(tech string) power.Model {
-	m := power.Model{Array: arrayEnergies}
-	switch tech {
-	case DSetBuf:
-		m.Buffer = cacti.LineBuffer(cacti.Tech130, Geometry.Ways, Geometry.LineBytes, Geometry.TagBits())
-	case DMAB:
-		m.MAB = synth.Characterize(2, 8)
-	}
-	return m
-}
-
-// IModel returns the power model for an I-cache technique key.
-func IModel(tech string) power.Model {
-	m := power.Model{Array: arrayEnergies}
-	switch tech {
-	case IMAB8:
-		m.MAB = synth.Characterize(2, 8)
-	case IMAB16:
-		m.MAB = synth.Characterize(2, 16)
-	case IMAB32:
-		m.MAB = synth.Characterize(2, 32)
-	}
-	return m
+	return suite.Run(context.Background(),
+		suite.WithGeometry(Geometry), suite.WithWorkloads(ws...))
 }

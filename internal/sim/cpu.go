@@ -17,6 +17,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -439,13 +440,30 @@ func (c *CPU) execMem(in isa.Instr) error {
 // whichever comes first. Exceeding the budget is reported as an error, since
 // it almost always means a runaway program.
 func (c *CPU) Run(maxInstrs uint64) error {
+	return c.RunContext(context.Background(), maxInstrs)
+}
+
+// ctxCheckEvery is how many instructions run between context checks —
+// coarse enough to stay off the simulator's hot path, fine enough that
+// cancellation lands within milliseconds.
+const ctxCheckEvery = 1 << 20
+
+// RunContext is Run with cancellation, checked between instruction chunks.
+func (c *CPU) RunContext(ctx context.Context, maxInstrs uint64) error {
 	start := c.Instrs
+	next := start + ctxCheckEvery
 	for !c.Halted {
 		if err := c.Step(); err != nil {
 			return err
 		}
 		if c.Instrs-start >= maxInstrs {
 			return fmt.Errorf("sim: instruction budget %d exhausted at pc=0x%x", maxInstrs, c.PC)
+		}
+		if c.Instrs >= next {
+			next = c.Instrs + ctxCheckEvery
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,266 @@
+package suite
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/power"
+	"waymemo/internal/stats"
+	"waymemo/internal/trace"
+	"waymemo/internal/workloads"
+)
+
+// TechResult is one technique's outcome on one benchmark: the counters the
+// controller accumulated and the power model that prices them.
+type TechResult struct {
+	Stats *stats.Counters
+	Model power.Model
+}
+
+// BenchResult holds one benchmark's counters for every technique that ran.
+type BenchResult struct {
+	Name   string
+	Cycles uint64
+	Instrs uint64
+	// D and I map technique IDs to their results, split by domain.
+	D map[ID]TechResult
+	I map[ID]TechResult
+}
+
+// DPower prices the named data-cache technique over this benchmark.
+func (b BenchResult) DPower(id ID) power.Breakdown {
+	tr := b.D[id]
+	return power.Compute(tr.Stats, b.Cycles, tr.Model)
+}
+
+// IPower prices the named instruction-cache technique over this benchmark.
+func (b BenchResult) IPower(id ID) power.Breakdown {
+	tr := b.I[id]
+	return power.Compute(tr.Stats, b.Cycles, tr.Model)
+}
+
+// Results is the full suite outcome. Benchmarks appear in the order the
+// workloads were given, independent of the parallelism that produced them.
+type Results struct {
+	Geometry   cache.Config
+	Benchmarks []BenchResult
+}
+
+// Progress reports one benchmark starting (Done=false) or finishing
+// (Done=true). Callbacks are serialized by the runner, so handlers need no
+// locking of their own.
+type Progress struct {
+	Workload string
+	Index    int // position in the workload list
+	Total    int
+	Done     bool
+}
+
+// options collects the Run configuration; see the With* constructors.
+type options struct {
+	workloads     []workloads.Workload
+	workloadsSet  bool
+	techniques    []Technique
+	techniquesSet bool
+	registry      *Registry
+	geometry      cache.Config
+	parallelism   int
+	packetBytes   uint32
+	progress      func(Progress)
+}
+
+// Option configures Run.
+type Option func(*options)
+
+// WithWorkloads selects the benchmarks to run (default: the paper's seven,
+// workloads.All()). An explicitly empty selection runs nothing.
+func WithWorkloads(ws ...workloads.Workload) Option {
+	return func(o *options) { o.workloads, o.workloadsSet = ws, true }
+}
+
+// WithTechniques selects the exact techniques to attach, replacing the
+// registry default. The values need not be registered anywhere.
+func WithTechniques(ts ...Technique) Option {
+	return func(o *options) { o.techniques, o.techniquesSet = ts, true }
+}
+
+// WithRegistry selects the registry whose techniques run by default
+// (default: the package registry). Ignored when WithTechniques is given.
+func WithRegistry(r *Registry) Option {
+	return func(o *options) { o.registry = r }
+}
+
+// WithGeometry sets the cache geometry every technique is instantiated for
+// (default: the paper's 32KB 2-way cache.FRV32K).
+func WithGeometry(geo cache.Config) Option {
+	return func(o *options) { o.geometry = geo }
+}
+
+// WithParallelism bounds the number of benchmarks simulated concurrently
+// (default and n <= 0: GOMAXPROCS). Results are identical at every level.
+func WithParallelism(n int) Option {
+	return func(o *options) { o.parallelism = n }
+}
+
+// WithPacketBytes overrides the fetch-packet size (default 0: the 8-byte
+// VLIW packet); used by the fetch-width ablation.
+func WithPacketBytes(pb uint32) Option {
+	return func(o *options) { o.packetBytes = pb }
+}
+
+// WithProgress installs a callback invoked as benchmarks start and finish.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// Run executes every selected workload with every selected technique
+// attached, one simulator pass per benchmark, fanning the passes out over a
+// worker pool. Each benchmark gets fresh technique instances, so runs are
+// deterministic and independent of parallelism; Results.Benchmarks is
+// ordered like the workload list. Run returns the first error encountered
+// (cancelling the remaining work), or ctx.Err() if the context ends first.
+func Run(ctx context.Context, opts ...Option) (*Results, error) {
+	o := options{
+		registry: defaultRegistry,
+		geometry: cache.FRV32K,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ws := o.workloads
+	if !o.workloadsSet {
+		ws = workloads.All()
+	}
+	techs := o.techniques
+	if !o.techniquesSet {
+		techs = o.registry.Techniques()
+	}
+	seen := map[regKey]bool{}
+	for _, t := range techs {
+		if err := t.validate(); err != nil {
+			return nil, err
+		}
+		k := regKey{t.Domain, t.ID}
+		if seen[k] {
+			return nil, fmt.Errorf("suite: duplicate technique %s/%q", t.Domain, t.ID)
+		}
+		seen[k] = true
+	}
+	if err := o.geometry.Validate(); err != nil {
+		return nil, err
+	}
+	par := o.parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(ws) {
+		par = len(ws)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		progressMu sync.Mutex
+		errOnce    sync.Once
+		firstErr   error
+	)
+	report := func(p Progress) {
+		if o.progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		o.progress(p)
+	}
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	results := make([]BenchResult, len(ws))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if runCtx.Err() != nil {
+					continue // drain: someone failed or the caller cancelled
+				}
+				report(Progress{Workload: ws[idx].Name, Index: idx, Total: len(ws)})
+				br, err := runOne(runCtx, ws[idx], techs, o)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				results[idx] = br
+				report(Progress{Workload: ws[idx].Name, Index: idx, Total: len(ws), Done: true})
+			}
+		}()
+	}
+	for idx := range ws {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &Results{Geometry: o.geometry, Benchmarks: results}, nil
+}
+
+// runOne instantiates every technique fresh and drives one benchmark
+// through the fetch/data event tees.
+func runOne(ctx context.Context, w workloads.Workload, techs []Technique, o options) (BenchResult, error) {
+	br := BenchResult{Name: w.Name, D: map[ID]TechResult{}, I: map[ID]TechResult{}}
+	var fetchSinks []trace.FetchSink
+	var dataSinks []trace.DataSink
+	for _, t := range techs {
+		inst := t.New(o.geometry)
+		if inst.Stats == nil {
+			return br, fmt.Errorf("suite: technique %s/%q produced no counters", t.Domain, t.ID)
+		}
+		switch t.Domain {
+		case Data:
+			if inst.Data == nil {
+				return br, fmt.Errorf("suite: technique %s/%q produced no data sink", t.Domain, t.ID)
+			}
+			dataSinks = append(dataSinks, inst.Data)
+			br.D[t.ID] = TechResult{Stats: inst.Stats, Model: inst.Model}
+		case Fetch:
+			if inst.Fetch == nil {
+				return br, fmt.Errorf("suite: technique %s/%q produced no fetch sink", t.Domain, t.ID)
+			}
+			fetchSinks = append(fetchSinks, inst.Fetch)
+			br.I[t.ID] = TechResult{Stats: inst.Stats, Model: inst.Model}
+		}
+	}
+	var fetch trace.FetchSink
+	if len(fetchSinks) > 0 {
+		fetch = trace.FetchTee(fetchSinks...)
+	}
+	var data trace.DataSink
+	if len(dataSinks) > 0 {
+		data = trace.DataTee(dataSinks...)
+	}
+	c, err := workloads.RunPacketContext(ctx, w, fetch, data, o.packetBytes)
+	if err != nil {
+		return br, err
+	}
+	br.Cycles, br.Instrs = c.Cycles, c.Instrs
+	return br, nil
+}

@@ -12,6 +12,7 @@
 package workloads
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -68,12 +69,18 @@ func (w Workload) Build() (*asm.Program, error) {
 // Run assembles and executes the workload with the given event sinks (either
 // may be nil) and validates the result. It returns the CPU for inspection.
 func Run(w Workload, fetch trace.FetchSink, data trace.DataSink) (*sim.CPU, error) {
-	return RunPacket(w, fetch, data, 0)
+	return RunPacketContext(context.Background(), w, fetch, data, 0)
 }
 
 // RunPacket is Run with an explicit fetch-packet size (0 = the default
 // 8-byte VLIW packet); used by the fetch-width ablation.
 func RunPacket(w Workload, fetch trace.FetchSink, data trace.DataSink, packetBytes uint32) (*sim.CPU, error) {
+	return RunPacketContext(context.Background(), w, fetch, data, packetBytes)
+}
+
+// RunPacketContext is the most general runner: explicit context and
+// fetch-packet size.
+func RunPacketContext(ctx context.Context, w Workload, fetch trace.FetchSink, data trace.DataSink, packetBytes uint32) (*sim.CPU, error) {
 	p, err := w.Build()
 	if err != nil {
 		return nil, err
@@ -86,7 +93,7 @@ func RunPacket(w Workload, fetch trace.FetchSink, data trace.DataSink, packetByt
 	if max == 0 {
 		max = DefaultMaxInstrs
 	}
-	if err := c.Run(max); err != nil {
+	if err := c.RunContext(ctx, max); err != nil {
 		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
 	}
 	if w.Check != nil {
