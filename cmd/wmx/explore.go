@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"waymemo/internal/explore"
+	"waymemo/internal/suite"
+	"waymemo/internal/workloads"
+)
+
+// runExplore is the `wmx explore` mode: build a Space from the axis flags,
+// sweep it (memoized when -cache-dir is set) and print the analysis.
+func runExplore(args []string) {
+	fs := flag.NewFlagSet("wmx explore", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: wmx explore [flags]")
+		fmt.Fprintln(fs.Output(), "sweep a cache design space and report per-config power, axis marginals,")
+		fmt.Fprintln(fs.Output(), "the power/hit-rate Pareto frontier and the power-optimal MAB size")
+		fs.PrintDefaults()
+	}
+	domain := fs.String("domain", "data", "cache to sweep: data or fetch")
+	mabTags := fs.String("mab-tags", "1,2", "MAB tag-entry axis (comma-separated)")
+	mabSets := fs.String("mab-sets", "4,8,16,32", "MAB set-entry axis (comma-separated)")
+	sets := fs.String("sets", "512", "cache set-count axis (comma-separated, powers of two)")
+	ways := fs.String("ways", "2", "cache way-count axis (comma-separated)")
+	line := fs.String("line", "32", "cache line-size axis in bytes (comma-separated, powers of two)")
+	wl := fs.String("workloads", "", "comma-separated benchmark names (default: all seven)")
+	packet := fs.Uint("packet", 0, "fetch-packet bytes (0 = the 8-byte VLIW packet)")
+	cacheDir := fs.String("cache-dir", "", "memoize grid points in this directory (reruns skip simulated points)")
+	par := fs.Int("j", 0, "grid points to simulate concurrently (0 = GOMAXPROCS)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	md := fs.Bool("md", false, "emit a markdown report")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "wmx explore: unexpected arguments %q\n", fs.Args())
+		os.Exit(2)
+	}
+
+	space := explore.Space{PacketBytes: uint32(*packet)}
+	switch strings.ToLower(*domain) {
+	case "data", "d":
+		space.Domain = suite.Data
+	case "fetch", "i", "instruction":
+		space.Domain = suite.Fetch
+	default:
+		fmt.Fprintf(os.Stderr, "wmx explore: unknown domain %q (valid: data, fetch)\n", *domain)
+		os.Exit(2)
+	}
+	for _, axis := range []struct {
+		name string
+		spec string
+		dst  *[]int
+	}{
+		{"mab-tags", *mabTags, &space.TagEntries},
+		{"mab-sets", *mabSets, &space.SetEntries},
+		{"sets", *sets, &space.Sets},
+		{"ways", *ways, &space.Ways},
+		{"line", *line, &space.LineBytes},
+	} {
+		vals, err := parseInts(axis.spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wmx explore: -%s: %v\n", axis.name, err)
+			os.Exit(2)
+		}
+		*axis.dst = vals
+	}
+	if *wl == "" {
+		space.Workloads = workloads.All()
+	} else {
+		for _, name := range strings.Split(*wl, ",") {
+			w, err := workloads.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wmx explore:", err)
+				os.Exit(2)
+			}
+			space.Workloads = append(space.Workloads, w)
+		}
+	}
+
+	opts := []explore.Option{
+		explore.WithParallelism(*par),
+		explore.WithProgress(func(p explore.Progress) {
+			if !p.Done {
+				return
+			}
+			how := "simulated"
+			if p.Cached {
+				how = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %dKB/%dw %s\n",
+				p.Index+1, p.Total, p.Workload, p.Geometry.SizeBytes()/1024,
+				p.Geometry.Ways, how)
+		}),
+	}
+	if *cacheDir != "" {
+		opts = append(opts, explore.WithCacheDir(*cacheDir))
+	}
+
+	fmt.Fprintf(os.Stderr, "exploring %d grid points (%s-cache)...\n",
+		space.NumPoints(), space.Domain)
+	grid, err := explore.Run(context.Background(), space, opts...)
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "%d cached, %d simulated\n\n", grid.Hits, grid.Misses)
+
+	if *md {
+		grid.WriteMarkdown(os.Stdout)
+		return
+	}
+	grid.WriteReport(os.Stdout, *csv)
+}
+
+// parseInts parses a comma-separated axis specification like "4,8,16".
+func parseInts(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

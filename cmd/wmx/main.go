@@ -1,8 +1,12 @@
-// wmx regenerates the paper's tables and figures.
+// wmx regenerates the paper's tables and figures, and sweeps cache design
+// spaces.
 //
 // Usage:
 //
 //	wmx [-exp NAME] [-csv] [-j N]
+//	wmx explore [-domain data|fetch] [-mab-tags L] [-mab-sets L]
+//	            [-sets L] [-ways L] [-line L] [-workloads NAMES]
+//	            [-packet N] [-cache-dir DIR] [-j N] [-csv] [-md]
 //
 // NAME is one of: all, table1, table2, table3, fig4, fig5, fig6, fig7,
 // fig8, ablation-d, ablation-i, consistency, packet, report.
@@ -12,6 +16,17 @@
 // ablation studies (ablation-d, ablation-i, consistency, packet) go beyond
 // the paper's figures; report emits the full EXPERIMENTS.md on stdout.
 // Benchmarks run concurrently (-j workers, default GOMAXPROCS).
+//
+// The explore mode runs the design-space engine (internal/explore): each
+// axis flag takes a comma-separated list (L), the grid is their cross
+// product, and the report covers per-configuration power, axis marginals,
+// the power/hit-rate Pareto frontier and the power-optimal MAB size. With
+// -cache-dir, completed grid points are memoized on disk and repeated
+// sweeps skip every already-simulated point:
+//
+//	wmx explore -cache-dir .explore-cache          # the paper's D-MAB grid
+//	wmx explore -domain fetch -mab-sets 8,16,32    # I-cache sweep
+//	wmx explore -sets 256,512,1024 -ways 1,2,4     # geometry sweep
 package main
 
 import (
@@ -36,8 +51,13 @@ var expNames = []string{
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "explore" {
+		runExplore(os.Args[2:])
+		return
+	}
 	exp := flag.String("exp", "all",
-		"experiment to run: "+strings.Join(expNames, ", "))
+		"experiment to run: "+strings.Join(expNames, ", ")+
+			" (the design-space mode is separate; see: wmx explore -h)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	par := flag.Int("j", 0, "benchmarks to simulate concurrently (0 = GOMAXPROCS)")
 	flag.Parse()

@@ -1,70 +1,39 @@
 // designspace sweeps the D-cache MAB configuration grid over the full
-// benchmark suite and reports the power-optimal size — reproducing the
-// paper's finding that 2 tag entries x 8 set-index entries is optimal:
-// bigger MABs win a few more hits but their own power outgrows the savings.
+// benchmark suite through the design-space engine (internal/explore) and
+// reports the power-optimal size — the sweep the paper's Section 4 performs
+// by hand to pick its 2 tag × 8 set-index MAB.
 //
-// The sweep is exactly what the suite API is for: every grid point is one
-// suite.MABDataTechnique value, the runner attaches all of them to a single
-// pass over each benchmark, and the benchmarks themselves run in parallel.
+// The example is a thin client: explore.PaperGrid names the space, Run
+// executes it (memoized under .designspace-cache, so a second invocation
+// simulates nothing) and the analysis helpers extract the tables. On this
+// repository's workloads the measured optimum is 2x16 rather than the
+// paper's 2x8; see "Known deviations" in ARCHITECTURE.md.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"os"
 
-	"waymemo/internal/core"
+	"waymemo/internal/explore"
 	"waymemo/internal/suite"
-	"waymemo/internal/workloads"
 )
 
 func main() {
-	type cfg struct{ nt, ns int }
-	var grid []cfg
-	for _, nt := range []int{1, 2} {
-		for _, ns := range []int{4, 8, 16, 32} {
-			grid = append(grid, cfg{nt, ns})
-		}
-	}
-
-	// The original baseline plus one technique per grid point, all fed from
-	// a single pass over the seven benchmarks.
-	techs := []suite.Technique{suite.MustLookup(suite.Data, suite.DOrig)}
-	ids := make(map[cfg]suite.ID, len(grid))
-	for _, g := range grid {
-		id := suite.ID(fmt.Sprintf("mab-%dx%d", g.nt, g.ns))
-		ids[g] = id
-		techs = append(techs, suite.MABDataTechnique(id, "grid point",
-			core.Config{TagEntries: g.nt, SetEntries: g.ns}))
-	}
-
-	r, err := suite.Run(context.Background(), suite.WithTechniques(techs...))
+	grid, err := explore.Run(context.Background(),
+		explore.PaperGrid(suite.Data),
+		explore.WithCacheDir(".designspace-cache"),
+		explore.WithProgress(func(p explore.Progress) {
+			if p.Done && !p.Cached {
+				fmt.Fprintf(os.Stderr, "  simulated %s\n", p.Workload)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Fprintf(os.Stderr, "%d grid points: %d from .designspace-cache, %d simulated\n\n",
+		len(grid.Points), grid.Hits, grid.Misses)
 
-	totalMW := make(map[cfg]float64)
-	var origMW float64
-	for _, b := range r.Benchmarks {
-		origMW += b.DPower(suite.DOrig).TotalMW()
-		for _, g := range grid {
-			totalMW[g] += b.DPower(ids[g]).TotalMW()
-		}
-	}
-
-	n := float64(len(workloads.All()))
-	fmt.Printf("average D-cache power across the 7 benchmarks (original: %.2f mW)\n\n", origMW/n)
-	fmt.Printf("%-8s %12s %12s %10s\n", "config", "power mW", "saving", "MAB mW")
-	best, bestCfg := 1e18, cfg{}
-	for _, g := range grid {
-		avg := totalMW[g] / n
-		// Every result row carries its technique's power model.
-		mabMW := r.Benchmarks[0].D[ids[g]].Model.MAB.ActiveMW
-		fmt.Printf("%dx%-6d %12.2f %11.1f%% %10.2f\n", g.nt, g.ns, avg,
-			(1-avg/(origMW/n))*100, mabMW)
-		if avg < best {
-			best, bestCfg = avg, g
-		}
-	}
-	fmt.Printf("\npower-optimal configuration: %dx%d (paper: 2x8)\n", bestCfg.nt, bestCfg.ns)
+	grid.WriteReport(os.Stdout, false)
 }

@@ -1,0 +1,189 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/stats"
+)
+
+// Candidate is one technique at one geometry, aggregated across the
+// workload axis — the unit the design-space analyses rank. Power is the
+// unweighted mean across workloads (each benchmark counts equally, as in
+// the paper's "average" bars); rates are event-weighted across the
+// concatenated executions.
+type Candidate struct {
+	Geometry cache.Config
+	// ID names the technique ("original", "mab-2x8"). TagEntries is zero
+	// for the conventional baseline.
+	ID         string
+	TagEntries int
+	SetEntries int
+
+	// AvgMW is the mean total cache power across workloads; BaselineMW is
+	// the same mean for the conventional technique at this geometry, and
+	// Saving is 1 - AvgMW/BaselineMW.
+	AvgMW      float64
+	BaselineMW float64
+	Saving     float64
+
+	// HitRate is the cache hit rate (identical for every technique at one
+	// geometry — way memoization never changes miss behavior); MABHitRate
+	// is hits over MAB lookups, zero for the baseline.
+	HitRate    float64
+	MABHitRate float64
+}
+
+// Label returns a compact "512x2x32 mab-2x8" style name, dropping the
+// geometry when the grid swept only one.
+func (c Candidate) Label(multiGeometry bool) string {
+	if !multiGeometry {
+		return c.ID
+	}
+	return fmt.Sprintf("%dx%dx%d %s", c.Geometry.Sets, c.Geometry.Ways, c.Geometry.LineBytes, c.ID)
+}
+
+// Candidates aggregates the grid: one Candidate per (geometry, technique),
+// in grid order (geometry major, baseline first).
+func (g *Grid) Candidates() []Candidate {
+	perWorkload := len(g.Space.Workloads)
+	if perWorkload == 0 || len(g.Points)%perWorkload != 0 {
+		return nil
+	}
+	var out []Candidate
+	for start := 0; start < len(g.Points); start += perWorkload {
+		geoPts := g.Points[start : start+perWorkload]
+		nTechs := len(geoPts[0].Techs)
+		var baseMW float64
+		for t := 0; t < nTechs; t++ {
+			var sumMW float64
+			var agg stats.Counters
+			for _, p := range geoPts {
+				sumMW += p.Techs[t].Power.TotalMW()
+				c := p.Techs[t].Stats
+				agg.Add(&c)
+			}
+			avg := sumMW / float64(perWorkload)
+			if t == 0 {
+				baseMW = avg
+			}
+			cand := Candidate{
+				Geometry:   geoPts[0].Geometry,
+				ID:         geoPts[0].Techs[t].ID,
+				TagEntries: geoPts[0].Techs[t].TagEntries,
+				SetEntries: geoPts[0].Techs[t].SetEntries,
+				AvgMW:      avg,
+				BaselineMW: baseMW,
+				HitRate:    agg.HitRate(),
+				MABHitRate: agg.MABHitRate(),
+			}
+			if baseMW > 0 {
+				cand.Saving = 1 - avg/baseMW
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// Optimum returns the candidate with the lowest average power. The
+// conventional baselines compete too: if no MAB size pays for itself, the
+// optimum is "original". ok is false for an empty slice.
+func Optimum(cands []Candidate) (best Candidate, ok bool) {
+	for _, c := range cands {
+		if !ok || c.AvgMW < best.AvgMW {
+			best, ok = c, true
+		}
+	}
+	return best, ok
+}
+
+// Pareto extracts the power/hit-rate frontier: candidates not dominated on
+// (AvgMW minimized, HitRate maximized, MABHitRate maximized). Across a
+// geometry sweep this is the classic power-versus-hit-rate trade-off;
+// within a single geometry — where every technique shares the cache hit
+// rate — it degenerates to power versus MAB coverage. The frontier is
+// returned sorted by ascending power.
+func Pareto(cands []Candidate) []Candidate {
+	dominates := func(a, b Candidate) bool {
+		if a.AvgMW > b.AvgMW || a.HitRate < b.HitRate || a.MABHitRate < b.MABHitRate {
+			return false
+		}
+		return a.AvgMW < b.AvgMW || a.HitRate > b.HitRate || a.MABHitRate > b.MABHitRate
+	}
+	var out []Candidate
+	for i, c := range cands {
+		dominated := false
+		for j, o := range cands {
+			if i != j && dominates(o, c) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].AvgMW < out[j].AvgMW })
+	return out
+}
+
+// Marginal is the average effect of one axis value with every other axis
+// averaged out — the "which knob matters" view of the grid.
+type Marginal struct {
+	// Axis is "sets", "ways", "line", "mab-tags" or "mab-sets".
+	Axis  string
+	Value int
+	// AvgMW and AvgSaving average over the N MAB candidates that share
+	// this axis value (baselines are excluded so the MAB axes stay
+	// comparable).
+	AvgMW     float64
+	AvgSaving float64
+	N         int
+}
+
+// Marginals computes per-axis marginals for every axis the space actually
+// sweeps (more than one value). Axes appear in space order; values in axis
+// order.
+func (g *Grid) Marginals() []Marginal { return g.marginals(g.Candidates()) }
+
+func (g *Grid) marginals(cands []Candidate) []Marginal {
+	axes := []struct {
+		name   string
+		values []int
+		sel    func(Candidate) int
+	}{
+		{"sets", g.Space.Sets, func(c Candidate) int { return c.Geometry.Sets }},
+		{"ways", g.Space.Ways, func(c Candidate) int { return c.Geometry.Ways }},
+		{"line", g.Space.LineBytes, func(c Candidate) int { return c.Geometry.LineBytes }},
+		{"mab-tags", g.Space.TagEntries, func(c Candidate) int { return c.TagEntries }},
+		{"mab-sets", g.Space.SetEntries, func(c Candidate) int { return c.SetEntries }},
+	}
+	var out []Marginal
+	for _, ax := range axes {
+		if len(ax.values) < 2 {
+			continue
+		}
+		for _, v := range ax.values {
+			m := Marginal{Axis: ax.name, Value: v}
+			for _, c := range cands {
+				if c.TagEntries == 0 { // baseline: not part of any MAB axis
+					continue
+				}
+				if ax.sel(c) != v {
+					continue
+				}
+				m.AvgMW += c.AvgMW
+				m.AvgSaving += c.Saving
+				m.N++
+			}
+			if m.N > 0 {
+				m.AvgMW /= float64(m.N)
+				m.AvgSaving /= float64(m.N)
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}

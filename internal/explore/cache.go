@@ -1,0 +1,149 @@
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/core"
+	"waymemo/internal/isa"
+	"waymemo/internal/suite"
+)
+
+// keyVersion is baked into every cache key. Bump it whenever the simulated
+// semantics of a grid point change (simulator, controllers, power models),
+// so stale results can never be replayed as current ones. The golden hash
+// test in cache_test.go catches accidental key-scheme changes.
+const keyVersion = "explore-v1"
+
+// keyMaterial is the canonical, exhaustive description of one grid point's
+// inputs. It is serialized as JSON (stable field order) and hashed; every
+// field that influences a PointResult must appear here.
+type keyMaterial struct {
+	Version     string   `json:"version"`
+	Domain      string   `json:"domain"`
+	Sets        int      `json:"sets"`
+	Ways        int      `json:"ways"`
+	LineBytes   int      `json:"line_bytes"`
+	Workload    string   `json:"workload"`
+	PacketBytes uint32   `json:"packet_bytes"`
+	MABs        [][2]int `json:"mabs"` // [tag entries, set entries] per technique
+}
+
+// Key returns the content hash that names one grid point in the result
+// cache: a hex SHA-256 over the geometry, the technique set (the baseline is
+// implied; MAB configurations are listed in grid order), the workload name
+// and the fetch-packet size.
+//
+// Workloads are identified by name: the seven paper benchmarks are
+// deterministic programs baked into the binary, so the name pins the
+// content. Embedders sweeping ad hoc workloads must either name them
+// uniquely or use distinct cache directories.
+func Key(domain suite.Domain, geo cache.Config, workload string, packetBytes uint32, mabs []core.Config) string {
+	if packetBytes == 0 {
+		// The simulator treats 0 as the 8-byte VLIW packet; normalize so
+		// explicit-8 and defaulted sweeps share cache entries.
+		packetBytes = isa.PacketBytes
+	}
+	m := keyMaterial{
+		Version:     keyVersion,
+		Domain:      domain.String(),
+		Sets:        geo.Sets,
+		Ways:        geo.Ways,
+		LineBytes:   geo.LineBytes,
+		Workload:    workload,
+		PacketBytes: packetBytes,
+		MABs:        make([][2]int, 0, len(mabs)),
+	}
+	for _, c := range mabs {
+		m.MABs = append(m.MABs, [2]int{c.TagEntries, c.SetEntries})
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		// keyMaterial contains only plain values; Marshal cannot fail.
+		panic(fmt.Sprintf("explore: key material: %v", err))
+	}
+	sum := sha256.Sum256(blob)
+	return hex.EncodeToString(sum[:])
+}
+
+// Cache memoizes completed grid points. Get reports a miss for keys it does
+// not hold or cannot read back intact; Put must store the result so that a
+// later Get returns an equal value.
+type Cache interface {
+	Get(key string) (*PointResult, bool)
+	Put(key string, r *PointResult) error
+}
+
+// DirCache is the on-disk Cache: one pretty-printed JSON file per grid
+// point, named <key>.json. Unreadable or corrupt files are misses (the
+// point is re-simulated and the file rewritten), so a damaged cache
+// directory degrades to a cold one instead of failing the sweep.
+type DirCache struct {
+	dir string
+}
+
+// NewDirCache creates the directory if needed and returns a cache over it.
+func NewDirCache(dir string) (*DirCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("explore: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("explore: cache dir: %w", err)
+	}
+	return &DirCache{dir: dir}, nil
+}
+
+// Dir returns the cache directory.
+func (c *DirCache) Dir() string { return c.dir }
+
+func (c *DirCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads a memoized point. Any read or decode failure — missing file,
+// truncated JSON, wrong shape — is a miss.
+func (c *DirCache) Get(key string) (*PointResult, bool) {
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var r PointResult
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, false
+	}
+	// A result that never ran is not a result: guard against files holding
+	// valid JSON of the wrong shape (e.g. `{}` or `null`).
+	if r.Workload == "" || r.Cycles == 0 || len(r.Techs) == 0 {
+		return nil, false
+	}
+	return &r, true
+}
+
+// Put stores a completed point atomically (temp file + rename), so a sweep
+// killed mid-write leaves no half-written entry behind for Get to trip on.
+func (c *DirCache) Put(key string, r *PointResult) error {
+	blob, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("explore: encode point: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("explore: cache write: %w", err)
+	}
+	_, werr := tmp.Write(append(blob, '\n'))
+	if err := errors.Join(werr, tmp.Close()); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("explore: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("explore: cache write: %w", err)
+	}
+	return nil
+}

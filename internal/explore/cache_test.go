@@ -1,0 +1,181 @@
+package explore
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/core"
+	"waymemo/internal/suite"
+	"waymemo/internal/workloads"
+)
+
+// cachedSpace is a single-point space, so cache behavior is easy to count.
+func cachedSpace() Space {
+	return Space{
+		Domain:     suite.Data,
+		TagEntries: []int{2},
+		SetEntries: []int{8},
+		Workloads:  []workloads.Workload{tinyWorkload("tiny")},
+	}
+}
+
+func TestDirCacheHitMiss(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	cold, err := Run(ctx, cachedSpace(), WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Hits != 0 || cold.Misses != 1 {
+		t.Fatalf("cold: hits=%d misses=%d, want 0/1", cold.Hits, cold.Misses)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files = %v (err %v), want exactly one", files, err)
+	}
+
+	warm, err := Run(ctx, cachedSpace(), WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Hits != 1 || warm.Misses != 0 {
+		t.Fatalf("warm: hits=%d misses=%d, want 1/0", warm.Hits, warm.Misses)
+	}
+	if !warm.Points[0].Cached {
+		t.Error("warm point not flagged Cached")
+	}
+	if !gridsApproxEqual(stripCached(cold), stripCached(warm)) {
+		t.Error("cached result differs from simulated result")
+	}
+
+	// A different space must not collide with the cached point.
+	other := cachedSpace()
+	other.SetEntries = []int{16}
+	o, err := Run(ctx, other, WithCacheDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Hits != 0 || o.Misses != 1 {
+		t.Fatalf("different space: hits=%d misses=%d, want 0/1", o.Hits, o.Misses)
+	}
+}
+
+func TestDirCacheCorruptFileRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	if _, err := Run(ctx, cachedSpace(), WithCacheDir(dir)); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 1 {
+		t.Fatalf("cache files = %v, want one", files)
+	}
+
+	// Read the valid cached point and truncate its technique list: still
+	// shape-valid JSON, but it no longer answers for the grid point.
+	blob, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PointResult
+	if err := json.Unmarshal(blob, &pr); err != nil {
+		t.Fatal(err)
+	}
+	pr.Techs = pr.Techs[:1]
+	truncated, err := json.Marshal(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Four corruption shapes: truncated JSON, valid-but-empty JSON,
+	// garbage, and a shape-valid file for the wrong technique set. Each
+	// must read as a miss, re-simulate, and heal the file.
+	for _, blob := range []string{`{"geometry":`, `{}`, "not json at all", string(truncated)} {
+		if err := os.WriteFile(files[0], []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g, err := Run(ctx, cachedSpace(), WithCacheDir(dir))
+		if err != nil {
+			t.Fatalf("corrupt cache %q failed the sweep: %v", blob, err)
+		}
+		if g.Hits != 0 || g.Misses != 1 {
+			t.Fatalf("corrupt cache %q: hits=%d misses=%d, want 0/1", blob, g.Hits, g.Misses)
+		}
+		healed, err := Run(ctx, cachedSpace(), WithCacheDir(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if healed.Hits != 1 {
+			t.Fatalf("corrupt cache %q was not rewritten", blob)
+		}
+	}
+}
+
+// TestKeyGolden pins the cache-key scheme. If this test fails, the key
+// derivation changed: bump keyVersion (stale cached results must not be
+// replayed under the new scheme) and update the constant here.
+func TestKeyGolden(t *testing.T) {
+	got := Key(suite.Data, cache.FRV32K, "DCT", 0,
+		[]core.Config{{TagEntries: 1, SetEntries: 4}, {TagEntries: 2, SetEntries: 8}})
+	const want = "ba48404a17670c9c3893b90ef8730e7303bd0cff893904e602adfd9a6ae0d430"
+	if got != want {
+		t.Errorf("Key() = %s, want %s — the cache-key scheme changed; bump keyVersion", got, want)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	geo := cache.FRV32K
+	mabs := []core.Config{{TagEntries: 2, SetEntries: 8}}
+	base := Key(suite.Data, geo, "DCT", 0, mabs)
+
+	small := geo
+	small.Sets = 256
+	variants := map[string]string{
+		"domain":   Key(suite.Fetch, geo, "DCT", 0, mabs),
+		"geometry": Key(suite.Data, small, "DCT", 0, mabs),
+		"workload": Key(suite.Data, geo, "FFT", 0, mabs),
+		"packet":   Key(suite.Data, geo, "DCT", 16, mabs),
+		"mabs": Key(suite.Data, geo, "DCT", 0,
+			[]core.Config{{TagEntries: 2, SetEntries: 16}}),
+		"mab order": Key(suite.Data, geo, "DCT", 0,
+			[]core.Config{{TagEntries: 8, SetEntries: 2}}),
+	}
+	// Packet 0 means the 8-byte VLIW default: the two spellings must share
+	// cache entries.
+	if Key(suite.Data, geo, "DCT", 8, mabs) != base {
+		t.Error("packet 0 and packet 8 produce different keys")
+	}
+	seen := map[string]string{base: "base"}
+	for name, k := range variants {
+		if k == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s and %s collide", name, prev)
+		}
+		seen[k] = name
+		if len(k) != 64 || strings.Trim(k, "0123456789abcdef") != "" {
+			t.Errorf("%s: key %q is not hex SHA-256", name, k)
+		}
+	}
+}
+
+func TestNewDirCacheErrors(t *testing.T) {
+	if _, err := NewDirCache(""); err == nil {
+		t.Error("empty dir accepted")
+	}
+	// A file where the directory should be.
+	f := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDirCache(f); err == nil {
+		t.Error("file-as-dir accepted")
+	}
+}

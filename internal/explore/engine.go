@@ -1,0 +1,260 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/core"
+	"waymemo/internal/pool"
+	"waymemo/internal/power"
+	"waymemo/internal/stats"
+	"waymemo/internal/suite"
+)
+
+// TechOutcome is one technique's measurement at one grid point: the raw
+// counters and the priced power breakdown. TagEntries == 0 marks the
+// conventional baseline.
+type TechOutcome struct {
+	// ID is the technique name ("original", "mab-2x8", ...).
+	ID string `json:"id"`
+	// TagEntries and SetEntries are the MAB size, zero for the baseline.
+	TagEntries int `json:"tag_entries,omitempty"`
+	SetEntries int `json:"set_entries,omitempty"`
+
+	Stats stats.Counters  `json:"stats"`
+	Power power.Breakdown `json:"power"`
+}
+
+// PointResult is one completed grid point — everything the analysis layer
+// needs, and exactly what the result cache stores on disk.
+type PointResult struct {
+	Geometry cache.Config `json:"geometry"`
+	Workload string       `json:"workload"`
+	Cycles   uint64       `json:"cycles"`
+	Instrs   uint64       `json:"instrs"`
+	// Techs is ordered: the baseline first, then the MAB grid in space
+	// order.
+	Techs []TechOutcome `json:"techs"`
+	// Cached reports whether this run loaded the point from the result
+	// cache instead of simulating it.
+	Cached bool `json:"-"`
+}
+
+// Grid is a completed sweep: every point of the space, in deterministic
+// grid order, plus this run's memoization outcome.
+type Grid struct {
+	// Space is the normalized specification (defaults filled in).
+	Space Space
+	// Points holds one result per grid point, geometry-major then
+	// workload, independent of worker scheduling.
+	Points []PointResult
+	// Hits and Misses count grid points served from the result cache
+	// versus simulated during this run. Hits+Misses == len(Points).
+	Hits, Misses int
+}
+
+// Progress reports one grid point starting (Done=false) or finishing.
+// Callbacks are serialized by the engine.
+type Progress struct {
+	Index    int // position in the grid
+	Total    int
+	Geometry cache.Config
+	Workload string
+	// Cached is meaningful when Done: the point came from the result
+	// cache.
+	Cached bool
+	Done   bool
+}
+
+// options collects the Run configuration; see the With* constructors.
+type options struct {
+	cache       Cache
+	cacheDir    string
+	parallelism int
+	progress    func(Progress)
+}
+
+// Option configures Run.
+type Option func(*options) error
+
+// WithCache memoizes grid points in the given cache (default: none, every
+// point simulates).
+func WithCache(c Cache) Option {
+	return func(o *options) error { o.cache = c; return nil }
+}
+
+// WithCacheDir memoizes grid points in a DirCache over dir; the directory
+// is created if needed. It overrides WithCache. An empty dir is an error —
+// silently running uncached would be the costlier surprise.
+func WithCacheDir(dir string) Option {
+	return func(o *options) error {
+		if dir == "" {
+			return fmt.Errorf("explore: empty cache directory")
+		}
+		o.cacheDir = dir
+		return nil
+	}
+}
+
+// WithParallelism bounds the number of grid points simulated concurrently
+// (default and n <= 0: GOMAXPROCS). Results are identical at every level.
+func WithParallelism(n int) Option {
+	return func(o *options) error { o.parallelism = n; return nil }
+}
+
+// WithProgress installs a callback invoked as grid points start and finish.
+func WithProgress(fn func(Progress)) Option {
+	return func(o *options) error { o.progress = fn; return nil }
+}
+
+// Run expands the space into its grid and executes every point, fanning
+// points out over a worker pool. Each point is one suite.Run over a single
+// workload with the space's full technique list attached, so a point costs
+// one simulator pass regardless of how many MAB sizes are swept.
+//
+// With a result cache configured, points whose Key is already stored load
+// instead of simulating, and newly simulated points are stored on
+// completion — a warm cache re-runs an identical sweep without a single
+// simulation (Grid.Misses == 0).
+//
+// Run returns the first error encountered (cancelling the remaining work),
+// or ctx.Err() if the context ends first.
+func Run(ctx context.Context, space Space, opts ...Option) (*Grid, error) {
+	var o options
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	if o.cacheDir != "" {
+		dc, err := NewDirCache(o.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		o.cache = dc
+	}
+	s, err := space.normalized()
+	if err != nil {
+		return nil, err
+	}
+	pts := s.points()
+	techs := s.techniques()
+	mabs := s.MABs()
+
+	var (
+		progressMu   sync.Mutex
+		hits, misses atomic.Int64
+	)
+	report := func(p Progress) {
+		if o.progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		o.progress(p)
+	}
+
+	results := make([]PointResult, len(pts))
+	err = pool.Run(ctx, len(pts), o.parallelism, func(runCtx context.Context, idx int) error {
+		pt := pts[idx]
+		report(Progress{Index: idx, Total: len(pts), Geometry: pt.Geometry, Workload: pt.Workload.Name})
+		pr, cached, err := runPoint(runCtx, s, pt, techs, mabs, o.cache)
+		if err != nil {
+			return err
+		}
+		if cached {
+			hits.Add(1)
+		} else {
+			misses.Add(1)
+		}
+		results[idx] = *pr
+		report(Progress{Index: idx, Total: len(pts), Geometry: pt.Geometry,
+			Workload: pt.Workload.Name, Cached: cached, Done: true})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Grid{
+		Space:  s,
+		Points: results,
+		Hits:   int(hits.Load()),
+		Misses: int(misses.Load()),
+	}, nil
+}
+
+// cachedPointValid checks a cache hit against the grid point it must
+// answer for. The content hash already pins the inputs, but a tampered or
+// hand-edited file can hold shape-valid JSON for the wrong point; anything
+// that does not match the expected technique list degrades to a miss and
+// is re-simulated rather than poisoning the analysis.
+func cachedPointValid(pr *PointResult, pt Point, techs []suite.Technique) bool {
+	if pr.Geometry != pt.Geometry || pr.Workload != pt.Workload.Name ||
+		len(pr.Techs) != len(techs) {
+		return false
+	}
+	for i, t := range techs {
+		if pr.Techs[i].ID != string(t.ID) {
+			return false
+		}
+	}
+	return true
+}
+
+// runPoint serves one grid point from the cache or simulates and stores it.
+func runPoint(ctx context.Context, s Space, pt Point, techs []suite.Technique,
+	mabs []core.Config, c Cache) (*PointResult, bool, error) {
+	key := Key(s.Domain, pt.Geometry, pt.Workload.Name, s.PacketBytes, mabs)
+	if c != nil {
+		if pr, ok := c.Get(key); ok && cachedPointValid(pr, pt, techs) {
+			pr.Cached = true
+			return pr, true, nil
+		}
+	}
+	r, err := suite.Run(ctx,
+		suite.WithWorkloads(pt.Workload),
+		suite.WithTechniques(techs...),
+		suite.WithGeometry(pt.Geometry),
+		suite.WithPacketBytes(s.PacketBytes),
+		suite.WithParallelism(1))
+	if err != nil {
+		return nil, false, err
+	}
+	b := r.Benchmarks[0]
+	pr := &PointResult{
+		Geometry: pt.Geometry,
+		Workload: b.Name,
+		Cycles:   b.Cycles,
+		Instrs:   b.Instrs,
+		Techs:    make([]TechOutcome, 0, len(techs)),
+	}
+	byID := b.D
+	if s.Domain == suite.Fetch {
+		byID = b.I
+	}
+	for i, t := range techs {
+		tr, ok := byID[t.ID]
+		if !ok {
+			return nil, false, fmt.Errorf("explore: technique %q missing from results", t.ID)
+		}
+		out := TechOutcome{
+			ID:    string(t.ID),
+			Stats: *tr.Stats,
+			Power: power.Compute(tr.Stats, b.Cycles, tr.Model),
+		}
+		if i > 0 { // techs[0] is the baseline; the rest follow mabs order
+			out.TagEntries = mabs[i-1].TagEntries
+			out.SetEntries = mabs[i-1].SetEntries
+		}
+		pr.Techs = append(pr.Techs, out)
+	}
+	if c != nil {
+		if err := c.Put(key, pr); err != nil {
+			return nil, false, err
+		}
+	}
+	return pr, false, nil
+}

@@ -1,0 +1,139 @@
+package explore
+
+import (
+	"fmt"
+	"io"
+
+	"waymemo/internal/report"
+	"waymemo/internal/suite"
+)
+
+// PaperPick returns the MAB size the paper settles on for a domain: 2x8
+// for the data cache, 2x16 for the instruction cache (Section 4). Callers
+// compare it against the measured Optimum; see ARCHITECTURE.md for why the
+// two can disagree on this repository's workloads.
+func PaperPick(domain suite.Domain) (tagEntries, setEntries int) {
+	if domain == suite.Fetch {
+		return 2, 16
+	}
+	return 2, 8
+}
+
+// multiGeometry reports whether the grid swept more than one geometry.
+func (g *Grid) multiGeometry() bool {
+	return len(g.Space.Sets)*len(g.Space.Ways)*len(g.Space.LineBytes) > 1
+}
+
+// SummaryTable renders every candidate: power, saving against the
+// geometry's baseline, cache and MAB hit rates.
+func (g *Grid) SummaryTable() report.Table { return g.summaryTable(g.Candidates()) }
+
+func (g *Grid) summaryTable(cands []Candidate) report.Table {
+	multi := g.multiGeometry()
+	t := report.Table{
+		Title: fmt.Sprintf("%s-cache design space (%d configurations × %d workloads)",
+			g.Space.Domain, len(cands), len(g.Space.Workloads)),
+		Columns: []string{"config", "power mW", "saving", "cache hit", "MAB hit"},
+	}
+	for _, c := range cands {
+		mabHit := "-"
+		if c.TagEntries > 0 {
+			mabHit = report.Pct(c.MABHitRate)
+		}
+		t.AddRow(c.Label(multi), report.F(c.AvgMW, 2), report.Pct(c.Saving),
+			report.Pct(c.HitRate), mabHit)
+	}
+	return t
+}
+
+// ParetoTable renders the power/hit-rate frontier.
+func (g *Grid) ParetoTable() report.Table { return g.paretoTable(g.Candidates()) }
+
+func (g *Grid) paretoTable(cands []Candidate) report.Table {
+	multi := g.multiGeometry()
+	t := report.Table{
+		Title:   "Pareto frontier (power vs. hit rates)",
+		Columns: []string{"config", "power mW", "cache hit", "MAB hit"},
+	}
+	for _, c := range Pareto(cands) {
+		mabHit := "-"
+		if c.TagEntries > 0 {
+			mabHit = report.Pct(c.MABHitRate)
+		}
+		t.AddRow(c.Label(multi), report.F(c.AvgMW, 2), report.Pct(c.HitRate), mabHit)
+	}
+	return t
+}
+
+// MarginalTable renders the per-axis marginals; empty (no rows) when no
+// axis has more than one value.
+func (g *Grid) MarginalTable() report.Table { return g.marginalTable(g.Candidates()) }
+
+func (g *Grid) marginalTable(cands []Candidate) report.Table {
+	t := report.Table{
+		Title:   "Axis marginals (average over the rest of the grid)",
+		Columns: []string{"axis", "value", "power mW", "saving"},
+	}
+	for _, m := range g.marginals(cands) {
+		t.AddRow(m.Axis, fmt.Sprint(m.Value), report.F(m.AvgMW, 2), report.Pct(m.AvgSaving))
+	}
+	return t
+}
+
+// OptimumLine summarizes the measured optimum and compares it against the
+// paper's pick for the domain.
+func (g *Grid) OptimumLine() string { return g.optimumLine(g.Candidates()) }
+
+func (g *Grid) optimumLine(cands []Candidate) string {
+	best, ok := Optimum(cands)
+	if !ok {
+		return "no candidates"
+	}
+	nt, ns := PaperPick(g.Space.Domain)
+	paper := fmt.Sprintf("mab-%dx%d", nt, ns)
+	verdict := "matches the paper's pick"
+	if best.ID != paper {
+		verdict = fmt.Sprintf("paper picks %s; see ARCHITECTURE.md on this deviation", paper)
+	}
+	return fmt.Sprintf("power-optimal configuration: %s at %.2f mW (%s saving) — %s",
+		best.Label(g.multiGeometry()), best.AvgMW, report.Pct(best.Saving), verdict)
+}
+
+// WriteReport renders the full analysis as aligned text tables (CSV when
+// csv is set): summary, marginals for swept axes, Pareto frontier and the
+// optimum line.
+func (g *Grid) WriteReport(w io.Writer, csv bool) {
+	cands := g.Candidates()
+	emit := func(t report.Table) {
+		if len(t.Rows) == 0 {
+			return
+		}
+		if csv {
+			t.RenderCSV(w)
+		} else {
+			t.Render(w)
+		}
+		fmt.Fprintln(w)
+	}
+	emit(g.summaryTable(cands))
+	emit(g.marginalTable(cands))
+	emit(g.paretoTable(cands))
+	fmt.Fprintln(w, g.optimumLine(cands))
+}
+
+// WriteMarkdown renders the same analysis as a markdown report with pipe
+// tables, for checking sweep results into a repository.
+func (g *Grid) WriteMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "# %s-cache design-space exploration\n\n", g.Space.Domain)
+	fmt.Fprintf(w, "%d grid points (%d cached, %d simulated), %d workloads.\n\n",
+		len(g.Points), g.Hits, g.Misses, len(g.Space.Workloads))
+	cands := g.Candidates()
+	for _, t := range []report.Table{g.summaryTable(cands), g.marginalTable(cands), g.paretoTable(cands)} {
+		if len(t.Rows) == 0 {
+			continue
+		}
+		t.RenderMarkdown(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%s\n", g.optimumLine(cands))
+}

@@ -1,7 +1,8 @@
 // Package mem provides the flat 32-bit physical memory backing the FRVL
-// simulator. Memory is sparse: 4KB pages are allocated on first touch, so a
-// full 4GB address space costs nothing until used. All multi-byte accesses
-// are little-endian.
+// simulator — the stand-in for the main memory behind the paper's FR-V
+// caches (the evaluation platform of Section 4). Memory is sparse: 4KB
+// pages are allocated on first touch, so a full 4GB address space costs
+// nothing until used. All multi-byte accesses are little-endian.
 package mem
 
 import "encoding/binary"

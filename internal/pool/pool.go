@@ -1,0 +1,73 @@
+// Package pool provides the indexed worker pool shared by the suite
+// runner (internal/suite) and the design-space explorer (internal/explore):
+// N independent jobs fan out over a bounded set of workers, the first
+// failure cancels the rest, and job identity is an index so callers write
+// results into pre-sized slices — deterministic output order at any
+// parallelism level.
+package pool
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Run invokes fn(ctx, idx) for every idx in [0, n), at most par
+// concurrently (par <= 0 selects GOMAXPROCS; par is clamped to n). The
+// context passed to fn is cancelled as soon as any invocation returns an
+// error or the caller's context ends; indices not yet started are then
+// skipped. Run blocks until all started invocations return, then reports
+// the first error encountered, or ctx.Err() when the caller's context
+// ended first.
+func Run(ctx context.Context, n, par int, fn func(ctx context.Context, idx int) error) error {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < par; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if runCtx.Err() != nil {
+					continue // drain: a job failed or the caller cancelled
+				}
+				if err := fn(runCtx, idx); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	for idx := 0; idx < n; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

@@ -1,6 +1,6 @@
 // Package report renders experiment results as fixed-width text tables,
-// ASCII bar charts and CSV — the textual equivalents of the paper's tables
-// and bar figures.
+// ASCII bar charts, CSV and markdown pipe tables — the textual equivalents
+// of the paper's Tables 1-3 and the bar charts of Figures 4-8.
 package report
 
 import (
@@ -58,6 +58,31 @@ func (t *Table) Render(w io.Writer) {
 	for _, r := range t.Rows {
 		line(r)
 	}
+}
+
+// RenderMarkdown writes the table as a GitHub-style pipe table (title as a
+// bold line above it).
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	writeMarkdownRow(w, t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeMarkdownRow(w, sep)
+	for _, r := range t.Rows {
+		writeMarkdownRow(w, r)
+	}
+}
+
+func writeMarkdownRow(w io.Writer, cells []string) {
+	fmt.Fprint(w, "|")
+	for _, c := range cells {
+		fmt.Fprintf(w, " %s |", strings.ReplaceAll(c, "|", "\\|"))
+	}
+	fmt.Fprintln(w)
 }
 
 // RenderCSV writes the table as CSV (title as a comment line).

@@ -47,6 +47,19 @@ func TestRenderCSV(t *testing.T) {
 	}
 }
 
+func TestRenderMarkdown(t *testing.T) {
+	tb := Table{Title: "T", Columns: []string{"a", "b"}}
+	tb.AddRow("x|y", "1")
+	tb.AddRow("z", "2")
+	var sb strings.Builder
+	tb.RenderMarkdown(&sb)
+	out := sb.String()
+	want := "**T**\n\n| a | b |\n| --- | --- |\n| x\\|y | 1 |\n| z | 2 |\n"
+	if out != want {
+		t.Errorf("markdown table:\n%q\nwant:\n%q", out, want)
+	}
+}
+
 func TestBar(t *testing.T) {
 	if got := Bar(5, 10, 10); got != "#####" {
 		t.Errorf("half bar: %q", got)

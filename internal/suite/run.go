@@ -3,10 +3,10 @@ package suite
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"waymemo/internal/cache"
+	"waymemo/internal/pool"
 	"waymemo/internal/power"
 	"waymemo/internal/stats"
 	"waymemo/internal/trace"
@@ -152,25 +152,8 @@ func Run(ctx context.Context, opts ...Option) (*Results, error) {
 	if err := o.geometry.Validate(); err != nil {
 		return nil, err
 	}
-	par := o.parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
-	if par > len(ws) {
-		par = len(ws)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	var (
-		progressMu sync.Mutex
-		errOnce    sync.Once
-		firstErr   error
-	)
+	var progressMu sync.Mutex
 	report := func(p Progress) {
 		if o.progress == nil {
 			return
@@ -179,45 +162,19 @@ func Run(ctx context.Context, opts ...Option) (*Results, error) {
 		defer progressMu.Unlock()
 		o.progress(p)
 	}
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			cancel()
-		})
-	}
 
 	results := make([]BenchResult, len(ws))
-	jobs := make(chan int)
-	var wg sync.WaitGroup
-	for i := 0; i < par; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				if runCtx.Err() != nil {
-					continue // drain: someone failed or the caller cancelled
-				}
-				report(Progress{Workload: ws[idx].Name, Index: idx, Total: len(ws)})
-				br, err := runOne(runCtx, ws[idx], techs, o)
-				if err != nil {
-					fail(err)
-					continue
-				}
-				results[idx] = br
-				report(Progress{Workload: ws[idx].Name, Index: idx, Total: len(ws), Done: true})
-			}
-		}()
-	}
-	for idx := range ws {
-		jobs <- idx
-	}
-	close(jobs)
-	wg.Wait()
-
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
+	err := pool.Run(ctx, len(ws), o.parallelism, func(runCtx context.Context, idx int) error {
+		report(Progress{Workload: ws[idx].Name, Index: idx, Total: len(ws)})
+		br, err := runOne(runCtx, ws[idx], techs, o)
+		if err != nil {
+			return err
+		}
+		results[idx] = br
+		report(Progress{Workload: ws[idx].Name, Index: idx, Total: len(ws), Done: true})
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &Results{Geometry: o.geometry, Benchmarks: results}, nil

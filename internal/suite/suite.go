@@ -23,6 +23,11 @@
 // Techniques passed to WithTechniques do not have to be registered; ad hoc
 // Technique values work the same way, which is how the ablation studies in
 // internal/experiments express their one-off configurations.
+//
+// Two layers render and orchestrate on top of Run: internal/experiments
+// knows which technique belongs in which of the paper's figures, and
+// internal/explore expands whole axis grids (geometry × MAB size ×
+// workload) into memoized sweeps.
 package suite
 
 import (

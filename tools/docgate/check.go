@@ -1,0 +1,60 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Check walks the given root directories and returns every directory that
+// contains Go files but whose package carries no doc comment. Directories
+// named testdata and hidden directories are skipped; _test.go files do not
+// count toward (or against) a package's documentation.
+func Check(roots []string) ([]string, error) {
+	var missing []string
+	for _, root := range roots {
+		byDir := map[string]bool{} // dir → has a package doc comment
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(path)
+			// PackageClauseOnly keeps the doc comment attached to the
+			// package clause while skipping the rest of the file.
+			f, err := parser.ParseFile(token.NewFileSet(), path, nil,
+				parser.ParseComments|parser.PackageClauseOnly)
+			if err != nil {
+				return err
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				byDir[dir] = true
+			} else if _, seen := byDir[dir]; !seen {
+				byDir[dir] = false
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for dir, ok := range byDir {
+			if !ok {
+				missing = append(missing, dir)
+			}
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
+}

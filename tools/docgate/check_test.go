@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepositoryIsDocumented is the docs gate under `go test ./...`: every
+// package under internal, cmd, examples and tools must carry a package doc
+// comment.
+func TestRepositoryIsDocumented(t *testing.T) {
+	root := filepath.Join("..", "..")
+	var roots []string
+	for _, d := range []string{"internal", "cmd", "examples", "tools"} {
+		roots = append(roots, filepath.Join(root, d))
+	}
+	missing, err := Check(roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range missing {
+		t.Errorf("package %s has no package doc comment", dir)
+	}
+}
+
+func TestCheckFlagsUndocumentedPackage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("good/a.go", "// Package good is documented.\npackage good\n")
+	write("good/b.go", "package good\n") // one documented file is enough
+	write("bad/a.go", "package bad\n")
+	// A doc comment in a test file does not document the package.
+	write("testonly/a.go", "package testonly\n")
+	write("testonly/a_test.go", "// Package testonly pretends.\npackage testonly\n")
+	// Detached comments (blank line before the clause) are not doc comments.
+	write("detached/a.go", "// A stray comment.\n\npackage detached\n")
+	write("skip/testdata/x.go", "package ignoreme\n")
+	write("skip/a.go", "// Package skip is documented.\npackage skip\n")
+
+	missing, err := Check([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		filepath.Join(dir, "bad"):      true,
+		filepath.Join(dir, "testonly"): true,
+		filepath.Join(dir, "detached"): true,
+	}
+	if len(missing) != len(want) {
+		t.Fatalf("missing = %v, want %v", missing, want)
+	}
+	for _, m := range missing {
+		if !want[m] {
+			t.Errorf("unexpected flagged package %s", m)
+		}
+	}
+}

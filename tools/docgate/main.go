@@ -1,0 +1,40 @@
+// docgate is the documentation gate: it fails when any Go package under
+// the given roots lacks a package-level doc comment. CI runs it over
+// internal, cmd, examples and tools, so every package keeps the godoc
+// header that states its role (and, for the model packages, which paper
+// section or figure it implements); docgate_test.go enforces the same gate
+// under plain `go test ./...`.
+//
+// Usage:
+//
+//	go run ./tools/docgate internal cmd examples tools
+//
+// A package passes when at least one of its non-test files carries a doc
+// comment immediately above the package clause. Testdata and hidden
+// directories are skipped.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"internal", "cmd"}
+	}
+	missing, err := Check(roots)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docgate:", err)
+		os.Exit(1)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintln(os.Stderr, "docgate: packages missing a package doc comment:")
+		for _, dir := range missing {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docgate: %d roots clean\n", len(roots))
+}
