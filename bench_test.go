@@ -15,6 +15,7 @@ import (
 	"waymemo/internal/cache"
 	"waymemo/internal/core"
 	"waymemo/internal/experiments"
+	"waymemo/internal/explore"
 	"waymemo/internal/sim"
 	"waymemo/internal/suite"
 	"waymemo/internal/synth"
@@ -186,6 +187,67 @@ func BenchmarkSuiteSequential(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSuiteReplay times the seven-benchmark suite on a warm trace
+// cache: every benchmark replays its captured event stream instead of
+// executing. The ratio to BenchmarkSuite is the per-pass cost the
+// execute-once / replay-many engine removes from repeated runs (ablations,
+// report mode, sweeps).
+func BenchmarkSuiteReplay(b *testing.B) {
+	tc := suite.NewTraceCache()
+	if _, err := suite.Run(context.Background(), suite.WithTraceCache(tc)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Run(context.Background(), suite.WithTraceCache(tc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreSweepShared times a cold multi-geometry sweep
+// (explore.EngineBenchSpace: 24 geometries × 2 workloads = 48 grid points)
+// on the execute-once / replay-many engine (the default): each workload
+// executes once, every geometry replays the capture.
+func BenchmarkExploreSweepShared(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := explore.Run(context.Background(), explore.EngineBenchSpace()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExploreSweepLive is the same sweep with trace sharing disabled —
+// one full simulator execution per grid point, the pre-engine behavior. The
+// ratio to BenchmarkExploreSweepShared is the engine's speedup.
+func BenchmarkExploreSweepLive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := explore.Run(context.Background(), explore.EngineBenchSpace(),
+			explore.WithTraceSharing(false)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceReplayRate measures raw replay speed (events/sec) of the
+// packed buffer into a null sink — the ceiling on how fast a replayed grid
+// point can go.
+func BenchmarkTraceReplayRate(b *testing.B) {
+	var buf trace.Buffer
+	if _, err := workloads.Run(workloads.DCT(), &buf, &buf); err != nil {
+		b.Fatal(err)
+	}
+	sinkF := trace.FetchFunc(func(trace.FetchEvent) {})
+	sinkD := trace.DataFunc(func(trace.DataEvent) {})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := buf.Replay(context.Background(), sinkF, sinkD); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()*b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkSimulatorIPS measures raw simulator speed (instructions/sec) on

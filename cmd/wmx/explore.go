@@ -32,9 +32,13 @@ func runExplore(args []string) {
 	wl := fs.String("workloads", "", "comma-separated benchmark names (default: all seven)")
 	packet := fs.Uint("packet", 0, "fetch-packet bytes (0 = the 8-byte VLIW packet)")
 	cacheDir := fs.String("cache-dir", "", "memoize grid points in this directory (reruns skip simulated points)")
+	traceDir := fs.String("trace-dir", "", "spill captured event traces to this directory (WMTRACE1); reruns replay instead of simulating")
+	noShare := fs.Bool("no-trace-share", false, "execute every grid point live instead of replaying shared traces")
 	par := fs.Int("j", 0, "grid points to simulate concurrently (0 = GOMAXPROCS)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	md := fs.Bool("md", false, "emit a markdown report")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "wmx explore: unexpected arguments %q\n", fs.Args())
@@ -82,6 +86,11 @@ func runExplore(args []string) {
 		}
 	}
 
+	// Profiling starts only after argument validation, so usage errors
+	// cannot leave a truncated profile behind.
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
+
 	opts := []explore.Option{
 		explore.WithParallelism(*par),
 		explore.WithProgress(func(p explore.Progress) {
@@ -100,12 +109,23 @@ func runExplore(args []string) {
 	if *cacheDir != "" {
 		opts = append(opts, explore.WithCacheDir(*cacheDir))
 	}
+	if *noShare {
+		opts = append(opts, explore.WithTraceSharing(false))
+	}
+	if *traceDir != "" {
+		opts = append(opts, explore.WithTraceDir(*traceDir))
+	}
 
 	fmt.Fprintf(os.Stderr, "exploring %d grid points (%s-cache)...\n",
 		space.NumPoints(), space.Domain)
 	grid, err := explore.Run(context.Background(), space, opts...)
 	exitOn(err)
-	fmt.Fprintf(os.Stderr, "%d cached, %d simulated\n\n", grid.Hits, grid.Misses)
+	if *noShare {
+		fmt.Fprintf(os.Stderr, "%d cached, %d simulated\n\n", grid.Hits, grid.Misses)
+	} else {
+		fmt.Fprintf(os.Stderr, "%d cached, %d simulated (%d executed, %d replayed, %d trace loads)\n\n",
+			grid.Hits, grid.Misses, grid.Traces.Captures, grid.Traces.Replays, grid.Traces.DiskLoads)
+	}
 
 	if *md {
 		grid.WriteMarkdown(os.Stdout)

@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	wmx [-exp NAME] [-csv] [-j N]
+//	wmx [-exp NAME] [-csv] [-j N] [-trace-dir DIR]
+//	    [-cpuprofile FILE] [-memprofile FILE]
 //	wmx explore [-domain data|fetch] [-mab-tags L] [-mab-sets L]
 //	            [-sets L] [-ways L] [-line L] [-workloads NAMES]
-//	            [-packet N] [-cache-dir DIR] [-j N] [-csv] [-md]
+//	            [-packet N] [-cache-dir DIR] [-trace-dir DIR]
+//	            [-no-trace-share] [-j N] [-csv] [-md]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // NAME is one of: all, table1, table2, table3, fig4, fig5, fig6, fig7,
 // fig8, ablation-d, ablation-i, consistency, packet, report.
@@ -27,6 +30,13 @@
 //	wmx explore -cache-dir .explore-cache          # the paper's D-MAB grid
 //	wmx explore -domain fetch -mab-sets 8,16,32    # I-cache sweep
 //	wmx explore -sets 256,512,1024 -ways 1,2,4     # geometry sweep
+//
+// Both modes run on the execute-once / replay-many trace engine: each
+// workload is simulated once per process and its captured event stream is
+// replayed to every technique and geometry (bit-identical results, several
+// times faster on sweeps). With -trace-dir the captures are spilled as
+// WMTRACE1 files and reloaded by later invocations; -cpuprofile and
+// -memprofile write pprof profiles of whatever was run.
 package main
 
 import (
@@ -60,6 +70,10 @@ func main() {
 			" (the design-space mode is separate; see: wmx explore -h)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	par := flag.Int("j", 0, "benchmarks to simulate concurrently (0 = GOMAXPROCS)")
+	traceDir := flag.String("trace-dir", "",
+		"spill captured event traces to this directory (WMTRACE1); reruns replay instead of simulating")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	which := strings.ToLower(*exp)
@@ -75,6 +89,10 @@ func main() {
 			*exp, strings.Join(expNames, ", "))
 		os.Exit(2)
 	}
+	// Profiling starts only after argument validation, so usage errors
+	// cannot leave a truncated profile behind.
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	emit := func(t report.Table) {
 		if *csv {
@@ -86,15 +104,36 @@ func main() {
 	}
 
 	ctx := context.Background()
+
+	// One trace cache shared by every run below: with -trace-dir, captures
+	// spill to disk and later invocations replay instead of simulating; the
+	// report mode — many suite passes over the same workloads — always
+	// shares an in-memory cache, so each workload executes once and every
+	// ablation replays its capture. The packet ablation is the exception:
+	// each non-default packet size needs its own whole-suite capture that
+	// nothing else reuses, so sharing the cache there would only pin
+	// hundreds of MB of one-shot captures — it joins the sharing only when
+	// the user asked for cross-run reuse with -trace-dir.
+	common := []suite.Option{suite.WithParallelism(*par)}
+	packetCommon := common
+	if *traceDir != "" {
+		tc, err := suite.NewDirTraceCache(*traceDir)
+		exitOn(err)
+		common = []suite.Option{suite.WithParallelism(*par), suite.WithTraceCache(tc)}
+		packetCommon = common
+	} else if which == "report" {
+		common = []suite.Option{suite.WithParallelism(*par),
+			suite.WithTraceCache(suite.NewTraceCache())}
+	}
+
 	runSuite := func(banner string) *experiments.Results {
 		fmt.Fprintln(os.Stderr, banner)
-		r, err := suite.Run(ctx,
-			suite.WithParallelism(*par),
+		r, err := suite.Run(ctx, append([]suite.Option{
 			suite.WithProgress(func(p suite.Progress) {
 				if p.Done {
 					fmt.Fprintf(os.Stderr, "  %s done\n", p.Workload)
 				}
-			}))
+			})}, common...)...)
 		exitOn(err)
 		return r
 	}
@@ -148,25 +187,25 @@ func main() {
 	// Studies beyond the paper's figures (not part of -exp all).
 	if which == "ablation-d" {
 		ran = true
-		rows, err := experiments.AblationD(ctx, suite.WithParallelism(*par))
+		rows, err := experiments.AblationD(ctx, common...)
 		exitOn(err)
 		emit(experiments.AblationTable("D-cache techniques (7-benchmark average)", rows))
 	}
 	if which == "ablation-i" {
 		ran = true
-		rows, err := experiments.AblationI(ctx, suite.WithParallelism(*par))
+		rows, err := experiments.AblationI(ctx, common...)
 		exitOn(err)
 		emit(experiments.AblationTable("I-cache techniques (7-benchmark average)", rows))
 	}
 	if which == "consistency" {
 		ran = true
-		rows, err := experiments.AblationConsistency(ctx, suite.WithParallelism(*par))
+		rows, err := experiments.AblationConsistency(ctx, common...)
 		exitOn(err)
 		emit(experiments.ConsistencyTable(rows))
 	}
 	if which == "packet" {
 		ran = true
-		rows, err := experiments.AblationPacket(ctx, suite.WithParallelism(*par))
+		rows, err := experiments.AblationPacket(ctx, packetCommon...)
 		exitOn(err)
 		emit(experiments.PacketTable(rows))
 	}
@@ -175,13 +214,13 @@ func main() {
 		// ablation study.
 		ran = true
 		results := runSuite("running the seven-benchmark suite and all ablations...")
-		ablD, err := experiments.AblationD(ctx, suite.WithParallelism(*par))
+		ablD, err := experiments.AblationD(ctx, common...)
 		exitOn(err)
-		ablI, err := experiments.AblationI(ctx, suite.WithParallelism(*par))
+		ablI, err := experiments.AblationI(ctx, common...)
 		exitOn(err)
-		cons, err := experiments.AblationConsistency(ctx, suite.WithParallelism(*par))
+		cons, err := experiments.AblationConsistency(ctx, common...)
 		exitOn(err)
-		packet, err := experiments.AblationPacket(ctx, suite.WithParallelism(*par))
+		packet, err := experiments.AblationPacket(ctx, packetCommon...)
 		exitOn(err)
 		experiments.WriteMarkdown(os.Stdout, results, ablD, ablI, cons, packet)
 	}
@@ -196,6 +235,7 @@ func main() {
 func exitOn(err error) {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wmx:", err)
+		flushProfiles()
 		os.Exit(1)
 	}
 }

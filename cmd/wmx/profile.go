@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// flushProfiles finishes any started profiles. It is installed by
+// startProfiles and also invoked by exitOn, so error exits still leave a
+// parseable CPU profile behind — the flag exists precisely to debug runs
+// that may fail.
+var flushProfiles = func() {}
+
+// startProfiles starts CPU profiling into cpuPath and arranges a heap
+// profile into memPath (either may be empty), returning the (idempotent)
+// function to run when the measured work is done. Keeping this in one place
+// means both wmx modes expose identical -cpuprofile/-memprofile behavior,
+// so any future perf work on the hot path is measurable out of the box:
+//
+//	wmx explore -cpuprofile cpu.out && go tool pprof cpu.out
+func startProfiles(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		exitOn(err)
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			exitOn(fmt.Errorf("starting CPU profile: %w", err))
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "wmx:", err)
+				}
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "wmx:", err)
+					return
+				}
+				runtime.GC() // materialize the final live-heap state
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintln(os.Stderr, "wmx:", err)
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, "wmx:", err)
+				}
+			}
+		})
+	}
+	flushProfiles = stop
+	return stop
+}

@@ -8,7 +8,10 @@
 // belongs to the controllers (internal/core, internal/baseline).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes cache geometry. The paper's FR-V caches are
 // {Sets: 512, Ways: 2, LineBytes: 32} = 32KB.
@@ -64,13 +67,14 @@ func (c Config) LineAddr(addr uint32) uint32 {
 	return addr &^ uint32(c.LineBytes-1)
 }
 
+// log2 of a power of two. A single bit-length instruction, not a loop: Set
+// and Tag sit on the per-access hot path of every cache controller, and the
+// replay engine makes that path the dominant cost of a design-space sweep.
 func log2(v int) int {
-	n := 0
-	for v > 1 {
-		v >>= 1
-		n++
+	if v <= 1 {
+		return 0
 	}
-	return n
+	return bits.Len(uint(v)) - 1
 }
 
 type line struct {
@@ -94,6 +98,12 @@ type Cache struct {
 	lines []line
 	clock uint64
 
+	// Address-slicing constants, precomputed at New: Set/Tag extraction is
+	// on the per-access path of every controller and every replayed event.
+	offBits  uint
+	setMask  uint32
+	tagShift uint
+
 	// OnEvict, when non-nil, is called for every valid line displaced by a
 	// Fill. The Memory Address Buffer's sound consistency policy hooks this
 	// to invalidate matching entries.
@@ -105,8 +115,18 @@ func New(cfg Config) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Cache{cfg: cfg, lines: make([]line, cfg.Sets*cfg.Ways)}
+	return &Cache{
+		cfg:      cfg,
+		lines:    make([]line, cfg.Sets*cfg.Ways),
+		offBits:  uint(cfg.OffsetBits()),
+		setMask:  uint32(cfg.Sets - 1),
+		tagShift: uint(cfg.OffsetBits() + cfg.SetBits()),
+	}
 }
+
+// set and tag are Config.Set and Config.Tag on the precomputed constants.
+func (c *Cache) set(addr uint32) uint32 { return addr >> c.offBits & c.setMask }
+func (c *Cache) tag(addr uint32) uint32 { return addr >> c.tagShift }
 
 // Config returns the cache geometry.
 func (c *Cache) Config() Config { return c.cfg }
@@ -118,7 +138,7 @@ func (c *Cache) line(set uint32, way int) *line {
 // Lookup reports whether addr hits, and in which way. It does not change any
 // state (no LRU update).
 func (c *Cache) Lookup(addr uint32) (way int, hit bool) {
-	set, tag := c.cfg.Set(addr), c.cfg.Tag(addr)
+	set, tag := c.set(addr), c.tag(addr)
 	for w := 0; w < c.cfg.Ways; w++ {
 		if l := c.line(set, w); l.valid && l.tag == tag {
 			return w, true
@@ -133,8 +153,8 @@ func (c *Cache) Present(addr uint32, way int) bool {
 	if way < 0 || way >= c.cfg.Ways {
 		return false
 	}
-	l := c.line(c.cfg.Set(addr), way)
-	return l.valid && l.tag == c.cfg.Tag(addr)
+	l := c.line(c.set(addr), way)
+	return l.valid && l.tag == c.tag(addr)
 }
 
 // Touch marks (set,way) most recently used. Every access — including
@@ -142,18 +162,18 @@ func (c *Cache) Present(addr uint32, way int) bool {
 // replacement state matches a conventional cache.
 func (c *Cache) Touch(addr uint32, way int) {
 	c.clock++
-	c.line(c.cfg.Set(addr), way).lastUse = c.clock
+	c.line(c.set(addr), way).lastUse = c.clock
 }
 
 // MarkDirty sets the dirty bit of (set,way).
 func (c *Cache) MarkDirty(addr uint32, way int) {
-	c.line(c.cfg.Set(addr), way).dirty = true
+	c.line(c.set(addr), way).dirty = true
 }
 
 // VictimWay returns the way that a fill to addr's set would replace: the
 // first invalid way, else the least recently used.
 func (c *Cache) VictimWay(addr uint32) int {
-	set := c.cfg.Set(addr)
+	set := c.set(addr)
 	victim, oldest := 0, ^uint64(0)
 	for w := 0; w < c.cfg.Ways; w++ {
 		l := c.line(set, w)
@@ -171,7 +191,7 @@ func (c *Cache) VictimWay(addr uint32) int {
 // It returns the way used and the eviction (Way < 0 when nothing valid was
 // displaced). The new line is clean and most recently used.
 func (c *Cache) Fill(addr uint32) (way int, ev Eviction) {
-	set, tag := c.cfg.Set(addr), c.cfg.Tag(addr)
+	set, tag := c.set(addr), c.tag(addr)
 	way = c.VictimWay(addr)
 	l := c.line(set, way)
 	ev = Eviction{Way: -1}

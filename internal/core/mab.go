@@ -94,19 +94,6 @@ func (c Config) String() string {
 	return fmt.Sprintf("%dx%d", c.TagEntries, c.SetEntries)
 }
 
-type tagEntry struct {
-	key     uint32 // upper (32-lowBits) bits of the base address
-	cflag   uint8  // bit0 = carry, bit1 = displacement sign class
-	valid   bool
-	lastUse uint64
-}
-
-type setEntry struct {
-	idx     uint32
-	valid   bool
-	lastUse uint64
-}
-
 // Lookup is the result of probing the MAB.
 type Lookup struct {
 	// InRange is false when the displacement exceeds the low adder's range
@@ -128,11 +115,31 @@ type MAB struct {
 	offsetBits uint
 	lowMask    uint32
 
-	tags  []tagEntry
-	sets  []setEntry
+	// The tag and set-index tables are stored column-wise (structure of
+	// arrays): Probe scans both tables on every single access, and keeping
+	// the compared columns contiguous lets one scan touch one cache line
+	// instead of one struct per entry.
+	tagKey   []uint32 // upper (32-lowBits) bits of the base address
+	tagCflag []uint8  // bit0 = carry, bit1 = displacement sign class
+	tagValid []bool
+	tagUse   []uint64
+	setIdx   []uint32
+	setValid []bool
+	setUse   []uint64
+
 	vflag [][]bool
 	way   [][]int8
 	clock uint64
+
+	// Slot resolution of the most recent Probe, so the Update that follows
+	// a missed probe (the controllers' hot path) skips both table scans.
+	// Only valid until the tables' occupancy changes: Update consumes it.
+	lastKey    uint32
+	lastCflag  uint8
+	lastSetIdx uint32
+	lastI      int
+	lastJ      int
+	lastValid  bool
 }
 
 // New builds a MAB for a cache with the given geometry.
@@ -148,8 +155,13 @@ func New(cfg Config, geo cache.Config) *MAB {
 		geo:        geo,
 		lowBits:    uint(geo.OffsetBits() + geo.SetBits()),
 		offsetBits: uint(geo.OffsetBits()),
-		tags:       make([]tagEntry, cfg.TagEntries),
-		sets:       make([]setEntry, cfg.SetEntries),
+		tagKey:     make([]uint32, cfg.TagEntries),
+		tagCflag:   make([]uint8, cfg.TagEntries),
+		tagValid:   make([]bool, cfg.TagEntries),
+		tagUse:     make([]uint64, cfg.TagEntries),
+		setIdx:     make([]uint32, cfg.SetEntries),
+		setValid:   make([]bool, cfg.SetEntries),
+		setUse:     make([]uint64, cfg.SetEntries),
 		vflag:      make([][]bool, cfg.TagEntries),
 		way:        make([][]int8, cfg.TagEntries),
 	}
@@ -191,21 +203,20 @@ func (m *MAB) key(base uint32, disp int32) (key uint32, cflag uint8, setIdx uint
 	return base >> m.lowBits, carry | sign<<1, (sum & m.lowMask) >> m.offsetBits
 }
 
-// trueTag returns the physical cache tag a tag entry denotes:
+// trueTag returns the physical cache tag the i-th tag entry denotes:
 // key + carry (positive displacement) or key + carry - 1 (negative).
-func (m *MAB) trueTag(e *tagEntry) uint32 {
-	adj := uint32(e.cflag & 1)
-	if e.cflag&2 != 0 {
+func (m *MAB) trueTag(i int) uint32 {
+	adj := uint32(m.tagCflag[i] & 1)
+	if m.tagCflag[i]&2 != 0 {
 		adj--
 	}
 	mask := uint32(1)<<(32-m.lowBits) - 1
-	return (e.key + adj) & mask
+	return (m.tagKey[i] + adj) & mask
 }
 
 func (m *MAB) findTag(key uint32, cflag uint8) int {
-	for i := range m.tags {
-		e := &m.tags[i]
-		if e.valid && e.key == key && e.cflag == cflag {
+	for i, k := range m.tagKey {
+		if k == key && m.tagValid[i] && m.tagCflag[i] == cflag {
 			return i
 		}
 	}
@@ -213,9 +224,8 @@ func (m *MAB) findTag(key uint32, cflag uint8) int {
 }
 
 func (m *MAB) findSet(idx uint32) int {
-	for j := range m.sets {
-		e := &m.sets[j]
-		if e.valid && e.idx == idx {
+	for j, v := range m.setIdx {
+		if v == idx && m.setValid[j] {
 			return j
 		}
 	}
@@ -224,12 +234,12 @@ func (m *MAB) findSet(idx uint32) int {
 
 func (m *MAB) lruTag() int {
 	victim, oldest := 0, ^uint64(0)
-	for i := range m.tags {
-		if !m.tags[i].valid {
+	for i := range m.tagKey {
+		if !m.tagValid[i] {
 			return i
 		}
-		if m.tags[i].lastUse < oldest {
-			victim, oldest = i, m.tags[i].lastUse
+		if m.tagUse[i] < oldest {
+			victim, oldest = i, m.tagUse[i]
 		}
 	}
 	return victim
@@ -237,12 +247,12 @@ func (m *MAB) lruTag() int {
 
 func (m *MAB) lruSet() int {
 	victim, oldest := 0, ^uint64(0)
-	for j := range m.sets {
-		if !m.sets[j].valid {
+	for j := range m.setIdx {
+		if !m.setValid[j] {
 			return j
 		}
-		if m.sets[j].lastUse < oldest {
-			victim, oldest = j, m.sets[j].lastUse
+		if m.setUse[j] < oldest {
+			victim, oldest = j, m.setUse[j]
 		}
 	}
 	return victim
@@ -267,12 +277,14 @@ func (m *MAB) Probe(base uint32, disp int32) Lookup {
 	res := Lookup{InRange: true, PredictedAddr: (key+adj)<<m.lowBits | predLow}
 	i := m.findTag(key, cflag)
 	j := m.findSet(setIdx)
+	m.lastKey, m.lastCflag, m.lastSetIdx = key, cflag, setIdx
+	m.lastI, m.lastJ, m.lastValid = i, j, true
 	if i >= 0 && j >= 0 && m.vflag[i][j] {
 		res.Hit = true
 		res.Way = int(m.way[i][j])
 		m.clock++
-		m.tags[i].lastUse = m.clock
-		m.sets[j].lastUse = m.clock
+		m.tagUse[i] = m.clock
+		m.setUse[j] = m.clock
 	}
 	return res
 }
@@ -284,13 +296,21 @@ func (m *MAB) Update(base uint32, disp int32, way int) {
 		return
 	}
 	key, cflag, setIdx := m.key(base, disp)
-	i := m.findTag(key, cflag)
-	j := m.findSet(setIdx)
+	var i, j int
+	if m.lastValid && m.lastKey == key && m.lastCflag == cflag && m.lastSetIdx == setIdx {
+		// Between the probe and this update only vflag bits can have
+		// changed (eviction invalidations), never table occupancy, so the
+		// memoized slots are still the scan's answer.
+		i, j = m.lastI, m.lastJ
+	} else {
+		i, j = m.findTag(key, cflag), m.findSet(setIdx)
+	}
+	m.lastValid = false
 	m.clock++
 	if i < 0 {
 		// Replace the LRU tag row; all pairs of the old row die.
 		i = m.lruTag()
-		m.tags[i] = tagEntry{key: key, cflag: cflag, valid: true}
+		m.tagKey[i], m.tagCflag[i], m.tagValid[i], m.tagUse[i] = key, cflag, true, 0
 		for s := range m.vflag[i] {
 			m.vflag[i][s] = false
 		}
@@ -298,13 +318,13 @@ func (m *MAB) Update(base uint32, disp int32, way int) {
 	if j < 0 {
 		// Replace the LRU set column; all pairs of the old column die.
 		j = m.lruSet()
-		m.sets[j] = setEntry{idx: setIdx, valid: true}
+		m.setIdx[j], m.setValid[j], m.setUse[j] = setIdx, true, 0
 		for t := range m.vflag {
 			m.vflag[t][j] = false
 		}
 	}
-	m.tags[i].lastUse = m.clock
-	m.sets[j].lastUse = m.clock
+	m.tagUse[i] = m.clock
+	m.setUse[j] = m.clock
 	m.vflag[i][j] = true
 	m.way[i][j] = int8(way)
 }
@@ -342,12 +362,12 @@ func (m *MAB) OnBypass() {
 // OnEviction clears pairs that denote the evicted line. Wired to
 // cache.Cache.OnEvict under PolicyEvictInvalidate.
 func (m *MAB) OnEviction(ev cache.Eviction) {
-	for j := range m.sets {
-		if !m.sets[j].valid || m.sets[j].idx != ev.Set {
+	for j := range m.setIdx {
+		if !m.setValid[j] || m.setIdx[j] != ev.Set {
 			continue
 		}
-		for i := range m.tags {
-			if m.vflag[i][j] && m.tags[i].valid && m.trueTag(&m.tags[i]) == ev.Tag {
+		for i := range m.tagKey {
+			if m.vflag[i][j] && m.tagValid[i] && m.trueTag(i) == ev.Tag {
 				m.vflag[i][j] = false
 			}
 		}
@@ -376,8 +396,8 @@ func (m *MAB) CheckInvariant(c *cache.Cache) int {
 			if !m.vflag[i][j] {
 				continue
 			}
-			tag, valid := c.TagAt(m.sets[j].idx, int(m.way[i][j]))
-			if !valid || tag != m.trueTag(&m.tags[i]) {
+			tag, valid := c.TagAt(m.setIdx[j], int(m.way[i][j]))
+			if !valid || tag != m.trueTag(i) {
 				bad++
 			}
 		}

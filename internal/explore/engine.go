@@ -54,6 +54,11 @@ type Grid struct {
 	// Hits and Misses count grid points served from the result cache
 	// versus simulated during this run. Hits+Misses == len(Points).
 	Hits, Misses int
+	// Traces reports the execute-once / replay-many engine's work: with
+	// trace sharing on (the default), Captures counts full simulator
+	// executions (at most one per workload × packet size) and Replays the
+	// grid points served by replaying a capture.
+	Traces suite.TraceCacheStats
 }
 
 // Progress reports one grid point starting (Done=false) or finishing.
@@ -71,10 +76,12 @@ type Progress struct {
 
 // options collects the Run configuration; see the With* constructors.
 type options struct {
-	cache       Cache
-	cacheDir    string
-	parallelism int
-	progress    func(Progress)
+	cache        Cache
+	cacheDir     string
+	parallelism  int
+	progress     func(Progress)
+	noTraceShare bool
+	traceDir     string
 }
 
 // Option configures Run.
@@ -110,10 +117,37 @@ func WithProgress(fn func(Progress)) Option {
 	return func(o *options) error { o.progress = fn; return nil }
 }
 
+// WithTraceSharing toggles the execute-once / replay-many engine (default
+// on): every workload is executed once per sweep and its captured event
+// stream is replayed to all geometries of the grid, which is bit-identical
+// to executing each point live (the replay golden test in internal/suite
+// pins this) and several times faster on multi-geometry sweeps. Turning it
+// off forces one full execution per grid point — useful only for
+// benchmarking the engine itself.
+func WithTraceSharing(on bool) Option {
+	return func(o *options) error { o.noTraceShare = !on; return nil }
+}
+
+// WithTraceDir additionally spills captured traces to dir as WMTRACE1 files
+// (created if needed), so a later sweep in a fresh process reloads them
+// instead of executing at all. An empty dir is an error.
+func WithTraceDir(dir string) Option {
+	return func(o *options) error {
+		if dir == "" {
+			return fmt.Errorf("explore: empty trace directory")
+		}
+		o.traceDir = dir
+		return nil
+	}
+}
+
 // Run expands the space into its grid and executes every point, fanning
 // points out over a worker pool. Each point is one suite.Run over a single
 // workload with the space's full technique list attached, so a point costs
-// one simulator pass regardless of how many MAB sizes are swept.
+// one simulator pass regardless of how many MAB sizes are swept — and with
+// trace sharing (the default), even that pass happens only once per
+// workload: the first point to need a workload executes it and captures its
+// event streams, every other geometry replays the capture.
 //
 // With a result cache configured, points whose Key is already stored load
 // instead of simulating, and newly simulated points are stored on
@@ -135,6 +169,18 @@ func Run(ctx context.Context, space Space, opts ...Option) (*Grid, error) {
 			return nil, err
 		}
 		o.cache = dc
+	}
+	var tc *suite.TraceCache
+	switch {
+	case o.noTraceShare && o.traceDir != "":
+		return nil, fmt.Errorf("explore: trace directory given but trace sharing disabled")
+	case o.traceDir != "":
+		var err error
+		if tc, err = suite.NewDirTraceCache(o.traceDir); err != nil {
+			return nil, err
+		}
+	case !o.noTraceShare:
+		tc = suite.NewTraceCache()
 	}
 	s, err := space.normalized()
 	if err != nil {
@@ -161,7 +207,7 @@ func Run(ctx context.Context, space Space, opts ...Option) (*Grid, error) {
 	err = pool.Run(ctx, len(pts), o.parallelism, func(runCtx context.Context, idx int) error {
 		pt := pts[idx]
 		report(Progress{Index: idx, Total: len(pts), Geometry: pt.Geometry, Workload: pt.Workload.Name})
-		pr, cached, err := runPoint(runCtx, s, pt, techs, mabs, o.cache)
+		pr, cached, err := runPoint(runCtx, s, pt, techs, mabs, o.cache, tc)
 		if err != nil {
 			return err
 		}
@@ -178,12 +224,16 @@ func Run(ctx context.Context, space Space, opts ...Option) (*Grid, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Grid{
+	g := &Grid{
 		Space:  s,
 		Points: results,
 		Hits:   int(hits.Load()),
 		Misses: int(misses.Load()),
-	}, nil
+	}
+	if tc != nil {
+		g.Traces = tc.Stats()
+	}
+	return g, nil
 }
 
 // cachedPointValid checks a cache hit against the grid point it must
@@ -206,7 +256,7 @@ func cachedPointValid(pr *PointResult, pt Point, techs []suite.Technique) bool {
 
 // runPoint serves one grid point from the cache or simulates and stores it.
 func runPoint(ctx context.Context, s Space, pt Point, techs []suite.Technique,
-	mabs []core.Config, c Cache) (*PointResult, bool, error) {
+	mabs []core.Config, c Cache, tc *suite.TraceCache) (*PointResult, bool, error) {
 	key := Key(s.Domain, pt.Geometry, pt.Workload.Name, s.PacketBytes, mabs)
 	if c != nil {
 		if pr, ok := c.Get(key); ok && cachedPointValid(pr, pt, techs) {
@@ -214,12 +264,17 @@ func runPoint(ctx context.Context, s Space, pt Point, techs []suite.Technique,
 			return pr, true, nil
 		}
 	}
-	r, err := suite.Run(ctx,
+	runOpts := []suite.Option{
 		suite.WithWorkloads(pt.Workload),
 		suite.WithTechniques(techs...),
 		suite.WithGeometry(pt.Geometry),
 		suite.WithPacketBytes(s.PacketBytes),
-		suite.WithParallelism(1))
+		suite.WithParallelism(1),
+	}
+	if tc != nil {
+		runOpts = append(runOpts, suite.WithTraceCache(tc))
+	}
+	r, err := suite.Run(ctx, runOpts...)
 	if err != nil {
 		return nil, false, err
 	}

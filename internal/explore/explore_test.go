@@ -383,3 +383,61 @@ func TestPaperPick(t *testing.T) {
 		t.Errorf("fetch pick = %dx%d, want 2x16", nt, ns)
 	}
 }
+
+// TestTraceSharingEquivalence pins the execute-once / replay-many contract
+// at the sweep level: a shared-trace grid is deeply equal to one that
+// executes every point live, while performing only one execution per
+// workload.
+func TestTraceSharingEquivalence(t *testing.T) {
+	space := tinySpace()
+	space.Workloads = []workloads.Workload{tinyWorkload("tiny-a"), tinyWorkload("tiny-b")}
+
+	live, err := Run(context.Background(), space, WithTraceSharing(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Traces != (suite.TraceCacheStats{}) {
+		t.Fatalf("unshared sweep reported trace work: %+v", live.Traces)
+	}
+	shared, err := Run(context.Background(), space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripCached(live), stripCached(shared)) {
+		t.Error("shared-trace sweep diverges from live execution")
+	}
+	wantPoints := len(shared.Points)
+	if shared.Traces.Captures != len(space.Workloads) || shared.Traces.Replays != wantPoints {
+		t.Errorf("trace stats = %+v, want %d captures / %d replays",
+			shared.Traces, len(space.Workloads), wantPoints)
+	}
+}
+
+// TestTraceDirSpill checks WithTraceDir: a second sweep in a fresh trace
+// cache reloads every capture from disk and still matches.
+func TestTraceDirSpill(t *testing.T) {
+	dir := t.TempDir()
+	space := tinySpace()
+
+	first, err := Run(context.Background(), space, WithTraceDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Traces.Captures != 1 || first.Traces.DiskLoads != 0 {
+		t.Fatalf("cold spill stats = %+v", first.Traces)
+	}
+	second, err := Run(context.Background(), space, WithTraceDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Traces.Captures != 0 || second.Traces.DiskLoads != 1 {
+		t.Fatalf("warm spill stats = %+v (want pure disk load)", second.Traces)
+	}
+	if !reflect.DeepEqual(stripCached(first), stripCached(second)) {
+		t.Error("disk-loaded sweep diverges from capturing sweep")
+	}
+	if _, err := Run(context.Background(), space,
+		WithTraceDir(dir), WithTraceSharing(false)); err == nil {
+		t.Error("trace dir with sharing disabled was accepted")
+	}
+}

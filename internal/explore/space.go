@@ -23,6 +23,16 @@
 // packet, see Key) and a completed point is written to <hash>.json, so a
 // repeated or resumed sweep skips every already-simulated point. Corrupt or
 // truncated cache files are treated as misses and rewritten.
+//
+// Underneath the result cache sits the execute-once / replay-many trace
+// engine (suite.TraceCache, on by default): a workload's event stream
+// depends only on (workload, fetch packet), never on cache geometry or
+// technique, so each workload is executed once per sweep and its captured
+// trace is replayed to every geometry of the grid — G×W grid points cost W
+// executions plus G×W cheap replays, bit-identical to executing each point
+// live. WithTraceDir spills the captures as WMTRACE1 files for reuse across
+// processes; WithTraceSharing(false) restores the old one-execution-per-
+// point behavior.
 package explore
 
 import (
@@ -66,6 +76,23 @@ type Space struct {
 // all seven benchmarks.
 func PaperGrid(domain suite.Domain) Space {
 	return Space{Domain: domain}
+}
+
+// EngineBenchSpace is the reference multi-geometry sweep the repository's
+// trace-engine benchmarks time: all three geometry axes swept (24
+// geometries), two workloads, the baseline plus one MAB size per point.
+// bench_test.go and tools/benchrec both measure exactly this space, so the
+// committed BENCH_<n>.json numbers and `go test -bench` stay comparable.
+func EngineBenchSpace() Space {
+	return Space{
+		Domain:     suite.Data,
+		Sets:       []int{128, 256, 512, 1024},
+		Ways:       []int{1, 2, 4},
+		LineBytes:  []int{16, 32},
+		TagEntries: []int{2},
+		SetEntries: []int{8},
+		Workloads:  []workloads.Workload{workloads.DCT(), workloads.FFT()},
+	}
 }
 
 // normalized fills defaulted axes and validates every axis value. The

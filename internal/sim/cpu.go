@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"waymemo/internal/asm"
 	"waymemo/internal/isa"
@@ -72,8 +73,69 @@ func New() *CPU {
 	return &CPU{Mem: mem.New()}
 }
 
-// LoadProgram loads an assembled program image and prepares the decode
-// cache. The PC is set to the program entry and the stack pointer to sp.
+// Predecoded is the immutable decode of a program's static text segment: a
+// PC-indexed instruction table covering the contiguous span of all text
+// ranges. Because programs cannot modify their own text (the simulator
+// rejects stores into text ranges), one Predecoded is shared read-only by
+// every CPU executing the same program — the text is decoded once per
+// process, not once per run, let alone once per dynamic instruction.
+type Predecoded struct {
+	base   uint32
+	instrs []isa.Instr
+	ranges [][2]uint32
+}
+
+// predecodeCache memoizes Predecode per program identity. Keying on the
+// pointer is what makes the memo effective: workloads.Build returns the
+// same *asm.Program for the same workload within a process.
+var predecodeCache sync.Map // *asm.Program -> *Predecoded
+
+// Predecode decodes the program's text ranges into a shared PC-indexed
+// instruction table. Calls with the same *asm.Program return the same
+// cached table.
+func Predecode(p *asm.Program) *Predecoded {
+	if v, ok := predecodeCache.Load(p); ok {
+		return v.(*Predecoded)
+	}
+	d := predecode(p)
+	v, _ := predecodeCache.LoadOrStore(p, d)
+	return v.(*Predecoded)
+}
+
+// predecode builds the instruction table for the contiguous span covering
+// all text ranges.
+func predecode(p *asm.Program) *Predecoded {
+	d := &Predecoded{ranges: p.TextRanges}
+	if len(p.TextRanges) == 0 {
+		return d
+	}
+	lo, hi := p.TextRanges[0][0], p.TextRanges[0][1]
+	for _, r := range p.TextRanges[1:] {
+		if r[0] < lo {
+			lo = r[0]
+		}
+		if r[1] > hi {
+			hi = r[1]
+		}
+	}
+	if hi-lo > 1<<24 { // refuse absurd spans
+		return d
+	}
+	m := mem.New()
+	for _, seg := range p.Segments {
+		m.LoadImage(seg.Addr, seg.Data)
+	}
+	d.base = lo
+	d.instrs = make([]isa.Instr, (hi-lo)/isa.Word)
+	for a := lo; a < hi; a += isa.Word {
+		d.instrs[(a-lo)/isa.Word] = isa.Decode(m.ReadWord(a))
+	}
+	return d
+}
+
+// LoadProgram loads an assembled program image and attaches the shared
+// predecoded instruction table. The PC is set to the program entry and the
+// stack pointer to sp.
 func (c *CPU) LoadProgram(p *asm.Program, sp uint32) {
 	if c.Mem == nil {
 		c.Mem = mem.New()
@@ -83,26 +145,10 @@ func (c *CPU) LoadProgram(p *asm.Program, sp uint32) {
 	}
 	c.PC = p.Entry
 	c.Regs[isa.RegSP] = sp
-	c.textRanges = p.TextRanges
-	// Pre-decode the contiguous span covering all text ranges.
-	if len(p.TextRanges) > 0 {
-		lo, hi := p.TextRanges[0][0], p.TextRanges[0][1]
-		for _, r := range p.TextRanges[1:] {
-			if r[0] < lo {
-				lo = r[0]
-			}
-			if r[1] > hi {
-				hi = r[1]
-			}
-		}
-		if hi-lo <= 1<<24 { // refuse absurd spans
-			c.textBase = lo
-			c.decoded = make([]isa.Instr, (hi-lo)/isa.Word)
-			for a := lo; a < hi; a += isa.Word {
-				c.decoded[(a-lo)/isa.Word] = isa.Decode(c.Mem.ReadWord(a))
-			}
-		}
-	}
+	d := Predecode(p)
+	c.textBase = d.base
+	c.decoded = d.instrs
+	c.textRanges = d.ranges
 }
 
 func (c *CPU) decode(pc uint32) isa.Instr {

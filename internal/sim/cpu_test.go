@@ -391,3 +391,48 @@ func TestFlowClassification(t *testing.T) {
 		t.Errorf("inter nonseq: %v", c)
 	}
 }
+
+// TestPredecodeShared checks that the predecoded instruction table is built
+// once per program and shared by every CPU executing it, and that a reload
+// of the same program executes identically.
+func TestPredecodeShared(t *testing.T) {
+	src := `
+	.org 0x1000
+main:	addi r1, r0, 0
+	addi r2, r0, 10
+loop:	add  r1, r1, r2
+	addi r2, r2, -1
+	bne  r2, r0, loop
+	halt
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	d1, d2 := Predecode(p), Predecode(p)
+	if d1 != d2 {
+		t.Fatal("Predecode returned distinct tables for the same program")
+	}
+	if len(d1.instrs) == 0 {
+		t.Fatal("predecoded table is empty")
+	}
+	var want uint32
+	for i := 0; i < 2; i++ {
+		c := New()
+		c.LoadProgram(p, stackTop)
+		if len(c.decoded) == 0 || &c.decoded[0] != &d1.instrs[0] {
+			t.Fatal("CPU did not attach the shared predecoded table")
+		}
+		if err := c.Run(1000); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if i == 0 {
+			want = c.Regs[1]
+		} else if c.Regs[1] != want {
+			t.Fatalf("reload diverged: r1=%d want %d", c.Regs[1], want)
+		}
+	}
+	if want != 55 {
+		t.Fatalf("r1 = %d, want 55", want)
+	}
+}

@@ -1,0 +1,231 @@
+package suite
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waymemo/internal/workloads"
+)
+
+// assertResultsEqual demands bit-identical counters, cycle counts and power
+// breakdowns between a live run and a replayed run, for every benchmark and
+// every technique in both domains.
+func assertResultsEqual(t *testing.T, live, replayed *Results) {
+	t.Helper()
+	if len(live.Benchmarks) != len(replayed.Benchmarks) {
+		t.Fatalf("benchmark counts differ: %d vs %d", len(live.Benchmarks), len(replayed.Benchmarks))
+	}
+	for i, lb := range live.Benchmarks {
+		rb := replayed.Benchmarks[i]
+		if lb.Name != rb.Name || lb.Cycles != rb.Cycles || lb.Instrs != rb.Instrs {
+			t.Fatalf("%s: cycles/instrs %d/%d vs %d/%d",
+				lb.Name, lb.Cycles, lb.Instrs, rb.Cycles, rb.Instrs)
+		}
+		if len(lb.D) != len(rb.D) || len(lb.I) != len(rb.I) {
+			t.Fatalf("%s: technique sets differ", lb.Name)
+		}
+		for id, ltr := range lb.D {
+			rtr, ok := rb.D[id]
+			if !ok {
+				t.Fatalf("%s: D technique %q missing from replay", lb.Name, id)
+			}
+			if *ltr.Stats != *rtr.Stats {
+				t.Errorf("%s/D/%s counters diverge:\nlive:   %+v\nreplay: %+v",
+					lb.Name, id, *ltr.Stats, *rtr.Stats)
+			}
+			if lb.DPower(id) != rb.DPower(id) {
+				t.Errorf("%s/D/%s power diverges: %+v vs %+v",
+					lb.Name, id, lb.DPower(id), rb.DPower(id))
+			}
+		}
+		for id, ltr := range lb.I {
+			rtr, ok := rb.I[id]
+			if !ok {
+				t.Fatalf("%s: I technique %q missing from replay", lb.Name, id)
+			}
+			if *ltr.Stats != *rtr.Stats {
+				t.Errorf("%s/I/%s counters diverge:\nlive:   %+v\nreplay: %+v",
+					lb.Name, id, *ltr.Stats, *rtr.Stats)
+			}
+			if lb.IPower(id) != rb.IPower(id) {
+				t.Errorf("%s/I/%s power diverges: %+v vs %+v",
+					lb.Name, id, lb.IPower(id), rb.IPower(id))
+			}
+		}
+	}
+}
+
+// TestReplayEquivalenceGolden is the correctness contract of the
+// execute-once / replay-many engine: record+replay must produce bit-identical
+// stats.Counters and power.Breakdown to live execution for all eight standard
+// techniques of the paper's evaluation, in both cache domains.
+func TestReplayEquivalenceGolden(t *testing.T) {
+	ctx := context.Background()
+	ws := []workloads.Workload{workloads.DCT(), workloads.FFT()}
+	live, err := Run(ctx, WithWorkloads(ws...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(live.Benchmarks[0].D) + len(live.Benchmarks[0].I); n != 8 {
+		t.Fatalf("standard registry has %d techniques, want 8", n)
+	}
+	tc := NewTraceCache()
+	replayed, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, live, replayed)
+	st := tc.Stats()
+	if st.Captures != len(ws) || st.Replays != len(ws) {
+		t.Fatalf("trace cache stats = %+v, want %d captures/%d replays", st, len(ws), len(ws))
+	}
+
+	// A second Run on the same cache replays without executing again.
+	again, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, live, again)
+	if st := tc.Stats(); st.Captures != len(ws) {
+		t.Fatalf("warm rerun re-executed: %+v", st)
+	}
+}
+
+// TestReplayEquivalencePacketBytes checks the engine keys captures on the
+// fetch-packet size: the 16-byte ablation replays identically too, from its
+// own capture.
+func TestReplayEquivalencePacketBytes(t *testing.T) {
+	ctx := context.Background()
+	ws := []workloads.Workload{workloads.DCT()}
+	live, err := Run(ctx, WithWorkloads(ws...), WithPacketBytes(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTraceCache()
+	for _, pb := range []uint32{16, 0} {
+		if _, err := Run(ctx, WithWorkloads(ws...), WithPacketBytes(pb), WithTraceCache(tc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := tc.Stats(); st.Captures != 2 {
+		t.Fatalf("packet sizes were not captured separately: %+v", st)
+	}
+	// Packet 0 means the 8-byte VLIW default: an explicit 8 shares its
+	// capture rather than executing a third time.
+	if _, err := Run(ctx, WithWorkloads(ws...), WithPacketBytes(8), WithTraceCache(tc)); err != nil {
+		t.Fatal(err)
+	}
+	if st := tc.Stats(); st.Captures != 2 {
+		t.Fatalf("packet 8 did not share the default capture: %+v", st)
+	}
+	replayed, err := Run(ctx, WithWorkloads(ws...), WithPacketBytes(16), WithTraceCache(tc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertResultsEqual(t, live, replayed)
+}
+
+// TestTraceCacheSpill checks the WMTRACE1 spill/reload path: a fresh cache
+// over the same directory serves the capture from disk without executing,
+// with bit-identical results.
+func TestTraceCacheSpill(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ws := []workloads.Workload{workloads.DCT()}
+
+	tc1, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tc1.Stats(); st.Captures != 1 || st.DiskLoads != 0 {
+		t.Fatalf("cold dir cache stats = %+v", st)
+	}
+
+	tc2, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tc2.Stats(); st.Captures != 0 || st.DiskLoads != 1 {
+		t.Fatalf("warm dir cache stats = %+v (want pure disk load)", st)
+	}
+	assertResultsEqual(t, first, second)
+}
+
+// TestTraceCacheSpillCorrupt checks that a truncated spill file degrades to
+// a re-capture (and is rewritten), never to an error or wrong results.
+func TestTraceCacheSpillCorrupt(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ws := []workloads.Workload{workloads.DCT()}
+
+	tc1, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := filepath.Glob(filepath.Join(dir, "*.wmtrace"))
+	if err != nil || len(traces) != 1 {
+		t.Fatalf("spill files: %v, %v", traces, err)
+	}
+	data, err := os.ReadFile(traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(traces[0], data[:len(data)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	tc2, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tc2.Stats(); st.Captures != 1 || st.DiskLoads != 0 {
+		t.Fatalf("corrupt spill was not degraded to a capture: %+v", st)
+	}
+	assertResultsEqual(t, first, second)
+
+	// The re-capture rewrote the spill; a third cache loads it cleanly.
+	tc3, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc3)); err != nil {
+		t.Fatal(err)
+	}
+	if st := tc3.Stats(); st.DiskLoads != 1 {
+		t.Fatalf("rewritten spill not loaded: %+v", st)
+	}
+}
+
+// TestTraceCacheMaxInstrsKeyed: an instruction budget that would fail a
+// live run must fail through the cache too, not silently reuse a capture
+// recorded under a longer budget.
+func TestTraceCacheMaxInstrsKeyed(t *testing.T) {
+	ctx := context.Background()
+	tc := NewTraceCache()
+	if _, err := Run(ctx, WithWorkloads(workloads.DCT()), WithTraceCache(tc)); err != nil {
+		t.Fatal(err)
+	}
+	small := workloads.DCT()
+	small.MaxInstrs = 1000
+	if _, err := Run(ctx, WithWorkloads(small), WithTraceCache(tc)); err == nil {
+		t.Fatal("budget-limited workload replayed a full-length capture")
+	}
+}

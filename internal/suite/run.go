@@ -70,6 +70,7 @@ type options struct {
 	parallelism   int
 	packetBytes   uint32
 	progress      func(Progress)
+	traceCache    *TraceCache
 }
 
 // Option configures Run.
@@ -114,6 +115,17 @@ func WithPacketBytes(pb uint32) Option {
 // WithProgress installs a callback invoked as benchmarks start and finish.
 func WithProgress(fn func(Progress)) Option {
 	return func(o *options) { o.progress = fn }
+}
+
+// WithTraceCache serves benchmarks from tc's execute-once / replay-many
+// engine (default: none, every benchmark executes live): each (workload,
+// packetBytes) pair is simulated once with its event streams captured, and
+// this and every later Run sharing tc replays the capture into the selected
+// techniques instead of re-executing. Counters and power are bit-identical
+// to a live run. The capturing execution validates the workload's Check;
+// replays trust the capture and skip it.
+func WithTraceCache(tc *TraceCache) Option {
+	return func(o *options) { o.traceCache = tc }
 }
 
 // Run executes every selected workload with every selected technique
@@ -205,6 +217,28 @@ func runOne(ctx context.Context, w workloads.Workload, techs []Technique, o opti
 			fetchSinks = append(fetchSinks, inst.Fetch)
 			br.I[t.ID] = TechResult{Stats: inst.Stats, Model: inst.Model}
 		}
+	}
+	if o.traceCache != nil {
+		ent, err := o.traceCache.get(ctx, w, o.packetBytes)
+		if err != nil {
+			return br, err
+		}
+		// Replay the packed stream once per sink rather than once through a
+		// tee: each controller's tables stay hot in cache while the buffer
+		// streams past, which is measurably faster than interleaving them.
+		for _, s := range fetchSinks {
+			if err := ent.buf.Replay(ctx, s, nil); err != nil {
+				return br, err
+			}
+		}
+		for _, s := range dataSinks {
+			if err := ent.buf.Replay(ctx, nil, s); err != nil {
+				return br, err
+			}
+		}
+		o.traceCache.replays.Add(1)
+		br.Cycles, br.Instrs = ent.cycles, ent.instrs
+		return br, nil
 	}
 	var fetch trace.FetchSink
 	if len(fetchSinks) > 0 {

@@ -1,0 +1,293 @@
+package suite
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"waymemo/internal/isa"
+	"waymemo/internal/trace"
+	"waymemo/internal/workloads"
+)
+
+// TraceCache is the execute-once / replay-many engine behind WithTraceCache:
+// the fetch/data event stream of a benchmark depends only on the workload
+// and the fetch-packet size — never on cache geometry or technique — so the
+// cache runs each (workload, packetBytes) pair through the CPU once,
+// captures the streams into a packed trace.Buffer, and replays the capture
+// to every later run that asks for the same pair. A design-space sweep over
+// G geometries thus costs W executions plus G×W cheap replays instead of
+// G×W executions.
+//
+// With a spill directory (NewDirTraceCache), captures are also written as
+// WMTRACE1 files with a JSON sidecar, and a later process loads them back
+// instead of executing at all. Spill files are keyed by the workload's
+// content fingerprint, so stale files for a renamed or edited workload
+// degrade to a re-capture, never to wrong results.
+//
+// A TraceCache is safe for concurrent use and is meant to be shared across
+// many suite.Run calls; concurrent requests for the same pair block on a
+// single capture.
+type TraceCache struct {
+	dir string
+
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+
+	captures  atomic.Int64
+	diskLoads atomic.Int64
+	replays   atomic.Int64
+}
+
+// traceKey identifies one captured execution. maxInstrs (defaulted) is part
+// of the identity even though a successful capture always runs to halt: a
+// budget that would fail a live run must miss the cache and fail here too,
+// not silently succeed off a longer run's capture.
+type traceKey struct {
+	name        string
+	fingerprint uint64
+	packet      uint32
+	maxInstrs   uint64
+}
+
+// traceEntry is one capture, possibly still in flight: done closes when buf
+// (or err) is final.
+type traceEntry struct {
+	done   chan struct{}
+	buf    *trace.Buffer
+	cycles uint64
+	instrs uint64
+	err    error
+}
+
+// TraceCacheStats reports how a TraceCache served its requests.
+type TraceCacheStats struct {
+	// Captures is the number of full simulator executions performed.
+	Captures int
+	// DiskLoads is the number of captures reloaded from spill files.
+	DiskLoads int
+	// Replays is the number of benchmark runs served by replaying a
+	// capture instead of executing.
+	Replays int
+}
+
+// NewTraceCache returns an in-memory trace cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: map[traceKey]*traceEntry{}}
+}
+
+// NewDirTraceCache returns a trace cache that spills captures to dir as
+// WMTRACE1 files (plus JSON sidecars) and reloads them in later processes.
+// The directory is created if needed.
+func NewDirTraceCache(dir string) (*TraceCache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("suite: empty trace directory")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("suite: creating trace directory: %w", err)
+	}
+	tc := NewTraceCache()
+	tc.dir = dir
+	return tc, nil
+}
+
+// Stats returns the cache's request counters so far.
+func (tc *TraceCache) Stats() TraceCacheStats {
+	return TraceCacheStats{
+		Captures:  int(tc.captures.Load()),
+		DiskLoads: int(tc.diskLoads.Load()),
+		Replays:   int(tc.replays.Load()),
+	}
+}
+
+// get returns the capture for (w, packet), executing it at most once per
+// attempt. A failed capture is not memoized, so a cancelled sweep does not
+// poison the cache for the next one, and a waiter whose filler failed
+// retries under its own ctx instead of inheriting the filler's error.
+// Packet 0 (the default) and the explicit 8-byte VLIW packet produce the
+// same stream and share one capture.
+func (tc *TraceCache) get(ctx context.Context, w workloads.Workload, packet uint32) (*traceEntry, error) {
+	keyPacket := packet
+	if keyPacket == 0 {
+		keyPacket = isa.PacketBytes
+	}
+	maxInstrs := w.MaxInstrs
+	if maxInstrs == 0 {
+		maxInstrs = workloads.DefaultMaxInstrs
+	}
+	k := traceKey{w.Name, w.Fingerprint(), keyPacket, maxInstrs}
+	for {
+		tc.mu.Lock()
+		e := tc.entries[k]
+		if e == nil {
+			e = &traceEntry{done: make(chan struct{})}
+			tc.entries[k] = e
+			tc.mu.Unlock()
+			e.err = tc.fill(ctx, e, w, packet, k)
+			if e.err != nil {
+				tc.mu.Lock()
+				delete(tc.entries, k)
+				tc.mu.Unlock()
+			}
+			close(e.done)
+			return e, e.err
+		}
+		tc.mu.Unlock()
+		select {
+		case <-e.done:
+			if e.err == nil {
+				return e, nil
+			}
+			// The filler failed and removed the entry; try again unless
+			// our own ctx is the one that ended.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// fill populates e from the spill directory if possible, else by executing
+// the workload with the buffer attached as both sinks.
+func (tc *TraceCache) fill(ctx context.Context, e *traceEntry, w workloads.Workload, packet uint32, k traceKey) error {
+	if tc.dir != "" && tc.load(e, k) {
+		tc.diskLoads.Add(1)
+		return nil
+	}
+	buf := new(trace.Buffer)
+	c, err := workloads.RunPacketContext(ctx, w, buf, buf, packet)
+	if err != nil {
+		return err
+	}
+	tc.captures.Add(1)
+	e.buf, e.cycles, e.instrs = buf, c.Cycles, c.Instrs
+	if tc.dir != "" {
+		if err := tc.store(e, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// traceMetaVersion versions the sidecar schema; bump it to invalidate old
+// spill directories wholesale.
+const traceMetaVersion = 1
+
+// traceMeta is the JSON sidecar of one spill file: what WMTRACE1 itself
+// cannot carry — the execution counts BenchResult needs, and the identity
+// fields that double-check the trace file answers for the right capture.
+type traceMeta struct {
+	Version     int    `json:"version"`
+	Workload    string `json:"workload"`
+	Fingerprint string `json:"fingerprint"`
+	PacketBytes uint32 `json:"packet_bytes"`
+	MaxInstrs   uint64 `json:"max_instrs"`
+	Cycles      uint64 `json:"cycles"`
+	Instrs      uint64 `json:"instrs"`
+	Fetches     int    `json:"fetches"`
+	Datas       int    `json:"datas"`
+}
+
+// spillBase names the spill file pair for a key: a hash, so arbitrary
+// workload names cannot escape the directory or collide after sanitizing.
+func (tc *TraceCache) spillBase(k traceKey) string {
+	h := sha256.Sum256(fmt.Appendf(nil, "wmtrace-spill-v%d|%s|%016x|%d|%d",
+		traceMetaVersion, k.name, k.fingerprint, k.packet, k.maxInstrs))
+	return filepath.Join(tc.dir, hex.EncodeToString(h[:8]))
+}
+
+// load restores a capture from its spill pair. Any mismatch, truncation or
+// decode error degrades to a miss (returns false) and the capture is
+// re-executed and re-stored — a corrupt file must never poison results.
+func (tc *TraceCache) load(e *traceEntry, k traceKey) bool {
+	base := tc.spillBase(k)
+	mb, err := os.ReadFile(base + ".json")
+	if err != nil {
+		return false
+	}
+	var m traceMeta
+	if json.Unmarshal(mb, &m) != nil ||
+		m.Version != traceMetaVersion ||
+		m.Workload != k.name ||
+		m.Fingerprint != fmt.Sprintf("%016x", k.fingerprint) ||
+		m.PacketBytes != k.packet ||
+		m.MaxInstrs != k.maxInstrs {
+		return false
+	}
+	f, err := os.Open(base + ".wmtrace")
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf, err := trace.ReadBuffer(f)
+	if err != nil || buf.NumFetches() != m.Fetches || buf.NumDatas() != m.Datas {
+		return false
+	}
+	e.buf, e.cycles, e.instrs = buf, m.Cycles, m.Instrs
+	return true
+}
+
+// store writes the capture as a WMTRACE1 file plus sidecar, each through a
+// temp file and rename so readers never observe a torn spill.
+func (tc *TraceCache) store(e *traceEntry, k traceKey) error {
+	base := tc.spillBase(k)
+	if err := writeFileAtomic(base+".wmtrace", func(f *os.File) error {
+		_, err := e.buf.WriteTo(f)
+		return err
+	}); err != nil {
+		return fmt.Errorf("suite: spilling trace: %w", err)
+	}
+	m := traceMeta{
+		Version:     traceMetaVersion,
+		Workload:    k.name,
+		Fingerprint: fmt.Sprintf("%016x", k.fingerprint),
+		PacketBytes: k.packet,
+		MaxInstrs:   k.maxInstrs,
+		Cycles:      e.cycles,
+		Instrs:      e.instrs,
+		Fetches:     e.buf.NumFetches(),
+		Datas:       e.buf.NumDatas(),
+	}
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileAtomic(base+".json", func(f *os.File) error {
+		_, err := f.Write(mb)
+		return err
+	}); err != nil {
+		return fmt.Errorf("suite: spilling trace sidecar: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes path via a same-directory temp file and rename.
+func writeFileAtomic(path string, fill func(*os.File) error) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+)
+
+// Buffer is a compact in-memory recording of one execution's event streams,
+// built for the execute-once / replay-many pattern: the simulator runs a
+// workload once with the Buffer attached as both sinks, and the captured
+// streams are then replayed to any number of cache techniques and geometries
+// without re-executing a single instruction.
+//
+// Events are packed into fixed-size column chunks (structure-of-arrays, 21
+// bytes per fetch event and 13 per data event instead of the 24/16 of the
+// unpacked structs), so a full seven-benchmark capture of the paper's suite
+// fits in ~200MB and replay walks memory linearly. The program-order
+// interleaving of the two streams is kept as one bit per event, which is
+// what lets WriteTo spill the buffer to the WMTRACE1 file format and
+// ReadBuffer reload it losslessly.
+//
+// A Buffer is append-only: it implements FetchSink and DataSink for capture
+// and is safe for any number of concurrent replays once capture has
+// finished. It is not safe to append and replay concurrently.
+type Buffer struct {
+	fetch []*fetchChunk
+	data  []*dataChunk
+	nf    int
+	nd    int
+
+	// order holds one bit per recorded event in arrival order: 0 = fetch,
+	// 1 = data. It preserves the program-order interleaving for WriteTo.
+	order []uint64
+	n     int
+}
+
+const (
+	chunkShift = 15
+	chunkLen   = 1 << chunkShift // events per chunk
+	chunkMask  = chunkLen - 1
+
+	// kind column packing: low 7 bits hold the ControlKind, the top bit
+	// flags the first fetch after reset.
+	fetchKindMask  = 0x7f
+	fetchFirstFlag = 0x80
+
+	// meta column packing: low 7 bits hold the access size, the top bit
+	// flags a store.
+	dataSizeMask  = 0x7f
+	dataStoreFlag = 0x80
+)
+
+// fetchChunk is one column-packed block of fetch events.
+type fetchChunk struct {
+	addr [chunkLen]uint32
+	prev [chunkLen]uint32
+	base [chunkLen]uint32
+	disp [chunkLen]int32
+	kind [chunkLen]uint8
+}
+
+// dataChunk is one column-packed block of data events.
+type dataChunk struct {
+	addr [chunkLen]uint32
+	base [chunkLen]uint32
+	disp [chunkLen]int32
+	meta [chunkLen]uint8
+}
+
+// NumFetches returns the number of recorded fetch events.
+func (b *Buffer) NumFetches() int { return b.nf }
+
+// NumDatas returns the number of recorded data events.
+func (b *Buffer) NumDatas() int { return b.nd }
+
+// Len returns the total number of recorded events.
+func (b *Buffer) Len() int { return b.n }
+
+func (b *Buffer) pushOrder(isData bool) {
+	if b.n&63 == 0 {
+		b.order = append(b.order, 0)
+	}
+	if isData {
+		b.order[b.n>>6] |= 1 << (b.n & 63)
+	}
+	b.n++
+}
+
+// OnFetch appends one fetch event to the buffer.
+func (b *Buffer) OnFetch(ev FetchEvent) {
+	i := b.nf & chunkMask
+	if i == 0 {
+		b.fetch = append(b.fetch, new(fetchChunk))
+	}
+	ch := b.fetch[len(b.fetch)-1]
+	ch.addr[i] = ev.Addr
+	ch.prev[i] = ev.Prev
+	ch.base[i] = ev.Base
+	ch.disp[i] = ev.Disp
+	k := uint8(ev.Kind) & fetchKindMask
+	if ev.First {
+		k |= fetchFirstFlag
+	}
+	ch.kind[i] = k
+	b.nf++
+	b.pushOrder(false)
+}
+
+// OnData appends one data event to the buffer.
+func (b *Buffer) OnData(ev DataEvent) {
+	i := b.nd & chunkMask
+	if i == 0 {
+		b.data = append(b.data, new(dataChunk))
+	}
+	ch := b.data[len(b.data)-1]
+	ch.addr[i] = ev.Addr
+	ch.base[i] = ev.Base
+	ch.disp[i] = ev.Disp
+	m := ev.Size & dataSizeMask
+	if ev.Store {
+		m |= dataStoreFlag
+	}
+	ch.meta[i] = m
+	b.nd++
+	b.pushOrder(true)
+}
+
+// FetchAt returns the i-th recorded fetch event.
+func (b *Buffer) FetchAt(i int) FetchEvent {
+	ch := b.fetch[i>>chunkShift]
+	j := i & chunkMask
+	return FetchEvent{
+		Addr:  ch.addr[j],
+		Prev:  ch.prev[j],
+		Base:  ch.base[j],
+		Disp:  ch.disp[j],
+		Kind:  ControlKind(ch.kind[j] & fetchKindMask),
+		First: ch.kind[j]&fetchFirstFlag != 0,
+	}
+}
+
+// DataAt returns the i-th recorded data event.
+func (b *Buffer) DataAt(i int) DataEvent {
+	ch := b.data[i>>chunkShift]
+	j := i & chunkMask
+	return DataEvent{
+		Addr:  ch.addr[j],
+		Base:  ch.base[j],
+		Disp:  ch.disp[j],
+		Size:  ch.meta[j] & dataSizeMask,
+		Store: ch.meta[j]&dataStoreFlag != 0,
+	}
+}
+
+// Replay feeds both recorded streams to the sinks (either may be nil),
+// checking ctx between chunks so a sweep can be cancelled mid-replay. The
+// two streams are replayed back to back, not interleaved: every sink in
+// this repository consumes exactly one stream, so per-stream order — which
+// is preserved exactly — is the only order that matters. Use WriteTo for a
+// faithful program-order interleaving.
+func (b *Buffer) Replay(ctx context.Context, fetch FetchSink, data DataSink) error {
+	if fetch != nil {
+		if err := b.replayFetch(ctx, fetch); err != nil {
+			return err
+		}
+	}
+	if data != nil {
+		if err := b.replayData(ctx, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayFetch is the chunked allocation-free fetch replay loop.
+func (b *Buffer) replayFetch(ctx context.Context, s FetchSink) error {
+	left := b.nf
+	for _, ch := range b.fetch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := min(left, chunkLen)
+		for i := 0; i < n; i++ {
+			s.OnFetch(FetchEvent{
+				Addr:  ch.addr[i],
+				Prev:  ch.prev[i],
+				Base:  ch.base[i],
+				Disp:  ch.disp[i],
+				Kind:  ControlKind(ch.kind[i] & fetchKindMask),
+				First: ch.kind[i]&fetchFirstFlag != 0,
+			})
+		}
+		left -= n
+	}
+	return nil
+}
+
+// replayData is the chunked allocation-free data replay loop.
+func (b *Buffer) replayData(ctx context.Context, s DataSink) error {
+	left := b.nd
+	for _, ch := range b.data {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := min(left, chunkLen)
+		for i := 0; i < n; i++ {
+			s.OnData(DataEvent{
+				Addr:  ch.addr[i],
+				Base:  ch.base[i],
+				Disp:  ch.disp[i],
+				Size:  ch.meta[i] & dataSizeMask,
+				Store: ch.meta[i]&dataStoreFlag != 0,
+			})
+		}
+		left -= n
+	}
+	return nil
+}
+
+// countingWriter tracks bytes written through it for WriteTo's return value.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteTo spills the buffer to w in the WMTRACE1 file format, preserving
+// the recorded program-order interleaving of the two streams, so the
+// resulting file is interchangeable with one written by attaching a Writer
+// to the CPU directly. It implements io.WriterTo.
+func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	tw, err := NewWriter(cw)
+	if err != nil {
+		return cw.n, err
+	}
+	fi, di := 0, 0
+	for i := 0; i < b.n; i++ {
+		if b.order[i>>6]&(1<<(i&63)) != 0 {
+			tw.OnData(b.DataAt(di))
+			di++
+		} else {
+			tw.OnFetch(b.FetchAt(fi))
+			fi++
+		}
+	}
+	return cw.n, tw.Flush()
+}
+
+// ReadBuffer loads a WMTRACE1 stream into a new Buffer, preserving the
+// interleaving, so capture → WriteTo → ReadBuffer → Replay is
+// indistinguishable from replaying the original capture.
+func ReadBuffer(r io.Reader) (*Buffer, error) {
+	b := new(Buffer)
+	if err := ReadAll(r, b, b); err != nil {
+		return nil, fmt.Errorf("trace: loading buffer: %w", err)
+	}
+	return b, nil
+}

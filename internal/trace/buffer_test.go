@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// fillRandom records a random interleaving into every sink at once and
+// returns the expected per-stream event lists. n spans several chunks so
+// chunk-boundary bookkeeping is exercised.
+func fillRandom(r *rand.Rand, n int, fetch FetchSink, data DataSink) ([]FetchEvent, []DataEvent) {
+	var wantF []FetchEvent
+	var wantD []DataEvent
+	for i := 0; i < n; i++ {
+		if r.Intn(3) > 0 {
+			ev := randFetch(r)
+			wantF = append(wantF, ev)
+			fetch.OnFetch(ev)
+		} else {
+			ev := randData(r)
+			wantD = append(wantD, ev)
+			data.OnData(ev)
+		}
+	}
+	return wantF, wantD
+}
+
+func TestBufferCaptureAndReplay(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var b Buffer
+	wantF, wantD := fillRandom(r, 2*chunkLen+123, &b, &b)
+	if b.NumFetches() != len(wantF) || b.NumDatas() != len(wantD) || b.Len() != len(wantF)+len(wantD) {
+		t.Fatalf("counts: %d/%d/%d want %d/%d", b.NumFetches(), b.NumDatas(), b.Len(), len(wantF), len(wantD))
+	}
+	for i, want := range wantF {
+		if got := b.FetchAt(i); got != want {
+			t.Fatalf("FetchAt(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+	for i, want := range wantD {
+		if got := b.DataAt(i); got != want {
+			t.Fatalf("DataAt(%d) = %+v, want %+v", i, got, want)
+		}
+	}
+	var rec Recorder
+	if err := b.Replay(context.Background(), &rec, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Fetches) != len(wantF) || len(rec.Datas) != len(wantD) {
+		t.Fatalf("replay counts: %d/%d", len(rec.Fetches), len(rec.Datas))
+	}
+	for i := range wantF {
+		if rec.Fetches[i] != wantF[i] {
+			t.Fatalf("replayed fetch %d: %+v != %+v", i, rec.Fetches[i], wantF[i])
+		}
+	}
+	for i := range wantD {
+		if rec.Datas[i] != wantD[i] {
+			t.Fatalf("replayed data %d: %+v != %+v", i, rec.Datas[i], wantD[i])
+		}
+	}
+}
+
+func TestBufferReplayCancellation(t *testing.T) {
+	var b Buffer
+	for i := 0; i < chunkLen+1; i++ {
+		b.OnFetch(FetchEvent{Addr: uint32(i) * 8})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var rec Recorder
+	if err := b.Replay(ctx, &rec, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled replay: err = %v", err)
+	}
+	if len(rec.Fetches) != 0 {
+		t.Fatalf("cancelled replay delivered %d events", len(rec.Fetches))
+	}
+}
+
+// TestBufferFileRoundTrip spills a buffer to WMTRACE1 and reloads it,
+// demanding the reloaded buffer serialize byte-identically — which pins both
+// the per-stream contents and the program-order interleaving.
+func TestBufferFileRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	var b Buffer
+	fillRandom(r, chunkLen+999, &b, &b)
+
+	var spill bytes.Buffer
+	n, err := b.WriteTo(&spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(spill.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, spill.Len())
+	}
+	loaded, err := ReadBuffer(bytes.NewReader(spill.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumFetches() != b.NumFetches() || loaded.NumDatas() != b.NumDatas() {
+		t.Fatalf("reloaded counts: %d/%d want %d/%d",
+			loaded.NumFetches(), loaded.NumDatas(), b.NumFetches(), b.NumDatas())
+	}
+	var again bytes.Buffer
+	if _, err := loaded.WriteTo(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(spill.Bytes(), again.Bytes()) {
+		t.Fatal("reloaded buffer serializes differently")
+	}
+}
+
+// TestBufferMatchesLiveWriter checks that spilling through a Buffer writes
+// the same bytes as attaching a Writer to the event streams directly.
+func TestBufferMatchesLiveWriter(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var live bytes.Buffer
+	w, err := NewWriter(&live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Buffer
+	fillRandom(r, 5000, FetchTee(&b, w), DataTee(&b, w))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var spilled bytes.Buffer
+	if _, err := b.WriteTo(&spilled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(live.Bytes(), spilled.Bytes()) {
+		t.Fatal("buffer spill differs from live Writer output")
+	}
+}
+
+// closeRecorder counts Close calls on the underlying writer.
+type closeRecorder struct {
+	bytes.Buffer
+	closes int
+}
+
+func (c *closeRecorder) Close() error {
+	c.closes++
+	return nil
+}
+
+func TestWriterCloseSemantics(t *testing.T) {
+	var under closeRecorder
+	w, err := NewWriter(&under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.OnFetch(FetchEvent{Addr: 8})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if under.closes != 1 {
+		t.Fatalf("underlying Close called %d times", under.closes)
+	}
+	written := under.Len()
+	if written <= len(fileMagic) {
+		t.Fatal("Close did not flush the buffered record")
+	}
+	var check Recorder
+	if err := ReadAll(bytes.NewReader(under.Bytes()), &check, &check); err != nil {
+		t.Fatal(err)
+	}
+	if len(check.Fetches) != 1 || check.Fetches[0].Addr != 8 {
+		t.Fatalf("flushed trace = %+v", check.Fetches)
+	}
+
+	// Events after Close are dropped and reported by Flush.
+	w.OnData(DataEvent{Addr: 16, Size: 4})
+	if err := w.Flush(); !errors.Is(err, ErrWriterClosed) {
+		t.Fatalf("Flush after Close: err = %v", err)
+	}
+	if under.Len() != written {
+		t.Fatal("event recorded after Close reached the writer")
+	}
+	// Close is idempotent.
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if under.closes != 1 {
+		t.Fatalf("underlying Close called %d times after double Close", under.closes)
+	}
+}

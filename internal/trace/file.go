@@ -3,6 +3,7 @@ package trace
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -17,12 +18,18 @@ import (
 
 const fileMagic = "WMTRACE1"
 
+// ErrWriterClosed is reported by Flush when events were recorded after
+// Close; the events themselves are dropped.
+var ErrWriterClosed = errors.New("trace: writer is closed")
+
 // Writer streams events to an io.Writer in the trace file format. It
 // implements both FetchSink and DataSink, so it can be attached to a CPU
 // directly (or teed next to live controllers).
 type Writer struct {
-	w   *bufio.Writer
-	err error
+	w      *bufio.Writer
+	under  io.Writer
+	err    error
+	closed bool
 }
 
 // NewWriter starts a trace on w.
@@ -31,7 +38,7 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	if _, err := bw.WriteString(fileMagic); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw}, nil
+	return &Writer{w: bw, under: w}, nil
 }
 
 func (t *Writer) put32(v uint32) {
@@ -83,6 +90,28 @@ func (t *Writer) Flush() error {
 		return t.err
 	}
 	return t.w.Flush()
+}
+
+// Close flushes the trace and, when the underlying writer is an io.Closer
+// (a file, typically), closes it too. Close is idempotent: the first call
+// reports any flush or close error, later calls return nil. Events recorded
+// after Close are dropped, and the drop is reported by a subsequent Flush
+// as ErrWriterClosed.
+func (t *Writer) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	err := t.Flush()
+	if c, ok := t.under.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if t.err == nil {
+		t.err = ErrWriterClosed
+	}
+	return err
 }
 
 // ReadAll parses a trace and dispatches every record to the sinks (either

@@ -13,8 +13,11 @@ package workloads
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"strings"
+	"sync"
 
 	"waymemo/internal/asm"
 	"waymemo/internal/sim"
@@ -56,14 +59,66 @@ _start:	jal  main
 	halt
 `
 
-// Build assembles the workload into a program image.
-func (w Workload) Build() (*asm.Program, error) {
-	srcs := append([]string{prologue}, w.Sources...)
-	p, err := asm.Assemble(srcs...)
-	if err != nil {
-		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+// Fingerprint identifies the workload's program content: a hash of the
+// name, the shared runtime prologue and every source in assembly order.
+// Two Workload values with equal fingerprints assemble to the same image,
+// which is what the build memo and the suite's trace spill files key on —
+// the prologue is part of the hash precisely so an edit to it invalidates
+// persisted trace captures along with everything else.
+func (w Workload) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var n [8]byte
+	write := func(s string) {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
 	}
-	return p, nil
+	write(w.Name)
+	write(prologue)
+	for _, s := range w.Sources {
+		write(s)
+	}
+	return h.Sum64()
+}
+
+// buildMemo caches assembled programs per workload fingerprint for the life
+// of the process: explore sweeps call Build at every grid point, and the
+// sources are identical every time.
+var (
+	buildMu   sync.Mutex
+	buildMemo = map[uint64]*buildEntry{}
+)
+
+type buildEntry struct {
+	once sync.Once
+	prog *asm.Program
+	err  error
+}
+
+// Build assembles the workload into a program image. Builds are memoized
+// per process, keyed by Fingerprint: identical sources are assembled once,
+// and every caller shares the same read-only *asm.Program (which is also
+// what lets the simulator share one predecoded instruction table across
+// runs). Callers must not mutate the returned program.
+func (w Workload) Build() (*asm.Program, error) {
+	key := w.Fingerprint()
+	buildMu.Lock()
+	e := buildMemo[key]
+	if e == nil {
+		e = new(buildEntry)
+		buildMemo[key] = e
+	}
+	buildMu.Unlock()
+	e.once.Do(func() {
+		srcs := append([]string{prologue}, w.Sources...)
+		p, err := asm.Assemble(srcs...)
+		if err != nil {
+			e.err = fmt.Errorf("workload %s: %w", w.Name, err)
+			return
+		}
+		e.prog = p
+	})
+	return e.prog, e.err
 }
 
 // Run assembles and executes the workload with the given event sinks (either

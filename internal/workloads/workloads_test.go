@@ -1,8 +1,10 @@
 package workloads
 
 import (
+	"sync"
 	"testing"
 
+	"waymemo/internal/asm"
 	"waymemo/internal/trace"
 )
 
@@ -70,5 +72,41 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("nope"); err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// TestBuildMemoized checks that Build assembles once per process and that
+// concurrent builders all receive the same shared program.
+func TestBuildMemoized(t *testing.T) {
+	w := DCT()
+	first, err := w.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	progs := make([]*asm.Program, 8)
+	var wg sync.WaitGroup
+	for i := range progs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, err := DCT().Build()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			progs[i] = p
+		}()
+	}
+	wg.Wait()
+	for i, p := range progs {
+		if p != first {
+			t.Fatalf("builder %d got a distinct program", i)
+		}
+	}
+	if DCT().Fingerprint() != w.Fingerprint() {
+		t.Fatal("fingerprint not stable across constructions")
+	}
+	if DCT().Fingerprint() == FFT().Fingerprint() {
+		t.Fatal("distinct workloads share a fingerprint")
 	}
 }

@@ -1,0 +1,128 @@
+// benchrec records the repository's headline wall-clock timings into a
+// BENCH_<n>.json file, starting the performance trajectory the roadmap asks
+// for: each perf-focused PR runs it once and commits the result, so
+// regressions and wins are visible across the PR sequence.
+//
+// It measures, on the current machine:
+//
+//   - suite_live_ms: one full seven-benchmark suite pass, every technique
+//     attached, live execution (the cost of regenerating Figures 4-8);
+//   - suite_replay_ms: the same pass replayed from a warm trace cache;
+//   - explore_live_ms / explore_shared_ms: a cold multi-geometry
+//     design-space sweep (24 geometries × 2 workloads) with the
+//     execute-once / replay-many engine off and on;
+//   - explore_speedup: live / shared, the engine's headline win.
+//
+// Usage:
+//
+//	go run ./tools/benchrec [-o BENCH_3.json] [-j N]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"waymemo/internal/explore"
+	"waymemo/internal/suite"
+	"waymemo/internal/workloads"
+)
+
+// record is the BENCH_<n>.json schema.
+type record struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Parallel   int     `json:"parallelism"`
+	SuiteLive  float64 `json:"suite_live_ms"`
+	SuiteRepl  float64 `json:"suite_replay_ms"`
+	Explore    struct {
+		Geometries int     `json:"geometries"`
+		Workloads  int     `json:"workloads"`
+		Points     int     `json:"points"`
+		LiveMS     float64 `json:"explore_live_ms"`
+		SharedMS   float64 `json:"explore_shared_ms"`
+		Speedup    float64 `json:"explore_speedup"`
+	} `json:"explore_sweep_cold"`
+}
+
+func timeIt(name string, f func() error) float64 {
+	fmt.Fprintf(os.Stderr, "benchrec: %s...", name)
+	t0 := time.Now()
+	if err := f(); err != nil {
+		fmt.Fprintf(os.Stderr, "\nbenchrec: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	d := time.Since(t0)
+	fmt.Fprintf(os.Stderr, " %.0fms\n", d.Seconds()*1000)
+	return d.Seconds() * 1000
+}
+
+func main() {
+	out := flag.String("o", "BENCH_3.json", "output file")
+	par := flag.Int("j", 0, "parallelism passed to the runners (0 = GOMAXPROCS)")
+	flag.Parse()
+	ctx := context.Background()
+
+	var r record
+	r.Date = time.Now().UTC().Format(time.RFC3339)
+	r.GoVersion = runtime.Version()
+	r.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	r.Parallel = *par
+
+	// Warm the per-process assembly/predecode memos first so every mode
+	// below pays identical build costs and the timings isolate simulation.
+	for _, w := range workloads.All() {
+		if _, err := w.Build(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrec:", err)
+			os.Exit(1)
+		}
+	}
+
+	r.SuiteLive = timeIt("suite live", func() error {
+		_, err := suite.Run(ctx, suite.WithParallelism(*par))
+		return err
+	})
+	tc := suite.NewTraceCache()
+	if _, err := suite.Run(ctx, suite.WithParallelism(*par), suite.WithTraceCache(tc)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	r.SuiteRepl = timeIt("suite replay (warm)", func() error {
+		_, err := suite.Run(ctx, suite.WithParallelism(*par), suite.WithTraceCache(tc))
+		return err
+	})
+
+	// The same sweep bench_test.go times, so `go test -bench` and the
+	// committed numbers agree on what they measure.
+	s := explore.EngineBenchSpace()
+	r.Explore.Geometries = len(s.Geometries())
+	r.Explore.Workloads = len(s.Workloads)
+	r.Explore.Points = s.NumPoints()
+	r.Explore.LiveMS = timeIt("explore sweep live", func() error {
+		_, err := explore.Run(ctx, s, explore.WithParallelism(*par),
+			explore.WithTraceSharing(false))
+		return err
+	})
+	r.Explore.SharedMS = timeIt("explore sweep shared", func() error {
+		_, err := explore.Run(ctx, s, explore.WithParallelism(*par))
+		return err
+	})
+	r.Explore.Speedup = r.Explore.LiveMS / r.Explore.SharedMS
+
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchrec: wrote %s (explore speedup %.2fx)\n", *out, r.Explore.Speedup)
+}
