@@ -1,20 +1,32 @@
-// wmsynth prints the MAB circuit model — area, critical-path delay, active
-// and sleep power — for an arbitrary configuration grid.
+// wmsynth covers the repository's two synthesis roles: it prints the MAB
+// circuit model — area, critical-path delay, active and sleep power — for
+// an arbitrary configuration grid, and it emits synthetic workload programs
+// from specs.
 //
 // Usage:
 //
 //	wmsynth [-nt 1,2] [-ns 4,8,16,32]
+//	wmsynth -spec "synth:pchase,fp=64KiB,seed=7"
+//	wmsynth -patterns
+//
+// With -spec, the generated FRVL assembly (runtime prologue, code, data) is
+// written to stdout; the output is deterministic for a given spec — the
+// same spec and seed always emit byte-identical assembly (pinned by this
+// command's golden test) — and assembles as-is with frvasm. -patterns lists
+// the available pattern families and their knobs.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"waymemo/internal/report"
 	"waymemo/internal/synth"
+	"waymemo/internal/workloads"
 )
 
 func parseList(s string) ([]int, error) {
@@ -29,10 +41,62 @@ func parseList(s string) ([]int, error) {
 	return out, nil
 }
 
+// emitSpec writes the complete generated program for one synthetic spec:
+// the shared runtime prologue, then the generated code and data sections.
+// The expected checksum is included as a comment so a simulator run can be
+// validated by hand.
+func emitSpec(out io.Writer, spec string) error {
+	sp, err := synth.ParseSpec(spec)
+	if err != nil {
+		return err
+	}
+	g, err := sp.Generate()
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(out, "; %s\n; expected %s = %#08x\n", g.Spec, synth.SumSymbol, g.WantSum); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(out, workloads.Prologue()); err != nil {
+		return err
+	}
+	for _, src := range g.Sources {
+		if _, err := io.WriteString(out, src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitPatterns lists the pattern families.
+func emitPatterns(out io.Writer) {
+	fmt.Fprintf(out, "spec syntax: %s\n\n", synth.SpecSyntax())
+	for _, p := range synth.Patterns() {
+		sp, err := (synth.Spec{Pattern: p}).Normalized()
+		if err != nil {
+			panic(err) // defaults always normalize
+		}
+		fmt.Fprintf(out, "  %-8s %s\n           defaults: %s\n", p, synth.Describe(p), sp)
+	}
+}
+
 func main() {
 	ntFlag := flag.String("nt", "1,2", "tag entry counts")
 	nsFlag := flag.String("ns", "4,8,16,32", "set-index entry counts")
+	spec := flag.String("spec", "", "emit the assembly of this synthetic workload `spec` instead of the circuit table")
+	patterns := flag.Bool("patterns", false, "list the synthetic pattern families and exit")
 	flag.Parse()
+	if *patterns {
+		emitPatterns(os.Stdout)
+		return
+	}
+	if *spec != "" {
+		if err := emitSpec(os.Stdout, *spec); err != nil {
+			fmt.Fprintln(os.Stderr, "wmsynth:", err)
+			os.Exit(2)
+		}
+		return
+	}
 	nts, err := parseList(*ntFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wmsynth:", err)

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/workloads"
+)
+
+const goldenSpec = "synth:pchase,fp=1KiB,seed=7"
+
+// TestEmitSpecDeterministic pins the generator's determinism contract at
+// the CLI surface: the same spec and seed emit byte-identical assembly on
+// every run.
+func TestEmitSpecDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := emitSpec(&a, goldenSpec); err != nil {
+		t.Fatal(err)
+	}
+	if err := emitSpec(&b, goldenSpec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two emissions of the same spec differ")
+	}
+	// A different seed must emit a different program.
+	var c bytes.Buffer
+	if err := emitSpec(&c, "synth:pchase,fp=1KiB,seed=8"); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("seeds 7 and 8 emit identical programs")
+	}
+}
+
+// TestEmitSpecGolden compares the emission against the committed golden
+// file, catching cross-version drift. A diff means generator semantics
+// changed: bump synth.GenVersion and regenerate with
+//
+//	go run ./cmd/wmsynth -spec "synth:pchase,fp=1KiB,seed=7" \
+//	    > cmd/wmsynth/testdata/pchase_1KiB_seed7.s
+func TestEmitSpecGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/pchase_1KiB_seed7.s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	if err := emitSpec(&got, goldenSpec); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("emission drifted from the golden file (len %d vs %d); regenerate if intentional and bump synth.GenVersion",
+			got.Len(), len(want))
+	}
+}
+
+// TestEmitSpecAssembles proves the emitted text is a complete standalone
+// program: it must assemble as-is, with the checksum symbol present.
+func TestEmitSpecAssembles(t *testing.T) {
+	var out bytes.Buffer
+	if err := emitSpec(&out, goldenSpec); err != nil {
+		t.Fatal(err)
+	}
+	p, err := asm.Assemble(out.String())
+	if err != nil {
+		t.Fatalf("emitted program does not assemble: %v", err)
+	}
+	if _, ok := p.Symbols["synthSum"]; !ok {
+		t.Error("emitted program lacks the synthSum symbol")
+	}
+	if !strings.HasPrefix(out.String(), "; "+strings.Replace(goldenSpec, ",seed", ",stride=64,n=65536,seed", 1)) {
+		t.Errorf("emission does not lead with the canonical spec:\n%s", out.String()[:80])
+	}
+}
+
+func TestEmitSpecRejectsBadSpec(t *testing.T) {
+	if err := emitSpec(&bytes.Buffer{}, "synth:nope"); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if err := emitSpec(&bytes.Buffer{}, "synth:pchase,fp=1KiB..4KiB"); err == nil {
+		t.Error("ranged spec accepted; -spec emits one program")
+	}
+}
+
+// TestEmittedProgramMatchesWorkloadPipeline ties the CLI surface to the
+// library: the sources emitSpec writes are exactly the prologue plus the
+// sources workloads.ByName builds for the same spec.
+func TestEmittedProgramMatchesWorkloadPipeline(t *testing.T) {
+	var out bytes.Buffer
+	if err := emitSpec(&out, goldenSpec); err != nil {
+		t.Fatal(err)
+	}
+	w, err := workloads.ByName(goldenSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, workloads.Prologue()) {
+		t.Error("emission omits the runtime prologue")
+	}
+	for i, src := range w.Sources {
+		if !strings.Contains(text, src) {
+			t.Errorf("emission omits workload source %d", i)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+; synth:pchase,fp=1KiB,stride=64,n=65536,seed=7
+; expected synthSum = 0x556453d7
+
+	.equ TEXT,  0x10000
+	.equ DATA,  0x100000
+	.org TEXT
+_start:	jal  main
+	halt
+; synth v1 synth:pchase,fp=1KiB,stride=64,n=65536,seed=7
+main:	la   s0, synthData
+	li   s5, 1401181143
+	li   s1, 0
+	li   s6, 65536
+synlp:	add  t0, s0, s1
+	lw   s1, 0(t0)
+	add  s5, s5, s1
+	addi s6, s6, -1
+	bnez s6, synlp
+	la   t0, synthSum
+	sw   s5, 0(t0)
+	ret
+	.org DATA
+synthData:
+	.word 576, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 704, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 448, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 384, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 192, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 128, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 768, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 256, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 640, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 960, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 896, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 64, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 320, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 512, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+	.word 832, 0, 0, 0, 0, 0, 0, 0
+	.word 0, 0, 0, 0, 0, 0, 0, 0
+synthSum:
+	.space 4

@@ -10,6 +10,7 @@ import (
 
 	"waymemo/internal/explore"
 	"waymemo/internal/suite"
+	"waymemo/internal/synth"
 	"waymemo/internal/workloads"
 )
 
@@ -22,6 +23,10 @@ func runExplore(args []string) {
 		fmt.Fprintln(fs.Output(), "sweep a cache design space and report per-config power, axis marginals,")
 		fmt.Fprintln(fs.Output(), "the power/hit-rate Pareto frontier and the power-optimal MAB size")
 		fs.PrintDefaults()
+		fmt.Fprintln(fs.Output(), "\n-workloads accepts benchmark names and synthetic specs; a ranged knob")
+		fmt.Fprintln(fs.Output(), "(fp=4KiB..64KiB doubles through the range) sweeps the workload axis:")
+		fmt.Fprintln(fs.Output(), "  "+synth.SpecSyntax())
+		fmt.Fprintln(fs.Output(), "  wmx explore -workloads 'synth:pchase,fp=4KiB..64KiB,seed=7'")
 	}
 	domain := fs.String("domain", "data", "cache to sweep: data or fetch")
 	mabTags := fs.String("mab-tags", "1,2", "MAB tag-entry axis (comma-separated)")
@@ -29,7 +34,7 @@ func runExplore(args []string) {
 	sets := fs.String("sets", "512", "cache set-count axis (comma-separated, powers of two)")
 	ways := fs.String("ways", "2", "cache way-count axis (comma-separated)")
 	line := fs.String("line", "32", "cache line-size axis in bytes (comma-separated, powers of two)")
-	wl := fs.String("workloads", "", "comma-separated benchmark names (default: all seven)")
+	wl := fs.String("workloads", "", "comma-separated benchmark names and/or synthetic specs (default: all seven benchmarks)")
 	packet := fs.Uint("packet", 0, "fetch-packet bytes (0 = the 8-byte VLIW packet)")
 	cacheDir := fs.String("cache-dir", "", "memoize grid points in this directory (reruns skip simulated points)")
 	traceDir := fs.String("trace-dir", "", "spill captured event traces to this directory (WMTRACE1); reruns replay instead of simulating")
@@ -76,14 +81,14 @@ func runExplore(args []string) {
 	if *wl == "" {
 		space.Workloads = workloads.All()
 	} else {
-		for _, name := range strings.Split(*wl, ",") {
-			w, err := workloads.ByName(strings.TrimSpace(name))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "wmx explore:", err)
-				os.Exit(2)
-			}
-			space.Workloads = append(space.Workloads, w)
+		// ParseList keeps a synthetic spec's own commas attached to it and
+		// expands ranged knobs into one workload per swept value.
+		ws, err := workloads.ParseList(*wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wmx explore:", err)
+			os.Exit(2)
 		}
+		space.Workloads = ws
 	}
 
 	// Profiling starts only after argument validation, so usage errors

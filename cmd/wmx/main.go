@@ -31,6 +31,12 @@
 //	wmx explore -domain fetch -mab-sets 8,16,32    # I-cache sweep
 //	wmx explore -sets 256,512,1024 -ways 1,2,4     # geometry sweep
 //
+// The -workloads flag accepts the seven benchmark names and synthetic
+// workload specs (see internal/synth and wmsynth -patterns); a ranged knob
+// sweeps the workload axis:
+//
+//	wmx explore -workloads 'synth:pchase,fp=4KiB..64KiB,seed=7'
+//
 // Both modes run on the execute-once / replay-many trace engine: each
 // workload is simulated once per process and its captured event stream is
 // replayed to every technique and geometry (bit-identical results, several

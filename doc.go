@@ -7,7 +7,8 @@
 // substrate (ISA, assembler, simulator) in internal/isa, internal/asm and
 // internal/sim, the cache and power models in internal/cache,
 // internal/cacti, internal/synth and internal/power, the paper's seven
-// benchmarks in internal/workloads, the technique registry and parallel
+// benchmarks and the parameterized synthetic workload family ("synth:"
+// specs) in internal/workloads, the technique registry and parallel
 // suite runner in internal/suite, and the table/figure rendering in
 // internal/experiments.
 //

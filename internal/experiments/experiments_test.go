@@ -16,8 +16,13 @@ var (
 )
 
 // getSuite runs the full benchmark suite once and shares it across tests.
+// The pass costs seconds live and much more under -race, so -short (the CI
+// race job) skips the tests built on it; the plain test job still runs them.
 func getSuite(t *testing.T) *Results {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("full seven-benchmark suite pass; skipped in -short")
+	}
 	suiteOnce.Do(func() { suiteResults, suiteErr = RunAll() })
 	if suiteErr != nil {
 		t.Fatal(suiteErr)

@@ -13,6 +13,7 @@ import (
 	"waymemo/internal/core"
 	"waymemo/internal/isa"
 	"waymemo/internal/suite"
+	"waymemo/internal/workloads"
 )
 
 // keyVersion is baked into every cache key. Bump it whenever the simulated
@@ -25,12 +26,19 @@ const keyVersion = "explore-v1"
 // inputs. It is serialized as JSON (stable field order) and hashed; every
 // field that influences a PointResult must appear here.
 type keyMaterial struct {
-	Version     string   `json:"version"`
-	Domain      string   `json:"domain"`
-	Sets        int      `json:"sets"`
-	Ways        int      `json:"ways"`
-	LineBytes   int      `json:"line_bytes"`
-	Workload    string   `json:"workload"`
+	Version   string `json:"version"`
+	Domain    string `json:"domain"`
+	Sets      int    `json:"sets"`
+	Ways      int    `json:"ways"`
+	LineBytes int    `json:"line_bytes"`
+	Workload  string `json:"workload"`
+	// WorkloadFP pins a synthetic workload's generated content (empty for
+	// the paper benchmarks, so their keys are unchanged from explore-v1's
+	// introduction). The canonical spec in Workload names the generator's
+	// inputs; the fingerprint covers its output, so a generator change
+	// (GenVersion bump) retires stale synthetic entries instead of
+	// replaying them.
+	WorkloadFP  string   `json:"workload_fp,omitempty"`
 	PacketBytes uint32   `json:"packet_bytes"`
 	MABs        [][2]int `json:"mabs"` // [tag entries, set entries] per technique
 }
@@ -42,9 +50,25 @@ type keyMaterial struct {
 //
 // Workloads are identified by name: the seven paper benchmarks are
 // deterministic programs baked into the binary, so the name pins the
-// content. Embedders sweeping ad hoc workloads must either name them
-// uniquely or use distinct cache directories.
+// content. Synthetic workloads go through KeyWorkload, which adds their
+// content fingerprint. Embedders sweeping other ad hoc workloads must
+// either name them uniquely or use distinct cache directories.
 func Key(domain suite.Domain, geo cache.Config, workload string, packetBytes uint32, mabs []core.Config) string {
+	return key(domain, geo, workload, "", packetBytes, mabs)
+}
+
+// KeyWorkload is Key for a Workload value: synthetic workloads (non-empty
+// Spec) are additionally keyed by their content fingerprint, everything
+// else reduces to Key on the name.
+func KeyWorkload(domain suite.Domain, geo cache.Config, w workloads.Workload, packetBytes uint32, mabs []core.Config) string {
+	fp := ""
+	if w.Spec != "" {
+		fp = fmt.Sprintf("%016x", w.Fingerprint())
+	}
+	return key(domain, geo, w.Name, fp, packetBytes, mabs)
+}
+
+func key(domain suite.Domain, geo cache.Config, workload, workloadFP string, packetBytes uint32, mabs []core.Config) string {
 	if packetBytes == 0 {
 		// The simulator treats 0 as the 8-byte VLIW packet; normalize so
 		// explicit-8 and defaulted sweeps share cache entries.
@@ -57,6 +81,7 @@ func Key(domain suite.Domain, geo cache.Config, workload string, packetBytes uin
 		Ways:        geo.Ways,
 		LineBytes:   geo.LineBytes,
 		Workload:    workload,
+		WorkloadFP:  workloadFP,
 		PacketBytes: packetBytes,
 		MABs:        make([][2]int, 0, len(mabs)),
 	}

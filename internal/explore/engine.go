@@ -257,7 +257,7 @@ func cachedPointValid(pr *PointResult, pt Point, techs []suite.Technique) bool {
 // runPoint serves one grid point from the cache or simulates and stores it.
 func runPoint(ctx context.Context, s Space, pt Point, techs []suite.Technique,
 	mabs []core.Config, c Cache, tc *suite.TraceCache) (*PointResult, bool, error) {
-	key := Key(s.Domain, pt.Geometry, pt.Workload.Name, s.PacketBytes, mabs)
+	key := KeyWorkload(s.Domain, pt.Geometry, pt.Workload, s.PacketBytes, mabs)
 	if c != nil {
 		if pr, ok := c.Get(key); ok && cachedPointValid(pr, pt, techs) {
 			pr.Cached = true

@@ -272,6 +272,9 @@ func TestReportRendering(t *testing.T) {
 // "Known deviations"). The test pins both facts: 2x16 measures optimal,
 // and the paper's 2x8 stays within 5% of it with a paper-band saving.
 func TestPaperGridRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full paper grid (7 benchmarks x 8 MAB sizes); skipped in -short")
+	}
 	dir := t.TempDir()
 	run := func() *Grid {
 		g, err := Run(context.Background(), PaperGrid(suite.Data), WithCacheDir(dir))

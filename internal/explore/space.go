@@ -63,8 +63,17 @@ type Space struct {
 	TagEntries []int
 	SetEntries []int
 
-	// Workloads is the benchmark axis (default: the paper's seven).
+	// Workloads is the benchmark axis (default, when WorkloadSpecs is also
+	// empty: the paper's seven).
 	Workloads []workloads.Workload
+
+	// WorkloadSpecs extends the workload axis by name: each entry is a
+	// benchmark name or a synthetic spec ("synth:pchase,fp=64KiB,seed=7";
+	// see internal/synth). A spec with a ranged knob
+	// ("synth:pchase,fp=4KiB..64KiB") expands into one grid workload per
+	// value, which is how a locality sweep becomes an explore axis.
+	// Expanded workloads follow Workloads in spec order.
+	WorkloadSpecs []string
 
 	// PacketBytes overrides the fetch-packet size (0 = the 8-byte VLIW
 	// packet).
@@ -115,6 +124,17 @@ func (s Space) normalized() (Space, error) {
 	}
 	if len(s.SetEntries) == 0 {
 		s.SetEntries = []int{4, 8, 16, 32}
+	}
+	if len(s.WorkloadSpecs) != 0 {
+		expanded := append([]workloads.Workload{}, s.Workloads...)
+		for _, spec := range s.WorkloadSpecs {
+			ws, err := workloads.ExpandByName(spec)
+			if err != nil {
+				return s, fmt.Errorf("explore: workload axis: %w", err)
+			}
+			expanded = append(expanded, ws...)
+		}
+		s.Workloads, s.WorkloadSpecs = expanded, nil
 	}
 	if len(s.Workloads) == 0 {
 		s.Workloads = workloads.All()
@@ -191,7 +211,8 @@ func (s Space) MABs() []core.Config {
 }
 
 // NumPoints returns the number of grid points (simulator passes) the space
-// expands to: one per geometry per workload.
+// expands to: one per geometry per workload. WorkloadSpecs entries count
+// only after normalization (Run reports the true total via Progress).
 func (s Space) NumPoints() int {
 	return len(s.Sets) * len(s.Ways) * len(s.LineBytes) * len(s.Workloads)
 }

@@ -63,7 +63,7 @@ func assertResultsEqual(t *testing.T, live, replayed *Results) {
 // techniques of the paper's evaluation, in both cache domains.
 func TestReplayEquivalenceGolden(t *testing.T) {
 	ctx := context.Background()
-	ws := []workloads.Workload{workloads.DCT(), workloads.FFT()}
+	ws := raceWorkloads(t)
 	live, err := Run(ctx, WithWorkloads(ws...))
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +98,7 @@ func TestReplayEquivalenceGolden(t *testing.T) {
 // own capture.
 func TestReplayEquivalencePacketBytes(t *testing.T) {
 	ctx := context.Background()
-	ws := []workloads.Workload{workloads.DCT()}
+	ws := raceWorkloads(t)[:1]
 	live, err := Run(ctx, WithWorkloads(ws...), WithPacketBytes(16))
 	if err != nil {
 		t.Fatal(err)
@@ -133,7 +133,7 @@ func TestReplayEquivalencePacketBytes(t *testing.T) {
 func TestTraceCacheSpill(t *testing.T) {
 	ctx := context.Background()
 	dir := t.TempDir()
-	ws := []workloads.Workload{workloads.DCT()}
+	ws := raceWorkloads(t)[:1]
 
 	tc1, err := NewDirTraceCache(dir)
 	if err != nil {
@@ -166,7 +166,7 @@ func TestTraceCacheSpill(t *testing.T) {
 func TestTraceCacheSpillCorrupt(t *testing.T) {
 	ctx := context.Background()
 	dir := t.TempDir()
-	ws := []workloads.Workload{workloads.DCT()}
+	ws := raceWorkloads(t)[:1]
 
 	tc1, err := NewDirTraceCache(dir)
 	if err != nil {

@@ -13,14 +13,36 @@ import (
 	"waymemo/internal/workloads"
 )
 
+// raceWorkloads returns the benchmark pair the heavier suite tests run.
+// Under -short (the CI race job) small synthetic workloads stand in for
+// DCT/FFT: the properties under test are workload-independent, and the
+// synthetic pair drives the same capture/replay machinery at a fraction of
+// the instruction count.
+func raceWorkloads(t *testing.T) []workloads.Workload {
+	t.Helper()
+	if !testing.Short() {
+		return []workloads.Workload{workloads.DCT(), workloads.FFT()}
+	}
+	a, err := workloads.ByName("synth:hotloop,fp=1KiB,n=2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workloads.ByName("synth:branchy,fp=1KiB,n=2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []workloads.Workload{a, b}
+}
+
 // TestParallelismDeterminism: the suite must produce byte-identical results
 // at every parallelism level (each benchmark gets fresh technique
 // instances, so runs are independent).
 func TestParallelismDeterminism(t *testing.T) {
+	ws := raceWorkloads(t)
 	run := func(par int) []byte {
 		t.Helper()
 		r, err := Run(context.Background(),
-			WithWorkloads(workloads.DCT(), workloads.FFT()),
+			WithWorkloads(ws...),
 			WithParallelism(par))
 		if err != nil {
 			t.Fatal(err)

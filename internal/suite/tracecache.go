@@ -158,7 +158,7 @@ func (tc *TraceCache) get(ctx context.Context, w workloads.Workload, packet uint
 // fill populates e from the spill directory if possible, else by executing
 // the workload with the buffer attached as both sinks.
 func (tc *TraceCache) fill(ctx context.Context, e *traceEntry, w workloads.Workload, packet uint32, k traceKey) error {
-	if tc.dir != "" && tc.load(e, k) {
+	if tc.dir != "" && tc.load(e, k, w) {
 		tc.diskLoads.Add(1)
 		return nil
 	}
@@ -170,7 +170,7 @@ func (tc *TraceCache) fill(ctx context.Context, e *traceEntry, w workloads.Workl
 	tc.captures.Add(1)
 	e.buf, e.cycles, e.instrs = buf, c.Cycles, c.Instrs
 	if tc.dir != "" {
-		if err := tc.store(e, k); err != nil {
+		if err := tc.store(e, k, w); err != nil {
 			return err
 		}
 	}
@@ -185,8 +185,15 @@ const traceMetaVersion = 1
 // cannot carry — the execution counts BenchResult needs, and the identity
 // fields that double-check the trace file answers for the right capture.
 type traceMeta struct {
-	Version     int    `json:"version"`
-	Workload    string `json:"workload"`
+	Version  int    `json:"version"`
+	Workload string `json:"workload"`
+	// Spec is the canonical synthetic spec the workload was generated from
+	// (empty for the paper benchmarks), making spill directories
+	// self-describing: the sidecar alone says how to regenerate the
+	// program that produced the trace. Identity-wise it is redundant with
+	// Workload (a synthetic workload's name is its spec), but a mismatch
+	// still reads as a miss.
+	Spec        string `json:"spec,omitempty"`
 	Fingerprint string `json:"fingerprint"`
 	PacketBytes uint32 `json:"packet_bytes"`
 	MaxInstrs   uint64 `json:"max_instrs"`
@@ -207,7 +214,7 @@ func (tc *TraceCache) spillBase(k traceKey) string {
 // load restores a capture from its spill pair. Any mismatch, truncation or
 // decode error degrades to a miss (returns false) and the capture is
 // re-executed and re-stored — a corrupt file must never poison results.
-func (tc *TraceCache) load(e *traceEntry, k traceKey) bool {
+func (tc *TraceCache) load(e *traceEntry, k traceKey, w workloads.Workload) bool {
 	base := tc.spillBase(k)
 	mb, err := os.ReadFile(base + ".json")
 	if err != nil {
@@ -217,6 +224,7 @@ func (tc *TraceCache) load(e *traceEntry, k traceKey) bool {
 	if json.Unmarshal(mb, &m) != nil ||
 		m.Version != traceMetaVersion ||
 		m.Workload != k.name ||
+		m.Spec != w.Spec ||
 		m.Fingerprint != fmt.Sprintf("%016x", k.fingerprint) ||
 		m.PacketBytes != k.packet ||
 		m.MaxInstrs != k.maxInstrs {
@@ -237,7 +245,7 @@ func (tc *TraceCache) load(e *traceEntry, k traceKey) bool {
 
 // store writes the capture as a WMTRACE1 file plus sidecar, each through a
 // temp file and rename so readers never observe a torn spill.
-func (tc *TraceCache) store(e *traceEntry, k traceKey) error {
+func (tc *TraceCache) store(e *traceEntry, k traceKey, w workloads.Workload) error {
 	base := tc.spillBase(k)
 	if err := writeFileAtomic(base+".wmtrace", func(f *os.File) error {
 		_, err := e.buf.WriteTo(f)
@@ -248,6 +256,7 @@ func (tc *TraceCache) store(e *traceEntry, k traceKey) error {
 	m := traceMeta{
 		Version:     traceMetaVersion,
 		Workload:    k.name,
+		Spec:        w.Spec,
 		Fingerprint: fmt.Sprintf("%016x", k.fingerprint),
 		PacketBytes: k.packet,
 		MaxInstrs:   k.maxInstrs,

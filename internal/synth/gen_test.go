@@ -1,0 +1,89 @@
+package synth
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, p := range Patterns() {
+		a, err := Spec{Pattern: p, Seed: 5}.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		b, err := Spec{Pattern: p, Seed: 5}.Generate()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if strings.Join(a.Sources, "\x00") != strings.Join(b.Sources, "\x00") {
+			t.Errorf("%s: two generations differ", p)
+		}
+		if a.WantSum != b.WantSum {
+			t.Errorf("%s: checksums differ: %#x vs %#x", p, a.WantSum, b.WantSum)
+		}
+		if !strings.Contains(a.Sources[0], "; synth v1 ") {
+			t.Errorf("%s: missing generator version header", p)
+		}
+		if !strings.Contains(a.Sources[1], SumSymbol+":") {
+			t.Errorf("%s: data section lacks the %s word", p, SumSymbol)
+		}
+	}
+}
+
+func TestGenerateSeedChangesProgramOrSum(t *testing.T) {
+	for _, p := range Patterns() {
+		a, _ := Spec{Pattern: p, Seed: 1}.Generate()
+		b, _ := Spec{Pattern: p, Seed: 2}.Generate()
+		if a.WantSum == b.WantSum {
+			t.Errorf("%s: seeds 1 and 2 share checksum %#x", p, a.WantSum)
+		}
+	}
+}
+
+// TestReferenceGolden pins the generator's semantics at every pattern's
+// default spec: if a checksum changes, the generator's meaning changed —
+// bump GenVersion so persisted traces and cached results are invalidated
+// rather than silently reinterpreted, and update the constants here.
+func TestReferenceGolden(t *testing.T) {
+	golden := map[Pattern]uint32{
+		HotLoop:       0xf5bb79b1,
+		Branchy:       0x1f126fb1,
+		PointerChase:  0x1e1779b1,
+		Streaming:     0x479bf9b1,
+		BlockedMatrix: 0xa79bf9b1,
+		PhaseSwitch:   0xf6cdb9b1,
+	}
+	for _, p := range Patterns() {
+		sp, err := Spec{Pattern: p}.Normalized()
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got := sp.Reference(); got != golden[p] {
+			t.Errorf("%s: reference checksum %#08x, want %#08x — generator semantics changed; bump GenVersion", p, got, golden[p])
+		}
+	}
+}
+
+func TestChasePermutationIsSingleCycle(t *testing.T) {
+	sp, err := Spec{Pattern: PointerChase, Footprint: 8 << 10, Stride: 64}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := sp.chasePermutation()
+	n := sp.Footprint / sp.Stride
+	if len(next) != n {
+		t.Fatalf("permutation over %d nodes, want %d", len(next), n)
+	}
+	seen := make([]bool, n)
+	cur := 0
+	for i := 0; i < n; i++ {
+		if seen[cur] {
+			t.Fatalf("chase revisits node %d after %d steps; not a single cycle", cur, i)
+		}
+		seen[cur] = true
+		cur = next[cur]
+	}
+	if cur != 0 {
+		t.Fatalf("chase does not close: ended at node %d", cur)
+	}
+}

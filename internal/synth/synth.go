@@ -1,5 +1,16 @@
-// Package synth models the MAB circuit itself — area, critical-path delay
-// and power — regenerating Tables 1, 2 and 3 of the paper.
+// Package synth holds the repository's two synthesis roles: the MAB
+// circuit model (this file) and the parameterized synthetic workload
+// generator (spec.go, gen.go).
+//
+// The circuit model regenerates Tables 1, 2 and 3 of the paper — area,
+// critical-path delay and power of an (Nt, Ns) MAB.
+//
+// The workload generator compiles a Spec — an access-pattern family
+// (hot-loop, branchy, pointer-chase, streaming, blocked-matrix,
+// phase-switch) with footprint/stride/bias/phase/seed knobs — into a
+// deterministic FRVL assembly program with a Go-computed checksum, giving
+// the evaluation a scenario axis the seven paper benchmarks cannot span;
+// workloads.FromSpec lifts a Spec into a suite-ready Workload.
 //
 // The paper obtained these numbers by synthesizing Verilog with Synopsys
 // DesignCompiler in a 0.13µm / 1.3V process and simulating power with

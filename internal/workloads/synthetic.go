@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"waymemo/internal/asm"
+	"waymemo/internal/sim"
+	"waymemo/internal/synth"
+)
+
+// This file lifts synthetic specs (internal/synth) into Workload values.
+// A synthetic workload is an ordinary Workload — generated sources, a
+// checksum Check against the Go reference, a content Fingerprint — so it
+// flows through Build memoization, the suite's trace cache and the explore
+// result cache exactly like the seven paper benchmarks.
+
+// FromSpec compiles a synthetic spec into a runnable Workload. The
+// workload's Name (and Spec) is the canonical spec string, so every
+// spelling of the same spec shares one build memo entry, one trace spill
+// and one explore cache key. The Check validates the program's checksum
+// against the generator's Go reference.
+func FromSpec(sp synth.Spec) (Workload, error) {
+	g, err := sp.Generate()
+	if err != nil {
+		return Workload{}, err
+	}
+	name := g.Spec.String()
+	return Workload{
+		Name:    name,
+		Spec:    name,
+		Sources: g.Sources,
+		// Generous per-spec bound: the main loop costs well under 24
+		// instructions per access and the LCG fill 9 per word.
+		MaxInstrs: uint64(g.Spec.Accesses)*24 + uint64(g.Spec.Footprint)*4 + 1_000_000,
+		Check: func(c *sim.CPU, p *asm.Program) error {
+			got := c.Mem.ReadWord(p.Symbols[synth.SumSymbol])
+			if got != g.WantSum {
+				return fmt.Errorf("%s: checksum %#x, want %#x", name, got, g.WantSum)
+			}
+			return nil
+		},
+	}, nil
+}
+
+// ExpandByName resolves one workload name into one or more workloads: a
+// benchmark name yields that benchmark, a synthetic spec yields one
+// workload per swept knob value ("synth:pchase,fp=4KiB..64KiB" doubles the
+// footprint from 4KiB to 64KiB).
+func ExpandByName(name string) ([]Workload, error) {
+	if !synth.IsSpec(name) {
+		w, err := ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		return []Workload{w}, nil
+	}
+	specs, err := synth.ExpandSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Workload, 0, len(specs))
+	for _, sp := range specs {
+		w, err := FromSpec(sp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// ParseList resolves a comma-separated workload list as CLIs accept it.
+// Synthetic specs contain commas themselves ("synth:pchase,fp=64KiB"), so a
+// fragment containing "=" re-attaches to the spec before it:
+//
+//	"DCT,synth:pchase,fp=4KiB..64KiB,seed=7,FFT"
+//
+// parses as DCT, one pchase spec (expanded over the footprint range), FFT.
+func ParseList(list string) ([]Workload, error) {
+	var names []string
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if strings.Contains(f, "=") && len(names) > 0 && synth.IsSpec(names[len(names)-1]) {
+			names[len(names)-1] += "," + f
+			continue
+		}
+		names = append(names, f)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("workloads: empty workload list")
+	}
+	var out []Workload
+	for _, name := range names {
+		ws, err := ExpandByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ws...)
+	}
+	return out, nil
+}

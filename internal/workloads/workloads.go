@@ -9,6 +9,12 @@
 // exercise the same mechanisms: loop nests with small branch offsets,
 // call/return flow through the link register, base+displacement data access
 // with high tag locality, and realistically sized working sets.
+//
+// Beyond the paper's seven, FromSpec compiles parameterized synthetic
+// workloads (internal/synth) — named access-pattern families with
+// footprint, stride, bias, phase and seed knobs — into ordinary Workload
+// values, and ByName accepts their "synth:..." spec syntax wherever a
+// benchmark name is accepted.
 package workloads
 
 import (
@@ -16,11 +22,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"strings"
 	"sync"
 
 	"waymemo/internal/asm"
 	"waymemo/internal/sim"
+	"waymemo/internal/synth"
 	"waymemo/internal/trace"
 )
 
@@ -40,8 +48,13 @@ const DefaultMaxInstrs = 200_000_000
 
 // Workload is one benchmark program.
 type Workload struct {
-	// Name as used in the paper's figures (e.g. "DCT", "mpeg2enc").
+	// Name as used in the paper's figures (e.g. "DCT", "mpeg2enc"). For
+	// synthetic workloads it is the canonical spec string.
 	Name string
+	// Spec is the canonical synthetic spec this workload was generated
+	// from (see FromSpec), empty for the paper benchmarks. It is carried
+	// into trace spill sidecars so persisted captures are self-describing.
+	Spec string
 	// Sources are assembled in order after the shared prologue.
 	Sources []string
 	// Check validates the halted machine against the Go reference.
@@ -58,6 +71,11 @@ const prologue = `
 _start:	jal  main
 	halt
 `
+
+// Prologue returns the shared runtime stub every workload is assembled
+// behind (entry jump + layout constants). CLIs that emit a standalone
+// program (wmsynth -spec) prepend it so the output assembles as-is.
+func Prologue() string { return prologue }
 
 // Fingerprint identifies the workload's program content: a hash of the
 // name, the shared runtime prologue and every source in assembly order.
@@ -166,14 +184,26 @@ func All() []Workload {
 	}
 }
 
-// ByName finds a workload by its figure label.
+// ByName finds a workload by its figure label, or compiles a synthetic
+// spec ("synth:pchase,fp=64KiB,seed=7"; see internal/synth) into one.
 func ByName(name string) (Workload, error) {
+	if synth.IsSpec(name) {
+		sp, err := synth.ParseSpec(name)
+		if err != nil {
+			return Workload{}, fmt.Errorf("workloads: %w", err)
+		}
+		return FromSpec(sp)
+	}
+	names := make([]string, 0, 7)
 	for _, w := range All() {
 		if strings.EqualFold(w.Name, name) {
 			return w, nil
 		}
+		names = append(names, w.Name)
 	}
-	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+	sort.Strings(names)
+	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q (valid: %s; or a synthetic spec: %s)",
+		name, strings.Join(names, ", "), synth.SpecSyntax())
 }
 
 // --- assembly data-emission helpers ---

@@ -16,6 +16,15 @@
 // Usage:
 //
 //	go run ./tools/benchrec [-o BENCH_3.json] [-j N]
+//	go run ./tools/benchrec -o /tmp/bench.json -compare BENCH_3.json -tolerance 20%
+//
+// With -compare, the run additionally gates against a committed baseline:
+// the machine-portable ratio metrics — the suite replay rate (live time /
+// replay time) and the explore trace-sharing speedup — must not fall more
+// than -tolerance below the baseline's, or the process exits nonzero. The
+// absolute millisecond timings are never gated (they track the machine, not
+// the code); the ratios cancel machine speed out, which is what lets CI
+// compare its run against a number recorded elsewhere.
 package main
 
 import (
@@ -25,6 +34,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"waymemo/internal/explore"
@@ -62,10 +73,74 @@ func timeIt(name string, f func() error) float64 {
 	return d.Seconds() * 1000
 }
 
+// replayRate is the suite's execute-once / replay-many win: live suite
+// time over warm replay time.
+func (r *record) replayRate() float64 { return r.SuiteLive / r.SuiteRepl }
+
+// parseTolerance accepts "20%" or "0.2".
+func parseTolerance(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad tolerance %q", s)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 || v >= 1 {
+		return 0, fmt.Errorf("tolerance %q outside [0%%, 100%%)", s)
+	}
+	return v, nil
+}
+
+// compareBaseline gates the current ratio metrics against a baseline file.
+// It returns an error listing every regressed metric.
+func compareBaseline(cur *record, baselinePath string, tol float64) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base record
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	var regressions []string
+	check := func(name string, got, want float64) {
+		// Skip metrics absent from an older baseline schema; the negated
+		// form also catches the NaN a missing-field 0/0 ratio produces.
+		if !(want > 0) {
+			return
+		}
+		floor := want * (1 - tol)
+		ok := "ok"
+		if got < floor {
+			ok = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("%s %.2fx below floor %.2fx (baseline %.2fx - %.0f%%)", name, got, floor, want, tol*100))
+		}
+		fmt.Fprintf(os.Stderr, "benchrec: compare %-22s %6.2fx vs baseline %6.2fx (floor %.2fx) %s\n",
+			name, got, want, floor, ok)
+	}
+	check("suite-replay-rate", cur.replayRate(), base.replayRate())
+	check("explore-speedup", cur.Explore.Speedup, base.Explore.Speedup)
+	if regressions != nil {
+		return fmt.Errorf("ratio regressions vs %s: %s", baselinePath, strings.Join(regressions, "; "))
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("o", "BENCH_3.json", "output file")
 	par := flag.Int("j", 0, "parallelism passed to the runners (0 = GOMAXPROCS)")
+	compare := flag.String("compare", "", "baseline BENCH_<n>.json `file`; exit nonzero if a ratio metric regresses beyond -tolerance")
+	tolerance := flag.String("tolerance", "20%", "allowed ratio-metric regression for -compare (\"20%\" or \"0.2\")")
 	flag.Parse()
+	tol, err := parseTolerance(*tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(2)
+	}
 	ctx := context.Background()
 
 	var r record
@@ -125,4 +200,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchrec: wrote %s (explore speedup %.2fx)\n", *out, r.Explore.Speedup)
+	if *compare != "" {
+		if err := compareBaseline(&r, *compare, tol); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrec:", err)
+			os.Exit(1)
+		}
+	}
 }
