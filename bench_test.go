@@ -190,10 +190,10 @@ func BenchmarkSuiteSequential(b *testing.B) {
 }
 
 // BenchmarkSuiteReplay times the seven-benchmark suite on a warm trace
-// cache: every benchmark replays its captured event stream instead of
-// executing. The ratio to BenchmarkSuite is the per-pass cost the
-// execute-once / replay-many engine removes from repeated runs (ablations,
-// report mode, sweeps).
+// cache with the batched fan-out engine (the default): every benchmark is
+// one pass over its captured stream feeding all eight techniques. The ratio
+// to BenchmarkSuite is the per-pass cost the execute-once / replay-many
+// engine removes from repeated runs (ablations, report mode, sweeps).
 func BenchmarkSuiteReplay(b *testing.B) {
 	tc := suite.NewTraceCache()
 	if _, err := suite.Run(context.Background(), suite.WithTraceCache(tc)); err != nil {
@@ -202,6 +202,23 @@ func BenchmarkSuiteReplay(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := suite.Run(context.Background(), suite.WithTraceCache(tc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteReplayPerSink is BenchmarkSuiteReplay on the legacy path —
+// one per-event pass per technique sink (wmx -replay-batch=false). The
+// ratio to BenchmarkSuiteReplay is the batched fan-out's win.
+func BenchmarkSuiteReplayPerSink(b *testing.B) {
+	tc := suite.NewTraceCache()
+	if _, err := suite.Run(context.Background(), suite.WithTraceCache(tc)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := suite.Run(context.Background(), suite.WithTraceCache(tc),
+			suite.WithBatchReplay(false)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -248,6 +265,33 @@ func BenchmarkTraceReplayRate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(buf.Len()*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTraceFanOutRate measures raw fan-out speed of one batched pass
+// into eight null sinks — the ceiling of the fan-out engine itself, with
+// the decode amortized across the whole sink group. The reported events/s
+// counts per-sink deliveries, comparable to eight BenchmarkTraceReplayRate
+// passes back to back.
+func BenchmarkTraceFanOutRate(b *testing.B) {
+	var buf trace.Buffer
+	if _, err := workloads.Run(workloads.DCT(), &buf, &buf); err != nil {
+		b.Fatal(err)
+	}
+	const sinks = 8
+	pairs := make([]trace.SinkPair, sinks)
+	for i := range pairs {
+		pairs[i] = trace.SinkPair{
+			Fetch: trace.FetchFunc(func(trace.FetchEvent) {}),
+			Data:  trace.DataFunc(func(trace.DataEvent) {}),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := buf.ReplayAll(context.Background(), pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(buf.Len()*sinks*b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkSimulatorIPS measures raw simulator speed (instructions/sec) on

@@ -39,6 +39,7 @@ func runExplore(args []string) {
 	cacheDir := fs.String("cache-dir", "", "memoize grid points in this directory (reruns skip simulated points)")
 	traceDir := fs.String("trace-dir", "", "spill captured event traces to this directory (WMTRACE1); reruns replay instead of simulating")
 	noShare := fs.Bool("no-trace-share", false, "execute every grid point live instead of replaying shared traces")
+	replayBatch := fs.Bool("replay-batch", true, "replay captures in batched fan-out passes sharded across workers (=false: one per-event pass per technique sink)")
 	par := fs.Int("j", 0, "grid points to simulate concurrently (0 = GOMAXPROCS)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	md := fs.Bool("md", false, "emit a markdown report")
@@ -117,19 +118,40 @@ func runExplore(args []string) {
 	if *noShare {
 		opts = append(opts, explore.WithTraceSharing(false))
 	}
+	if !*replayBatch {
+		opts = append(opts, explore.WithBatchReplay(false))
+	}
 	if *traceDir != "" {
 		opts = append(opts, explore.WithTraceDir(*traceDir))
 	}
 
-	fmt.Fprintf(os.Stderr, "exploring %d grid points (%s-cache)...\n",
-		space.NumPoints(), space.Domain)
+	mode := "batched fan-out replay"
+	switch {
+	case *noShare:
+		mode = "live execution"
+	case !*replayBatch:
+		mode = "per-sink replay"
+	}
+	fmt.Fprintf(os.Stderr, "exploring %d grid points (%s-cache, %s)...\n",
+		space.NumPoints(), space.Domain, mode)
 	grid, err := explore.Run(context.Background(), space, opts...)
 	exitOn(err)
 	if *noShare {
 		fmt.Fprintf(os.Stderr, "%d cached, %d simulated\n\n", grid.Hits, grid.Misses)
 	} else {
-		fmt.Fprintf(os.Stderr, "%d cached, %d simulated (%d executed, %d replayed, %d trace loads)\n\n",
+		fmt.Fprintf(os.Stderr, "%d cached, %d simulated (%d executed, %d replayed, %d trace loads)\n",
 			grid.Hits, grid.Misses, grid.Traces.Captures, grid.Traces.Replays, grid.Traces.DiskLoads)
+		// Fan-out shape, so a batching regression is visible straight from
+		// the CLI: more passes or fewer sinks per pass for the same grid
+		// means captures are being re-streamed more than they should be.
+		// (Delivery *rate* is benchrec's job — it times the passes alone,
+		// where a whole-sweep clock would mostly measure simulation.)
+		if tr := grid.Traces; tr.FanOutPasses > 0 {
+			fmt.Fprintf(os.Stderr, "fan-out: %d passes, %.1f sinks/pass avg, %.1fM deliveries\n",
+				tr.FanOutPasses, tr.SinksPerPass(),
+				float64(tr.FanOutDeliveries)/1e6)
+		}
+		fmt.Fprintln(os.Stderr)
 	}
 
 	if *md {

@@ -3,12 +3,12 @@
 //
 // Usage:
 //
-//	wmx [-exp NAME] [-csv] [-j N] [-trace-dir DIR]
+//	wmx [-exp NAME] [-csv] [-j N] [-trace-dir DIR] [-replay-batch=false]
 //	    [-cpuprofile FILE] [-memprofile FILE]
 //	wmx explore [-domain data|fetch] [-mab-tags L] [-mab-sets L]
 //	            [-sets L] [-ways L] [-line L] [-workloads NAMES]
 //	            [-packet N] [-cache-dir DIR] [-trace-dir DIR]
-//	            [-no-trace-share] [-j N] [-csv] [-md]
+//	            [-no-trace-share] [-replay-batch=false] [-j N] [-csv] [-md]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
 // NAME is one of: all, table1, table2, table3, fig4, fig5, fig6, fig7,
@@ -40,9 +40,12 @@
 // Both modes run on the execute-once / replay-many trace engine: each
 // workload is simulated once per process and its captured event stream is
 // replayed to every technique and geometry (bit-identical results, several
-// times faster on sweeps). With -trace-dir the captures are spilled as
-// WMTRACE1 files and reloaded by later invocations; -cpuprofile and
-// -memprofile write pprof profiles of whatever was run.
+// times faster on sweeps). Replays run as batched fan-out passes — one walk
+// of the capture feeds every attached technique sink — and -replay-batch=false
+// falls back to the legacy one-pass-per-sink replay as an escape hatch.
+// With -trace-dir the captures are spilled as WMTRACE1 files and reloaded
+// by later invocations; -cpuprofile and -memprofile write pprof profiles of
+// whatever was run.
 package main
 
 import (
@@ -78,6 +81,8 @@ func main() {
 	par := flag.Int("j", 0, "benchmarks to simulate concurrently (0 = GOMAXPROCS)")
 	traceDir := flag.String("trace-dir", "",
 		"spill captured event traces to this directory (WMTRACE1); reruns replay instead of simulating")
+	replayBatch := flag.Bool("replay-batch", true,
+		"replay captures in one batched fan-out pass per workload (=false: one per-event pass per technique sink)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -120,16 +125,16 @@ func main() {
 	// nothing else reuses, so sharing the cache there would only pin
 	// hundreds of MB of one-shot captures — it joins the sharing only when
 	// the user asked for cross-run reuse with -trace-dir.
-	common := []suite.Option{suite.WithParallelism(*par)}
+	base := []suite.Option{suite.WithParallelism(*par), suite.WithBatchReplay(*replayBatch)}
+	common := base
 	packetCommon := common
 	if *traceDir != "" {
 		tc, err := suite.NewDirTraceCache(*traceDir)
 		exitOn(err)
-		common = []suite.Option{suite.WithParallelism(*par), suite.WithTraceCache(tc)}
+		common = append(base[:len(base):len(base)], suite.WithTraceCache(tc))
 		packetCommon = common
 	} else if which == "report" {
-		common = []suite.Option{suite.WithParallelism(*par),
-			suite.WithTraceCache(suite.NewTraceCache())}
+		common = append(base[:len(base):len(base)], suite.WithTraceCache(suite.NewTraceCache()))
 	}
 
 	runSuite := func(banner string) *experiments.Results {

@@ -26,7 +26,19 @@ type OriginalD struct {
 	Stats *stats.Counters
 }
 
-var _ trace.DataSink = (*OriginalD)(nil)
+var (
+	_ trace.DataSink      = (*OriginalD)(nil)
+	_ trace.DataBatchSink = (*OriginalD)(nil)
+)
+
+// OnDataBatch processes one replayed block with direct calls on the
+// concrete controller — the batched fan-out replay's devirtualized inner
+// loop (see core.IController.OnFetchBatch).
+func (d *OriginalD) OnDataBatch(evs []trace.DataEvent) {
+	for i := range evs {
+		d.OnData(evs[i])
+	}
+}
 
 // NewOriginalD builds the conventional D-cache controller.
 func NewOriginalD(geo cache.Config) *OriginalD {
@@ -83,7 +95,18 @@ type OriginalI struct {
 	Stats *stats.Counters
 }
 
-var _ trace.FetchSink = (*OriginalI)(nil)
+var (
+	_ trace.FetchSink      = (*OriginalI)(nil)
+	_ trace.FetchBatchSink = (*OriginalI)(nil)
+)
+
+// OnFetchBatch processes one replayed block with direct calls on the
+// concrete controller.
+func (i *OriginalI) OnFetchBatch(evs []trace.FetchEvent) {
+	for j := range evs {
+		i.OnFetch(evs[j])
+	}
+}
 
 // NewOriginalI builds the conventional I-cache controller.
 func NewOriginalI(geo cache.Config) *OriginalI {
@@ -134,7 +157,18 @@ type Approach4I struct {
 	havePrev bool
 }
 
-var _ trace.FetchSink = (*Approach4I)(nil)
+var (
+	_ trace.FetchSink      = (*Approach4I)(nil)
+	_ trace.FetchBatchSink = (*Approach4I)(nil)
+)
+
+// OnFetchBatch processes one replayed block with direct calls on the
+// concrete controller.
+func (a *Approach4I) OnFetchBatch(evs []trace.FetchEvent) {
+	for i := range evs {
+		a.OnFetch(evs[i])
+	}
+}
 
 // NewApproach4I builds the [4] controller.
 func NewApproach4I(geo cache.Config) *Approach4I {
@@ -178,7 +212,18 @@ type SetBufferD struct {
 	dirty    []bool
 }
 
-var _ trace.DataSink = (*SetBufferD)(nil)
+var (
+	_ trace.DataSink      = (*SetBufferD)(nil)
+	_ trace.DataBatchSink = (*SetBufferD)(nil)
+)
+
+// OnDataBatch processes one replayed block with direct calls on the
+// concrete controller.
+func (b *SetBufferD) OnDataBatch(evs []trace.DataEvent) {
+	for i := range evs {
+		b.OnData(evs[i])
+	}
+}
 
 // NewSetBufferD builds the [14] controller.
 func NewSetBufferD(geo cache.Config) *SetBufferD {

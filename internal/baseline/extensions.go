@@ -27,7 +27,19 @@ type FilterCacheD struct {
 	Stats *stats.Counters
 }
 
-var _ trace.DataSink = (*FilterCacheD)(nil)
+var (
+	_ trace.DataSink      = (*FilterCacheD)(nil)
+	_ trace.DataBatchSink = (*FilterCacheD)(nil)
+)
+
+// OnDataBatch processes one replayed block with direct calls on the
+// concrete controller — the batched fan-out replay's devirtualized inner
+// loop (see core.IController.OnFetchBatch).
+func (f *FilterCacheD) OnDataBatch(evs []trace.DataEvent) {
+	for i := range evs {
+		f.OnData(evs[i])
+	}
+}
 
 // NewFilterCacheD builds a filter cache (l0 geometry) over an L1.
 func NewFilterCacheD(l0, l1 cache.Config) *FilterCacheD {
@@ -104,7 +116,18 @@ type TwoPhaseD struct {
 	Stats *stats.Counters
 }
 
-var _ trace.DataSink = (*TwoPhaseD)(nil)
+var (
+	_ trace.DataSink      = (*TwoPhaseD)(nil)
+	_ trace.DataBatchSink = (*TwoPhaseD)(nil)
+)
+
+// OnDataBatch processes one replayed block with direct calls on the
+// concrete controller.
+func (t *TwoPhaseD) OnDataBatch(evs []trace.DataEvent) {
+	for i := range evs {
+		t.OnData(evs[i])
+	}
+}
 
 // NewTwoPhaseD builds the phased controller.
 func NewTwoPhaseD(geo cache.Config) *TwoPhaseD {
@@ -154,7 +177,18 @@ type WayPredictI struct {
 	mru   []int8 // per-set predicted way
 }
 
-var _ trace.FetchSink = (*WayPredictI)(nil)
+var (
+	_ trace.FetchSink      = (*WayPredictI)(nil)
+	_ trace.FetchBatchSink = (*WayPredictI)(nil)
+)
+
+// OnFetchBatch processes one replayed block with direct calls on the
+// concrete controller.
+func (w *WayPredictI) OnFetchBatch(evs []trace.FetchEvent) {
+	for i := range evs {
+		w.OnFetch(evs[i])
+	}
+}
 
 // NewWayPredictI builds the way-predicting controller.
 func NewWayPredictI(geo cache.Config) *WayPredictI {
@@ -226,7 +260,18 @@ type MaLinksI struct {
 	havePrev bool
 }
 
-var _ trace.FetchSink = (*MaLinksI)(nil)
+var (
+	_ trace.FetchSink      = (*MaLinksI)(nil)
+	_ trace.FetchBatchSink = (*MaLinksI)(nil)
+)
+
+// OnFetchBatch processes one replayed block with direct calls on the
+// concrete controller.
+func (m *MaLinksI) OnFetchBatch(evs []trace.FetchEvent) {
+	for i := range evs {
+		m.OnFetch(evs[i])
+	}
+}
 
 // NewMaLinksI builds the link-based controller.
 func NewMaLinksI(geo cache.Config) *MaLinksI {
@@ -340,7 +385,18 @@ type LineBufferD struct {
 	bufWay   int
 }
 
-var _ trace.DataSink = (*LineBufferD)(nil)
+var (
+	_ trace.DataSink      = (*LineBufferD)(nil)
+	_ trace.DataBatchSink = (*LineBufferD)(nil)
+)
+
+// OnDataBatch processes one replayed block with direct calls on the
+// concrete controller.
+func (b *LineBufferD) OnDataBatch(evs []trace.DataEvent) {
+	for i := range evs {
+		b.OnData(evs[i])
+	}
+}
 
 // NewLineBufferD builds the line-buffer controller.
 func NewLineBufferD(geo cache.Config) *LineBufferD {

@@ -136,11 +136,14 @@ func (c *Cache) line(set uint32, way int) *line {
 }
 
 // Lookup reports whether addr hits, and in which way. It does not change any
-// state (no LRU update).
+// state (no LRU update). The way scan indexes off a precomputed set base so
+// the per-way step is one add, not a multiply — this is the single most
+// executed loop of every controller.
 func (c *Cache) Lookup(addr uint32) (way int, hit bool) {
 	set, tag := c.set(addr), c.tag(addr)
+	base := int(set) * c.cfg.Ways
 	for w := 0; w < c.cfg.Ways; w++ {
-		if l := c.line(set, w); l.valid && l.tag == tag {
+		if l := &c.lines[base+w]; l.valid && l.tag == tag {
 			return w, true
 		}
 	}

@@ -20,7 +20,10 @@ type DController struct {
 	Stats *stats.Counters
 }
 
-var _ trace.DataSink = (*DController)(nil)
+var (
+	_ trace.DataSink      = (*DController)(nil)
+	_ trace.DataBatchSink = (*DController)(nil)
+)
 
 // NewDController builds a cache plus MAB pair with the consistency policy
 // wiring requested in mcfg.
@@ -32,6 +35,14 @@ func NewDController(geo cache.Config, mcfg Config) *DController {
 		c.OnEvict = m.OnEviction
 	}
 	return d
+}
+
+// OnDataBatch processes one replayed block of accesses with direct calls on
+// the concrete controller (see IController.OnFetchBatch).
+func (d *DController) OnDataBatch(evs []trace.DataEvent) {
+	for i := range evs {
+		d.OnData(evs[i])
+	}
 }
 
 // OnData processes one load or store.
@@ -52,15 +63,15 @@ func (d *DController) OnData(ev trace.DataEvent) {
 		return
 	}
 	s.MABLookups++
-	res := d.MAB.Probe(ev.Base, ev.Disp)
-	if res.Hit {
-		if d.Cache.Present(ev.Addr, res.Way) {
+	mabWay, mabHit := d.MAB.probeFast(ev.Base, ev.Disp)
+	if mabHit {
+		if d.Cache.Present(ev.Addr, mabWay) {
 			s.MABHits++
 			s.Hits++
-			d.Cache.Touch(ev.Addr, res.Way)
+			d.Cache.Touch(ev.Addr, mabWay)
 			if ev.Store {
 				s.WayWrites++
-				d.Cache.MarkDirty(ev.Addr, res.Way)
+				d.Cache.MarkDirty(ev.Addr, mabWay)
 			} else {
 				s.WayReads++
 			}

@@ -30,7 +30,10 @@ type IController struct {
 	havePrev bool
 }
 
-var _ trace.FetchSink = (*IController)(nil)
+var (
+	_ trace.FetchSink      = (*IController)(nil)
+	_ trace.FetchBatchSink = (*IController)(nil)
+)
 
 // NewIController builds the I-cache controller with its MAB.
 func NewIController(geo cache.Config, mcfg Config) *IController {
@@ -41,6 +44,15 @@ func NewIController(geo cache.Config, mcfg Config) *IController {
 		c.OnEvict = m.OnEviction
 	}
 	return ic
+}
+
+// OnFetchBatch processes one replayed block of fetches. The loop dispatches
+// on the concrete controller — no per-event interface call — which is what
+// makes the batched fan-out replay's inner loop a plain slice walk.
+func (ic *IController) OnFetchBatch(evs []trace.FetchEvent) {
+	for i := range evs {
+		ic.OnFetch(evs[i])
+	}
 }
 
 // OnFetch processes one packet fetch.
@@ -77,14 +89,14 @@ func (ic *IController) OnFetch(ev trace.FetchEvent) {
 		return
 	}
 	s.MABLookups++
-	res := ic.MAB.Probe(ev.Base, ev.Disp)
-	if res.Hit {
-		if ic.Cache.Present(ev.Addr, res.Way) {
+	mabWay, mabHit := ic.MAB.probeFast(ev.Base, ev.Disp)
+	if mabHit {
+		if ic.Cache.Present(ev.Addr, mabWay) {
 			s.MABHits++
 			s.Hits++
 			s.WayReads++
-			ic.Cache.Touch(ev.Addr, res.Way)
-			ic.prevWay = res.Way
+			ic.Cache.Touch(ev.Addr, mabWay)
+			ic.prevWay = mabWay
 			ic.havePrev = true
 			return
 		}

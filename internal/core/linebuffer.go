@@ -25,7 +25,18 @@ type DLineBufferController struct {
 	bufDirty bool
 }
 
-var _ trace.DataSink = (*DLineBufferController)(nil)
+var (
+	_ trace.DataSink      = (*DLineBufferController)(nil)
+	_ trace.DataBatchSink = (*DLineBufferController)(nil)
+)
+
+// OnDataBatch processes one replayed block of accesses with direct calls on
+// the concrete controller (see IController.OnFetchBatch).
+func (d *DLineBufferController) OnDataBatch(evs []trace.DataEvent) {
+	for i := range evs {
+		d.OnData(evs[i])
+	}
+}
 
 // NewDLineBufferController builds the combined controller.
 func NewDLineBufferController(geo cache.Config, mcfg Config) *DLineBufferController {
@@ -86,19 +97,19 @@ func (d *DLineBufferController) mabAccess(ev trace.DataEvent) int {
 		return d.fullAccess(ev)
 	}
 	s.MABLookups++
-	res := d.MAB.Probe(ev.Base, ev.Disp)
-	if res.Hit {
-		if d.Cache.Present(ev.Addr, res.Way) {
+	mabWay, mabHit := d.MAB.probeFast(ev.Base, ev.Disp)
+	if mabHit {
+		if d.Cache.Present(ev.Addr, mabWay) {
 			s.MABHits++
 			s.Hits++
-			d.Cache.Touch(ev.Addr, res.Way)
+			d.Cache.Touch(ev.Addr, mabWay)
 			if ev.Store {
 				s.WayWrites++
-				d.Cache.MarkDirty(ev.Addr, res.Way)
+				d.Cache.MarkDirty(ev.Addr, mabWay)
 			} else {
 				s.WayReads++
 			}
-			return res.Way
+			return mabWay
 		}
 		s.Violations++
 		d.MAB.Invalidate(ev.Base, ev.Disp)

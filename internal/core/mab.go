@@ -264,7 +264,7 @@ func (m *MAB) Probe(base uint32, disp int32) Lookup {
 	if !m.InRange(disp) {
 		return Lookup{}
 	}
-	key, cflag, setIdx := m.key(base, disp)
+	key, cflag, _ := m.key(base, disp)
 	// Reconstruct the predicted address the way the hardware does: the low
 	// bits come from the 14-bit adder, the tag from the base's upper bits
 	// adjusted by carry and displacement sign. For in-range displacements
@@ -275,18 +275,28 @@ func (m *MAB) Probe(base uint32, disp int32) Lookup {
 	}
 	predLow := (base + uint32(disp)) & m.lowMask
 	res := Lookup{InRange: true, PredictedAddr: (key+adj)<<m.lowBits | predLow}
+	res.Way, res.Hit = m.probeFast(base, disp)
+	return res
+}
+
+// probeFast is Probe stripped for the controllers' per-event hot path: the
+// caller has already checked InRange, and nothing on the hot path consumes
+// the predicted address (the controllers verify the memoized way against
+// the final address the trace already carries), so neither is recomputed
+// here.
+func (m *MAB) probeFast(base uint32, disp int32) (way int, hit bool) {
+	key, cflag, setIdx := m.key(base, disp)
 	i := m.findTag(key, cflag)
 	j := m.findSet(setIdx)
 	m.lastKey, m.lastCflag, m.lastSetIdx = key, cflag, setIdx
 	m.lastI, m.lastJ, m.lastValid = i, j, true
 	if i >= 0 && j >= 0 && m.vflag[i][j] {
-		res.Hit = true
-		res.Way = int(m.way[i][j])
 		m.clock++
 		m.tagUse[i] = m.clock
 		m.setUse[j] = m.clock
+		return int(m.way[i][j]), true
 	}
-	return res
+	return 0, false
 }
 
 // Update installs (base, disp) → way after a full cache access, following

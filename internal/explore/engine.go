@@ -3,6 +3,7 @@ package explore
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -12,6 +13,8 @@ import (
 	"waymemo/internal/power"
 	"waymemo/internal/stats"
 	"waymemo/internal/suite"
+	"waymemo/internal/trace"
+	"waymemo/internal/workloads"
 )
 
 // TechOutcome is one technique's measurement at one grid point: the raw
@@ -82,6 +85,7 @@ type options struct {
 	progress     func(Progress)
 	noTraceShare bool
 	traceDir     string
+	noBatch      bool
 }
 
 // Option configures Run.
@@ -126,6 +130,21 @@ func WithProgress(fn func(Progress)) Option {
 // benchmarking the engine itself.
 func WithTraceSharing(on bool) Option {
 	return func(o *options) error { o.noTraceShare = !on; return nil }
+}
+
+// WithBatchReplay toggles the batched fan-out scheduling (default on).
+// Batched, the engine turns a sweep into per-(workload, packet) fan-out
+// tasks: each workload's uncached grid points are sharded across the worker
+// pool, and every shard instantiates its points' technique sinks and feeds
+// them all from a single pass over the workload's captured trace
+// (suite.TraceCache.FanOut) — so a G-geometry sweep streams each capture a
+// handful of times instead of once per technique per geometry. Off, the
+// engine schedules one task per grid point, each replaying the capture once
+// per sink — the legacy path, kept as an escape hatch for regression
+// hunting. Results are bit-identical either way; ignored when trace sharing
+// is disabled.
+func WithBatchReplay(on bool) Option {
+	return func(o *options) error { o.noBatch = !on; return nil }
 }
 
 // WithTraceDir additionally spills captured traces to dir as WMTRACE1 files
@@ -190,10 +209,7 @@ func Run(ctx context.Context, space Space, opts ...Option) (*Grid, error) {
 	techs := s.techniques()
 	mabs := s.MABs()
 
-	var (
-		progressMu   sync.Mutex
-		hits, misses atomic.Int64
-	)
+	var progressMu sync.Mutex
 	report := func(p Progress) {
 		if o.progress == nil {
 			return
@@ -204,7 +220,34 @@ func Run(ctx context.Context, space Space, opts ...Option) (*Grid, error) {
 	}
 
 	results := make([]PointResult, len(pts))
-	err = pool.Run(ctx, len(pts), o.parallelism, func(runCtx context.Context, idx int) error {
+	var hits, misses int
+	if tc != nil && !o.noBatch {
+		hits, misses, err = runFanOut(ctx, s, pts, techs, mabs, o, tc, report, results)
+	} else {
+		hits, misses, err = runPerPoint(ctx, s, pts, techs, mabs, o, tc, report, results)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g := &Grid{
+		Space:  s,
+		Points: results,
+		Hits:   hits,
+		Misses: misses,
+	}
+	if tc != nil {
+		g.Traces = tc.Stats()
+	}
+	return g, nil
+}
+
+// runPerPoint is the one-task-per-grid-point scheduler: the live path (no
+// trace sharing) and the legacy escape hatch (WithBatchReplay(false)).
+func runPerPoint(ctx context.Context, s Space, pts []Point, techs []suite.Technique,
+	mabs []core.Config, o options, tc *suite.TraceCache,
+	report func(Progress), results []PointResult) (int, int, error) {
+	var hits, misses atomic.Int64
+	err := pool.Run(ctx, len(pts), o.parallelism, func(runCtx context.Context, idx int) error {
 		pt := pts[idx]
 		report(Progress{Index: idx, Total: len(pts), Geometry: pt.Geometry, Workload: pt.Workload.Name})
 		pr, cached, err := runPoint(runCtx, s, pt, techs, mabs, o.cache, tc)
@@ -221,19 +264,176 @@ func Run(ctx context.Context, space Space, opts ...Option) (*Grid, error) {
 			Workload: pt.Workload.Name, Cached: cached, Done: true})
 		return nil
 	})
-	if err != nil {
-		return nil, err
+	return int(hits.Load()), int(misses.Load()), err
+}
+
+// fanPoint is one grid point awaiting simulation, with its result-cache
+// key already computed by the probe phase (empty without a cache) so the
+// shard worker stores the result without rehashing the inputs.
+type fanPoint struct {
+	pt  Point
+	key string
+}
+
+// fanShard is one scheduling unit of the batched fan-out: a slice of one
+// workload's uncached grid points whose technique sinks are all fed by a
+// single pass over the workload's capture.
+type fanShard struct {
+	w   workloads.Workload
+	pts []fanPoint
+}
+
+// maxShardPoints bounds how many grid points one shard instantiates at
+// once, capping the controller state a single fan-out pass holds live.
+const maxShardPoints = 64
+
+// runFanOut is the batched per-(workload, packet) scheduler: result-cache
+// hits are served first without touching the trace engine, then each
+// workload's remaining points are sharded across the worker pool and every
+// shard replays the capture once into all of its points' technique sinks.
+// Point results land at their grid index and every point still gets its
+// start/done progress pair, so ordering and reporting are indistinguishable
+// from the per-point scheduler.
+func runFanOut(ctx context.Context, s Space, pts []Point, techs []suite.Technique,
+	mabs []core.Config, o options, tc *suite.TraceCache,
+	report func(Progress), results []PointResult) (int, int, error) {
+	// Phase 1: serve result-cache hits serially — a fully warm cache
+	// finishes the sweep without a single capture or replay.
+	hits := 0
+	missed := make(map[string][]fanPoint, len(s.Workloads))
+	groups := 0
+	for _, pt := range pts {
+		if err := ctx.Err(); err != nil {
+			return hits, 0, err
+		}
+		var key string
+		if o.cache != nil {
+			key = KeyWorkload(s.Domain, pt.Geometry, pt.Workload, s.PacketBytes, mabs)
+			if pr, ok := o.cache.Get(key); ok && cachedPointValid(pr, pt, techs) {
+				pr.Cached = true
+				results[pt.Index] = *pr
+				hits++
+				report(Progress{Index: pt.Index, Total: len(pts), Geometry: pt.Geometry, Workload: pt.Workload.Name})
+				report(Progress{Index: pt.Index, Total: len(pts), Geometry: pt.Geometry,
+					Workload: pt.Workload.Name, Cached: true, Done: true})
+				continue
+			}
+		}
+		if len(missed[pt.Workload.Name]) == 0 {
+			groups++
+		}
+		missed[pt.Workload.Name] = append(missed[pt.Workload.Name], fanPoint{pt: pt, key: key})
 	}
-	g := &Grid{
-		Space:  s,
-		Points: results,
-		Hits:   int(hits.Load()),
-		Misses: int(misses.Load()),
+	if groups == 0 {
+		return hits, 0, nil
 	}
-	if tc != nil {
-		g.Traces = tc.Stats()
+
+	// Phase 2: shard each workload's missed points — enough shards to keep
+	// every worker busy, few enough that each capture is streamed a handful
+	// of times, and never more than maxShardPoints technique sets live per
+	// pass. The boundaries depend only on the grid and the parallelism, so
+	// results stay deterministic.
+	par := o.parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
 	}
-	return g, nil
+	perGroup := (par + groups - 1) / groups
+	var shards []fanShard
+	for _, w := range s.Workloads {
+		group := missed[w.Name]
+		if len(group) == 0 {
+			continue
+		}
+		k := perGroup
+		if minK := (len(group) + maxShardPoints - 1) / maxShardPoints; k < minK {
+			k = minK
+		}
+		for _, r := range pool.Split(len(group), k) {
+			shards = append(shards, fanShard{w: w, pts: group[r[0]:r[1]]})
+		}
+	}
+
+	var misses atomic.Int64
+	err := pool.Run(ctx, len(shards), o.parallelism, func(runCtx context.Context, idx int) error {
+		sh := shards[idx]
+		for _, fp := range sh.pts {
+			report(Progress{Index: fp.pt.Index, Total: len(pts), Geometry: fp.pt.Geometry, Workload: fp.pt.Workload.Name})
+		}
+		// Instantiate this shard's technique sinks only now, so the memory
+		// a sweep holds live is bounded by the active shards, not the grid.
+		insts := make([][]suite.Instance, len(sh.pts))
+		pairs := make([]trace.SinkPair, 0, len(sh.pts)*len(techs))
+		for pi, fp := range sh.pts {
+			insts[pi] = make([]suite.Instance, len(techs))
+			for ti, tech := range techs {
+				inst := tech.New(fp.pt.Geometry)
+				if inst.Stats == nil {
+					return fmt.Errorf("explore: technique %s/%q produced no counters", tech.Domain, tech.ID)
+				}
+				var pair trace.SinkPair
+				switch tech.Domain {
+				case suite.Data:
+					if inst.Data == nil {
+						return fmt.Errorf("explore: technique %s/%q produced no data sink", tech.Domain, tech.ID)
+					}
+					pair.Data = inst.Data
+				case suite.Fetch:
+					if inst.Fetch == nil {
+						return fmt.Errorf("explore: technique %s/%q produced no fetch sink", tech.Domain, tech.ID)
+					}
+					pair.Fetch = inst.Fetch
+				}
+				insts[pi][ti] = inst
+				pairs = append(pairs, pair)
+			}
+		}
+		c, err := tc.FanOut(runCtx, sh.w, s.PacketBytes, pairs, len(sh.pts))
+		if err != nil {
+			return err
+		}
+		for pi, fp := range sh.pts {
+			pr := assemblePoint(fp.pt, techs, mabs, insts[pi], c.Cycles, c.Instrs)
+			if o.cache != nil {
+				if err := o.cache.Put(fp.key, pr); err != nil {
+					return err
+				}
+			}
+			results[fp.pt.Index] = *pr
+			misses.Add(1)
+			report(Progress{Index: fp.pt.Index, Total: len(pts), Geometry: fp.pt.Geometry,
+				Workload: fp.pt.Workload.Name, Done: true})
+		}
+		return nil
+	})
+	return hits, int(misses.Load()), err
+}
+
+// assemblePoint prices one grid point's freshly replayed instances into the
+// PointResult the analysis layer and the result cache consume — the same
+// shape runPoint extracts from a suite.Run, so both schedulers produce
+// byte-identical grids.
+func assemblePoint(pt Point, techs []suite.Technique, mabs []core.Config,
+	insts []suite.Instance, cycles, instrs uint64) *PointResult {
+	pr := &PointResult{
+		Geometry: pt.Geometry,
+		Workload: pt.Workload.Name,
+		Cycles:   cycles,
+		Instrs:   instrs,
+		Techs:    make([]TechOutcome, 0, len(techs)),
+	}
+	for i := range techs {
+		out := TechOutcome{
+			ID:    string(techs[i].ID),
+			Stats: *insts[i].Stats,
+			Power: power.Compute(insts[i].Stats, cycles, insts[i].Model),
+		}
+		if i > 0 { // techs[0] is the baseline; the rest follow mabs order
+			out.TagEntries = mabs[i-1].TagEntries
+			out.SetEntries = mabs[i-1].SetEntries
+		}
+		pr.Techs = append(pr.Techs, out)
+	}
+	return pr
 }
 
 // cachedPointValid checks a cache hit against the grid point it must
@@ -270,6 +470,9 @@ func runPoint(ctx context.Context, s Space, pt Point, techs []suite.Technique,
 		suite.WithGeometry(pt.Geometry),
 		suite.WithPacketBytes(s.PacketBytes),
 		suite.WithParallelism(1),
+		// The per-point scheduler only runs live (no trace cache) or as the
+		// legacy escape hatch, so the inner suite pass must not batch either.
+		suite.WithBatchReplay(false),
 	}
 	if tc != nil {
 		runOpts = append(runOpts, suite.WithTraceCache(tc))

@@ -444,3 +444,42 @@ func TestTraceDirSpill(t *testing.T) {
 		t.Error("trace dir with sharing disabled was accepted")
 	}
 }
+
+// TestFanOutSchedulerEquivalence: the batched per-(workload, packet)
+// fan-out scheduler (the default) produces a grid deeply equal to the
+// legacy per-point scheduler, and only the batched run reports fan-out
+// work. With two workloads and shards of at most maxShardPoints points,
+// the pass count stays far below one-replay-per-sink.
+func TestFanOutSchedulerEquivalence(t *testing.T) {
+	space := tinySpace()
+	space.Workloads = []workloads.Workload{tinyWorkload("tiny-a"), tinyWorkload("tiny-b")}
+
+	batched, err := Run(context.Background(), space, WithParallelism(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := Run(context.Background(), space, WithBatchReplay(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripCached(batched), stripCached(legacy)) {
+		t.Error("fan-out scheduler diverges from the per-point scheduler")
+	}
+	bt, lt := batched.Traces, legacy.Traces
+	if bt.FanOutPasses == 0 || bt.FanOutSinks == 0 || bt.FanOutDeliveries == 0 {
+		t.Errorf("batched sweep reported no fan-out work: %+v", bt)
+	}
+	if lt.FanOutPasses != 0 || lt.FanOutSinks != 0 {
+		t.Errorf("legacy sweep reported fan-out work: %+v", lt)
+	}
+	// 4 points x 3 techniques over 2 workloads: the fan-out must feed all
+	// 12 sinks with at most one pass per (workload, shard).
+	if bt.FanOutSinks != 12 || bt.FanOutPasses > 6 {
+		t.Errorf("fan-out shape = %d sinks / %d passes, want 12 sinks in <= 6 passes",
+			bt.FanOutSinks, bt.FanOutPasses)
+	}
+	if bt.Replays != len(batched.Points) || bt.Captures != len(space.Workloads) {
+		t.Errorf("batched trace stats = %+v, want %d replays / %d captures",
+			bt, len(batched.Points), len(space.Workloads))
+	}
+}

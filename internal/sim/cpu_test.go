@@ -251,7 +251,7 @@ func TestFetchEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rec trace.Recorder
+	var rec trace.Buffer
 	c := New()
 	c.Fetch = &rec
 	c.LoadProgram(p, stackTop)
@@ -269,26 +269,26 @@ func TestFetchEvents(t *testing.T) {
 		{0x10020, trace.KindBranch, 0x14}, // jal fn: base=0x1000c, disp=0x14
 		{0x10010, trace.KindLink, 0},      // ret to 0x10010
 	}
-	if len(rec.Fetches) != len(wants) {
-		t.Fatalf("got %d fetches: %+v", len(rec.Fetches), rec.Fetches)
+	if len(rec.Fetches()) != len(wants) {
+		t.Fatalf("got %d fetches: %+v", len(rec.Fetches()), rec.Fetches())
 	}
 	for i, w := range wants {
-		ev := rec.Fetches[i]
+		ev := rec.Fetches()[i]
 		if ev.Addr != w.addr || ev.Kind != w.kind || ev.Disp != w.disp {
 			t.Errorf("fetch %d: got addr=%#x kind=%v disp=%d, want addr=%#x kind=%v disp=%d",
 				i, ev.Addr, ev.Kind, ev.Disp, w.addr, w.kind, w.disp)
 		}
 	}
-	if !rec.Fetches[0].First {
+	if !rec.Fetches()[0].First {
 		t.Error("first fetch not flagged")
 	}
 	// jal fn: base must be the branch address.
-	if rec.Fetches[2].Base != 0x1000c {
-		t.Errorf("branch base = %#x", rec.Fetches[2].Base)
+	if rec.Fetches()[2].Base != 0x1000c {
+		t.Errorf("branch base = %#x", rec.Fetches()[2].Base)
 	}
 	// Cycle count equals number of packet fetches.
-	if c.Cycles != uint64(len(rec.Fetches)) {
-		t.Errorf("cycles = %d, want %d", c.Cycles, len(rec.Fetches))
+	if c.Cycles != uint64(len(rec.Fetches())) {
+		t.Errorf("cycles = %d, want %d", c.Cycles, len(rec.Fetches()))
 	}
 }
 
@@ -307,7 +307,7 @@ func TestDataEvents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rec trace.Recorder
+	var rec trace.Buffer
 	c := New()
 	c.Data = &rec
 	c.LoadProgram(p, stackTop)
@@ -326,11 +326,11 @@ func TestDataEvents(t *testing.T) {
 		{buf + 8, 8, true, 4},
 		{buf - 1, -1, false, 1},
 	}
-	if len(rec.Datas) != len(wants) {
-		t.Fatalf("got %d data events", len(rec.Datas))
+	if len(rec.Datas()) != len(wants) {
+		t.Fatalf("got %d data events", len(rec.Datas()))
 	}
 	for i, w := range wants {
-		ev := rec.Datas[i]
+		ev := rec.Datas()[i]
 		if ev.Addr != w.addr || ev.Disp != w.disp || ev.Store != w.store || ev.Size != w.size {
 			t.Errorf("data %d: got %+v want %+v", i, ev, w)
 		}
@@ -354,7 +354,7 @@ func TestIntraPacketBranchNoFetch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var rec trace.Recorder
+	var rec trace.Buffer
 	c := New()
 	c.Fetch = &rec
 	c.LoadProgram(p, stackTop)
@@ -362,12 +362,12 @@ func TestIntraPacketBranchNoFetch(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Expected packets: 0x10000, 0x10008 (loop runs within), 0x10010.
-	if len(rec.Fetches) != 3 {
-		t.Fatalf("fetches: %+v", rec.Fetches)
+	if len(rec.Fetches()) != 3 {
+		t.Fatalf("fetches: %+v", rec.Fetches())
 	}
 	// Final packet reached by an untaken branch: sequential.
-	if rec.Fetches[2].Kind != trace.KindSeq {
-		t.Errorf("final fetch kind = %v", rec.Fetches[2].Kind)
+	if rec.Fetches()[2].Kind != trace.KindSeq {
+		t.Errorf("final fetch kind = %v", rec.Fetches()[2].Kind)
 	}
 }
 

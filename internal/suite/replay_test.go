@@ -2,10 +2,14 @@ package suite
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 
+	"waymemo/internal/cache"
+	"waymemo/internal/stats"
+	"waymemo/internal/trace"
 	"waymemo/internal/workloads"
 )
 
@@ -227,5 +231,90 @@ func TestTraceCacheMaxInstrsKeyed(t *testing.T) {
 	small.MaxInstrs = 1000
 	if _, err := Run(ctx, WithWorkloads(small), WithTraceCache(tc)); err == nil {
 		t.Fatal("budget-limited workload replayed a full-length capture")
+	}
+}
+
+// TestFanOutReplayEquivalence is the batched fan-out contract: one
+// ReplayAll pass feeding every technique (suite.Run's default replay path)
+// must produce byte-identical counters and power to independent per-sink
+// Replay calls (WithBatchReplay(false)) and to live execution — for all
+// eight standard techniques of both domains, across a geometry grid, on a
+// synthetic workload spec.
+func TestFanOutReplayEquivalence(t *testing.T) {
+	ctx := context.Background()
+	w, err := workloads.ByName("synth:pchase,fp=8KiB,stride=64,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	geos := []cache.Config{
+		{Sets: 128, Ways: 1, LineBytes: 16},
+		{Sets: 256, Ways: 2, LineBytes: 32},
+		{Sets: 512, Ways: 4, LineBytes: 32},
+	}
+	tc := NewTraceCache()
+	for _, geo := range geos {
+		live, err := Run(ctx, WithWorkloads(w), WithGeometry(geo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(live.Benchmarks[0].D) + len(live.Benchmarks[0].I); n != 8 {
+			t.Fatalf("standard registry has %d techniques, want 8", n)
+		}
+		batched, err := Run(ctx, WithWorkloads(w), WithGeometry(geo), WithTraceCache(tc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		perSink, err := Run(ctx, WithWorkloads(w), WithGeometry(geo),
+			WithTraceCache(tc), WithBatchReplay(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsEqual(t, live, batched)
+		assertResultsEqual(t, live, perSink)
+	}
+	st := tc.Stats()
+	if st.Captures != 1 {
+		t.Fatalf("geometry sweep re-executed the workload: %+v", st)
+	}
+	// Every batched pass fed all eight techniques from one stream walk.
+	if st.FanOutPasses != len(geos) || st.SinksPerPass() != 8 {
+		t.Fatalf("fan-out stats = %+v, want %d passes of 8 sinks", st, len(geos))
+	}
+	if st.FanOutEvents <= 0 || st.FanOutDeliveries <= st.FanOutEvents {
+		t.Fatalf("fan-out accounting degenerate: %+v", st)
+	}
+}
+
+// TestFanOutCancellationMidReplay: a context cancelled while a fan-out pass
+// is streaming surfaces as an error from Run, not as silently truncated
+// counters.
+func TestFanOutCancellationMidReplay(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ws := raceWorkloads(t)[:1]
+	tc := NewTraceCache()
+	if _, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc)); err != nil {
+		t.Fatal(err)
+	}
+	// An ad hoc technique whose sink cancels the sweep partway through the
+	// replayed stream.
+	seen := 0
+	canceller := Technique{ID: "canceller", Domain: Data, Desc: "cancels mid-replay",
+		New: func(geo cache.Config) Instance {
+			return Instance{
+				Data: trace.DataFunc(func(trace.DataEvent) {
+					seen++
+					if seen == 64 {
+						cancel()
+					}
+				}),
+				Stats: &stats.Counters{},
+			}
+		}}
+	orig, _ := Lookup(Data, DOrig)
+	_, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc),
+		WithTechniques(canceller, orig))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fan-out run: err = %v", err)
 	}
 }

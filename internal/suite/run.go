@@ -71,6 +71,7 @@ type options struct {
 	packetBytes   uint32
 	progress      func(Progress)
 	traceCache    *TraceCache
+	noBatch       bool
 }
 
 // Option configures Run.
@@ -126,6 +127,19 @@ func WithProgress(fn func(Progress)) Option {
 // replays trust the capture and skip it.
 func WithTraceCache(tc *TraceCache) Option {
 	return func(o *options) { o.traceCache = tc }
+}
+
+// WithBatchReplay toggles the batched fan-out replay path (default on).
+// Batched, a replayed benchmark makes one pass over its capture and feeds
+// every technique's sink block by block (trace.Buffer.ReplayAll), so the
+// trace streams through memory once however many techniques are attached.
+// Off, each sink replays the capture independently through the per-event
+// interfaces — the legacy path the batch adapter shim reproduces, kept as
+// an escape hatch and as the reference the golden equivalence tests compare
+// against. Results are bit-identical either way. Ignored without a trace
+// cache (live execution always tees each event to every sink).
+func WithBatchReplay(on bool) Option {
+	return func(o *options) { o.noBatch = !on }
 }
 
 // Run executes every selected workload with every selected technique
@@ -219,13 +233,31 @@ func runOne(ctx context.Context, w workloads.Workload, techs []Technique, o opti
 		}
 	}
 	if o.traceCache != nil {
+		if !o.noBatch {
+			// Batched fan-out: one pass over the capture feeds every sink
+			// per block, so the trace streams through memory once for the
+			// whole technique set.
+			pairs := make([]trace.SinkPair, 0, len(fetchSinks)+len(dataSinks))
+			for _, s := range fetchSinks {
+				pairs = append(pairs, trace.SinkPair{Fetch: s})
+			}
+			for _, s := range dataSinks {
+				pairs = append(pairs, trace.SinkPair{Data: s})
+			}
+			c, err := o.traceCache.FanOut(ctx, w, o.packetBytes, pairs, 1)
+			if err != nil {
+				return br, err
+			}
+			br.Cycles, br.Instrs = c.Cycles, c.Instrs
+			return br, nil
+		}
 		ent, err := o.traceCache.get(ctx, w, o.packetBytes)
 		if err != nil {
 			return br, err
 		}
-		// Replay the packed stream once per sink rather than once through a
-		// tee: each controller's tables stay hot in cache while the buffer
-		// streams past, which is measurably faster than interleaving them.
+		// Legacy per-event path: replay the packed stream once per sink, so
+		// each controller's tables stay hot while the buffer streams past —
+		// at the cost of streaming (and decoding) the buffer once per sink.
 		for _, s := range fetchSinks {
 			if err := ent.buf.Replay(ctx, s, nil); err != nil {
 				return br, err

@@ -43,6 +43,11 @@ type TraceCache struct {
 	captures  atomic.Int64
 	diskLoads atomic.Int64
 	replays   atomic.Int64
+
+	fanPasses     atomic.Int64
+	fanSinks      atomic.Int64
+	fanEvents     atomic.Int64
+	fanDeliveries atomic.Int64
 }
 
 // traceKey identifies one captured execution. maxInstrs (defaulted) is part
@@ -73,8 +78,30 @@ type TraceCacheStats struct {
 	// DiskLoads is the number of captures reloaded from spill files.
 	DiskLoads int
 	// Replays is the number of benchmark runs served by replaying a
-	// capture instead of executing.
+	// capture instead of executing. One batched fan-out pass can serve many
+	// runs (every grid point of a sharded sweep task counts).
 	Replays int
+
+	// FanOutPasses counts batched fan-out passes over a capture, and
+	// FanOutSinks the technique sinks those passes fed, so
+	// FanOutSinks/FanOutPasses is the average fan-out width — how many
+	// techniques each streaming of a trace paid for.
+	FanOutPasses int
+	FanOutSinks  int
+	// FanOutEvents is the number of events the passes walked (counted once
+	// per pass); FanOutDeliveries the per-sink deliveries those walks
+	// produced (each pass delivers its fetch stream to every fetch sink and
+	// its data stream to every data sink).
+	FanOutEvents     int64
+	FanOutDeliveries int64
+}
+
+// SinksPerPass returns the average batched fan-out width, 0 before any pass.
+func (s TraceCacheStats) SinksPerPass() float64 {
+	if s.FanOutPasses == 0 {
+		return 0
+	}
+	return float64(s.FanOutSinks) / float64(s.FanOutPasses)
 }
 
 // NewTraceCache returns an in-memory trace cache.
@@ -100,10 +127,66 @@ func NewDirTraceCache(dir string) (*TraceCache, error) {
 // Stats returns the cache's request counters so far.
 func (tc *TraceCache) Stats() TraceCacheStats {
 	return TraceCacheStats{
-		Captures:  int(tc.captures.Load()),
-		DiskLoads: int(tc.diskLoads.Load()),
-		Replays:   int(tc.replays.Load()),
+		Captures:         int(tc.captures.Load()),
+		DiskLoads:        int(tc.diskLoads.Load()),
+		Replays:          int(tc.replays.Load()),
+		FanOutPasses:     int(tc.fanPasses.Load()),
+		FanOutSinks:      int(tc.fanSinks.Load()),
+		FanOutEvents:     tc.fanEvents.Load(),
+		FanOutDeliveries: tc.fanDeliveries.Load(),
 	}
+}
+
+// Capture is one captured execution, ready for fan-out replay: the packed
+// event streams plus the execution counts a BenchResult carries.
+type Capture struct {
+	Buf    *trace.Buffer
+	Cycles uint64
+	Instrs uint64
+}
+
+// Capture returns the capture for (w, packet), executing or disk-loading it
+// at most once; concurrent requests for the same pair block on one filler.
+// Callers that replay the returned buffer themselves should prefer FanOut,
+// which also keeps the cache's replay statistics honest.
+func (tc *TraceCache) Capture(ctx context.Context, w workloads.Workload, packet uint32) (Capture, error) {
+	e, err := tc.get(ctx, w, packet)
+	if err != nil {
+		return Capture{}, err
+	}
+	return Capture{Buf: e.buf, Cycles: e.cycles, Instrs: e.instrs}, nil
+}
+
+// FanOut replays the capture for (w, packet) to every registered pair in a
+// single batched pass over the trace (trace.Buffer.ReplayAll), capturing or
+// disk-loading it first if needed. runs is the number of logical benchmark
+// runs the pass serves — suite.Run passes 1 per workload, a sharded explore
+// task passes its grid-point count — and is what Stats().Replays advances
+// by, so the counter keeps meaning "benchmark runs served by replay"
+// however wide the fan-out is.
+func (tc *TraceCache) FanOut(ctx context.Context, w workloads.Workload, packet uint32, pairs []trace.SinkPair, runs int) (Capture, error) {
+	c, err := tc.Capture(ctx, w, packet)
+	if err != nil {
+		return Capture{}, err
+	}
+	if err := c.Buf.ReplayAll(ctx, pairs); err != nil {
+		return Capture{}, err
+	}
+	var deliveries int64
+	for _, p := range pairs {
+		if p.Fetch != nil {
+			deliveries += int64(c.Buf.NumFetches())
+		}
+		if p.Data != nil {
+			deliveries += int64(c.Buf.NumDatas())
+		}
+	}
+	tc.replays.Add(int64(runs))
+	tc.fanPasses.Add(1)
+	tc.fanSinks.Add(int64(len(pairs)))
+	tc.fanEvents.Add(int64(c.Buf.Len()))
+	tc.fanDeliveries.Add(deliveries)
+	return c, nil
 }
 
 // get returns the capture for (w, packet), executing it at most once per

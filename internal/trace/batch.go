@@ -1,0 +1,67 @@
+package trace
+
+// Batch sink interfaces for the fan-out replay engine.
+//
+// The per-event FetchSink/DataSink interfaces cost one dynamic dispatch per
+// event per sink, which dominates replay once the simulator itself is out of
+// the loop. The batch interfaces move the dispatch boundary up to one call
+// per decoded event block: Buffer.ReplayAll unpacks each column chunk into a
+// []FetchEvent / []DataEvent block once and hands the same block to every
+// registered sink, so a controller's inner loop is a devirtualized slice
+// walk over its own precomputed shift/mask fields instead of an interface
+// call per event.
+//
+// The event slices a batch sink receives are owned by the replay engine and
+// are only valid for the duration of the call: they are reused for the next
+// block. Sinks must consume them synchronously and must not retain them.
+
+// FetchBatchSink consumes instruction-fetch events one block at a time, in
+// stream order. Implement it alongside OnFetch on hot controllers; sinks
+// that only implement the per-event FetchSink are adapted transparently by
+// BatchFetchSink.
+type FetchBatchSink interface {
+	OnFetchBatch(evs []FetchEvent)
+}
+
+// DataBatchSink consumes data-access events one block at a time, in stream
+// order.
+type DataBatchSink interface {
+	OnDataBatch(evs []DataEvent)
+}
+
+// BatchFetchSink returns s's native batch implementation when it has one,
+// and otherwise wraps s in the legacy adapter shim, which unrolls each block
+// into per-event OnFetch calls in order — so any FetchSink, however old, can
+// join a batched fan-out pass with unchanged semantics.
+func BatchFetchSink(s FetchSink) FetchBatchSink {
+	if b, ok := s.(FetchBatchSink); ok {
+		return b
+	}
+	return fetchShim{s}
+}
+
+// BatchDataSink is BatchFetchSink for the data stream.
+func BatchDataSink(s DataSink) DataBatchSink {
+	if b, ok := s.(DataBatchSink); ok {
+		return b
+	}
+	return dataShim{s}
+}
+
+// fetchShim adapts a per-event sink to the batch interface.
+type fetchShim struct{ s FetchSink }
+
+func (sh fetchShim) OnFetchBatch(evs []FetchEvent) {
+	for i := range evs {
+		sh.s.OnFetch(evs[i])
+	}
+}
+
+// dataShim adapts a per-event sink to the batch interface.
+type dataShim struct{ s DataSink }
+
+func (sh dataShim) OnDataBatch(evs []DataEvent) {
+	for i := range evs {
+		sh.s.OnData(evs[i])
+	}
+}

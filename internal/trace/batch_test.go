@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// eventLog is the legacy per-event test double: it implements only the
+// per-event FetchSink/DataSink interfaces, never the batch ones, so batched
+// replays can only reach it through the adapter shim.
+type eventLog struct {
+	Fetches []FetchEvent
+	Datas   []DataEvent
+}
+
+func (l *eventLog) OnFetch(ev FetchEvent) { l.Fetches = append(l.Fetches, ev) }
+func (l *eventLog) OnData(ev DataEvent)   { l.Datas = append(l.Datas, ev) }
+
+// batchLog records batch deliveries natively, remembering block boundaries.
+type batchLog struct {
+	eventLog
+	fetchBlocks []int
+	dataBlocks  []int
+}
+
+func (l *batchLog) OnFetchBatch(evs []FetchEvent) {
+	l.fetchBlocks = append(l.fetchBlocks, len(evs))
+	l.Fetches = append(l.Fetches, evs...)
+}
+
+func (l *batchLog) OnDataBatch(evs []DataEvent) {
+	l.dataBlocks = append(l.dataBlocks, len(evs))
+	l.Datas = append(l.Datas, evs...)
+}
+
+// TestBatchSinkAdapters: native batch sinks pass through unchanged, legacy
+// sinks get the shim, and the shim preserves per-event order.
+func TestBatchSinkAdapters(t *testing.T) {
+	var native batchLog
+	if got := BatchFetchSink(&native); got != FetchBatchSink(&native) {
+		t.Error("native fetch batch sink was wrapped")
+	}
+	if got := BatchDataSink(&native); got != DataBatchSink(&native) {
+		t.Error("native data batch sink was wrapped")
+	}
+
+	var legacy eventLog
+	fb := BatchFetchSink(&legacy)
+	fb.OnFetchBatch([]FetchEvent{{Addr: 8}, {Addr: 16}})
+	db := BatchDataSink(&legacy)
+	db.OnDataBatch([]DataEvent{{Addr: 4, Size: 4}})
+	if len(legacy.Fetches) != 2 || legacy.Fetches[1].Addr != 16 || len(legacy.Datas) != 1 {
+		t.Fatalf("shim delivery mismatch: %+v", legacy)
+	}
+}
+
+// checkFetchStream fails the test unless the sink saw exactly the buffer's
+// fetch stream, in order.
+func checkFetchStream(t *testing.T, b *Buffer, got []FetchEvent) {
+	t.Helper()
+	want := b.Fetches()
+	if len(got) != len(want) {
+		t.Fatalf("fetch stream length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fetch %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// checkDataStream is checkFetchStream for the data stream.
+func checkDataStream(t *testing.T, b *Buffer, got []DataEvent) {
+	t.Helper()
+	want := b.Datas()
+	if len(got) != len(want) {
+		t.Fatalf("data stream length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("data %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// checkSameStreams fails the test unless the sink saw exactly both
+// reference streams, in order.
+func checkSameStreams(t *testing.T, b *Buffer, gotF []FetchEvent, gotD []DataEvent) {
+	t.Helper()
+	checkFetchStream(t, b, gotF)
+	checkDataStream(t, b, gotD)
+}
+
+// TestReplayAllFanOutEquivalence: one ReplayAll pass over K mixed sinks
+// (native batch and legacy shimmed) delivers to every sink exactly what K
+// independent per-event replays would, across chunk and block boundaries.
+func TestReplayAllFanOutEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var b Buffer
+	fillRandom(r, chunkLen+3*batchLen+17, &b, &b)
+
+	var native batchLog
+	var legacy eventLog
+	var fetchOnly eventLog
+	var dataOnly eventLog
+	err := b.ReplayAll(context.Background(), []SinkPair{
+		{Fetch: &native, Data: &native},
+		{Fetch: &legacy, Data: &legacy},
+		{Fetch: &fetchOnly},
+		{Data: &dataOnly},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameStreams(t, &b, native.Fetches, native.Datas)
+	checkSameStreams(t, &b, legacy.Fetches, legacy.Datas)
+	checkFetchStream(t, &b, fetchOnly.Fetches)
+	if len(fetchOnly.Datas) != 0 || len(dataOnly.Fetches) != 0 {
+		t.Fatal("single-stream sinks received the other stream")
+	}
+	checkDataStream(t, &b, dataOnly.Datas)
+	for _, n := range native.fetchBlocks {
+		if n < 1 || n > batchLen {
+			t.Fatalf("fetch block of %d events", n)
+		}
+	}
+}
+
+// TestReplayAllCancelMidFanOut: cancelling the context from inside a sink
+// stops the fan-out between blocks — the error surfaces, no sink sees the
+// full stream, and all sinks of the pass stop at the same block boundary.
+func TestReplayAllCancelMidFanOut(t *testing.T) {
+	var b Buffer
+	total := 3 * batchLen
+	for i := 0; i < total; i++ {
+		b.OnFetch(FetchEvent{Addr: uint32(i) * 8})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var first eventLog
+	cancelling := FetchFunc(func(ev FetchEvent) {
+		if ev.Addr == uint32(batchLen+1)*8 { // inside the second block
+			cancel()
+		}
+	})
+	var last eventLog
+	err := b.ReplayAll(ctx, []SinkPair{
+		{Fetch: &first},
+		{Fetch: cancelling},
+		{Fetch: &last},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled fan-out: err = %v", err)
+	}
+	if len(first.Fetches) >= total || len(last.Fetches) >= total {
+		t.Fatalf("cancelled fan-out delivered full streams: %d/%d of %d",
+			len(first.Fetches), len(last.Fetches), total)
+	}
+	// The block in flight when cancel fired still completes for every sink:
+	// sinks never diverge by more than a block boundary.
+	if len(first.Fetches) != len(last.Fetches) {
+		t.Fatalf("sinks diverged: %d vs %d events", len(first.Fetches), len(last.Fetches))
+	}
+	if len(first.Fetches)%batchLen != 0 {
+		t.Fatalf("delivery stopped mid-block: %d events", len(first.Fetches))
+	}
+}
+
+// buildInterleaved records nf fetch and nd data events in a deterministic
+// seeded interleaving, returning the buffer.
+func buildInterleaved(seed int64, nf, nd int) *Buffer {
+	r := rand.New(rand.NewSource(seed))
+	var b Buffer
+	for nf > 0 || nd > 0 {
+		if nd == 0 || (nf > 0 && r.Intn(2) == 0) {
+			b.OnFetch(randFetch(r))
+			nf--
+		} else {
+			b.OnData(randData(r))
+			nd--
+		}
+	}
+	return &b
+}
+
+// FuzzBatchShimOrder is the adapter-shim ordering property: for arbitrary
+// stream lengths — hitting every alignment of chunk and block boundaries —
+// a batched fan-out through the legacy shim delivers exactly the per-event
+// reference streams, in order, to every sink of the pass.
+func FuzzBatchShimOrder(f *testing.F) {
+	f.Add(int64(1), uint16(0), uint16(0))
+	f.Add(int64(2), uint16(1), uint16(1))
+	f.Add(int64(3), uint16(batchLen-1), uint16(batchLen+1))
+	f.Add(int64(4), uint16(batchLen), uint16(2*batchLen))
+	f.Add(int64(5), uint16(3*batchLen/2), uint16(batchLen/3))
+	f.Fuzz(func(t *testing.T, seed int64, nfRaw, ndRaw uint16) {
+		// Cap the stream lengths so a fuzz execution stays fast; block
+		// boundaries repeat every batchLen events, so two blocks' worth of
+		// slack explores every alignment.
+		nf := int(nfRaw) % (2*batchLen + 3)
+		nd := int(ndRaw) % (2*batchLen + 3)
+		b := buildInterleaved(seed, nf, nd)
+		var viaShim eventLog
+		var native batchLog
+		if err := b.ReplayAll(context.Background(), []SinkPair{
+			{Fetch: &viaShim, Data: &viaShim},
+			{Fetch: &native, Data: &native},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		checkSameStreams(t, b, viaShim.Fetches, viaShim.Datas)
+		checkSameStreams(t, b, native.Fetches, native.Datas)
+	})
+}
+
+// TestBatchShimOrderAcrossChunks is the chunk-boundary case the fuzz
+// target's capped lengths cannot reach: streams longer than one 32K-event
+// column chunk, replayed through the shim, still match per-event order.
+func TestBatchShimOrderAcrossChunks(t *testing.T) {
+	b := buildInterleaved(9, chunkLen+batchLen+7, chunkLen+3)
+	var viaShim eventLog
+	if err := b.ReplayAll(context.Background(), []SinkPair{
+		{Fetch: &viaShim, Data: &viaShim},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	checkSameStreams(t, b, viaShim.Fetches, viaShim.Datas)
+}

@@ -10,7 +10,9 @@ import (
 // built for the execute-once / replay-many pattern: the simulator runs a
 // workload once with the Buffer attached as both sinks, and the captured
 // streams are then replayed to any number of cache techniques and geometries
-// without re-executing a single instruction.
+// without re-executing a single instruction — all of them in one batched
+// pass over the storage (ReplayAll), so the capture streams through memory
+// once per sweep, not once per technique.
 //
 // Events are packed into fixed-size column chunks (structure-of-arrays, 21
 // bytes per fetch event and 13 per data event instead of the 24/16 of the
@@ -153,28 +155,93 @@ func (b *Buffer) DataAt(i int) DataEvent {
 	}
 }
 
-// Replay feeds both recorded streams to the sinks (either may be nil),
-// checking ctx between chunks so a sweep can be cancelled mid-replay. The
-// two streams are replayed back to back, not interleaved: every sink in
+// SinkPair registers one consumer's sinks for a fan-out replay pass. Either
+// sink may be nil; every technique in this repository consumes exactly one
+// stream.
+type SinkPair struct {
+	Fetch FetchSink
+	Data  DataSink
+}
+
+// batchLen is the number of events decoded per fan-out block: large enough
+// that the one dynamic dispatch per block per sink is noise, small enough
+// that the decoded block (~96KB of fetch events) stays resident in L2 while
+// every sink of the pass walks it.
+const batchLen = 4096
+
+// Replay feeds both recorded streams to the sinks (either may be nil). It
+// is ReplayAll over a single pair; see ReplayAll for ordering and
+// cancellation semantics.
+func (b *Buffer) Replay(ctx context.Context, fetch FetchSink, data DataSink) error {
+	return b.ReplayAll(ctx, []SinkPair{{Fetch: fetch, Data: data}})
+}
+
+// ReplayAll fans the capture out to every registered sink in a single pass:
+// each column chunk is decoded into event blocks once, and each block is
+// handed to all sinks (native batch sinks directly, legacy per-event sinks
+// through the adapter shim) before the next block is touched — so an
+// N-technique sweep streams the buffer once instead of N times and the hot
+// block stays cache-resident. Per-sink event order is exactly capture
+// order, identical to N independent Replay calls.
+//
+// The two streams are replayed back to back, not interleaved: every sink in
 // this repository consumes exactly one stream, so per-stream order — which
 // is preserved exactly — is the only order that matters. Use WriteTo for a
 // faithful program-order interleaving.
-func (b *Buffer) Replay(ctx context.Context, fetch FetchSink, data DataSink) error {
-	if fetch != nil {
-		if err := b.replayFetch(ctx, fetch); err != nil {
+//
+// ctx is checked between blocks, so a sweep cancels mid-fan-out with at
+// most one partial block delivered.
+func (b *Buffer) ReplayAll(ctx context.Context, sinks []SinkPair) error {
+	var fetch []FetchSink
+	var data []DataSink
+	for _, p := range sinks {
+		if p.Fetch != nil {
+			fetch = append(fetch, p.Fetch)
+		}
+		if p.Data != nil {
+			data = append(data, p.Data)
+		}
+	}
+	// A single sink gets the direct per-event loop: the event is built in
+	// registers and handed straight over, where the block path would round-
+	// trip every event through the decode scratch for no amortization gain
+	// (measurably slower for one consumer). Two or more sinks take the
+	// batched fan-out, where one decode pays for the whole group.
+	switch len(fetch) {
+	case 0:
+	case 1:
+		if err := b.replayFetchOne(ctx, fetch[0]); err != nil {
+			return err
+		}
+	default:
+		batch := make([]FetchBatchSink, len(fetch))
+		for i, s := range fetch {
+			batch[i] = BatchFetchSink(s)
+		}
+		if err := b.replayFetchAll(ctx, batch); err != nil {
 			return err
 		}
 	}
-	if data != nil {
-		if err := b.replayData(ctx, data); err != nil {
+	switch len(data) {
+	case 0:
+	case 1:
+		if err := b.replayDataOne(ctx, data[0]); err != nil {
+			return err
+		}
+	default:
+		batch := make([]DataBatchSink, len(data))
+		for i, s := range data {
+			batch[i] = BatchDataSink(s)
+		}
+		if err := b.replayDataAll(ctx, batch); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// replayFetch is the chunked allocation-free fetch replay loop.
-func (b *Buffer) replayFetch(ctx context.Context, s FetchSink) error {
+// replayFetchOne is the single-sink chunked per-event fetch replay loop.
+func (b *Buffer) replayFetchOne(ctx context.Context, s FetchSink) error {
 	left := b.nf
 	for _, ch := range b.fetch {
 		if err := ctx.Err(); err != nil {
@@ -196,8 +263,8 @@ func (b *Buffer) replayFetch(ctx context.Context, s FetchSink) error {
 	return nil
 }
 
-// replayData is the chunked allocation-free data replay loop.
-func (b *Buffer) replayData(ctx context.Context, s DataSink) error {
+// replayDataOne is the single-sink chunked per-event data replay loop.
+func (b *Buffer) replayDataOne(ctx context.Context, s DataSink) error {
 	left := b.nd
 	for _, ch := range b.data {
 		if err := ctx.Err(); err != nil {
@@ -216,6 +283,87 @@ func (b *Buffer) replayData(ctx context.Context, s DataSink) error {
 		left -= n
 	}
 	return nil
+}
+
+// replayFetchAll is the fetch-stream fan-out loop: decode one block, feed
+// every sink, advance.
+func (b *Buffer) replayFetchAll(ctx context.Context, sinks []FetchBatchSink) error {
+	block := make([]FetchEvent, batchLen)
+	left := b.nf
+	for _, ch := range b.fetch {
+		n := min(left, chunkLen)
+		for off := 0; off < n; off += batchLen {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			m := min(batchLen, n-off)
+			for i := 0; i < m; i++ {
+				k := ch.kind[off+i]
+				block[i] = FetchEvent{
+					Addr:  ch.addr[off+i],
+					Prev:  ch.prev[off+i],
+					Base:  ch.base[off+i],
+					Disp:  ch.disp[off+i],
+					Kind:  ControlKind(k & fetchKindMask),
+					First: k&fetchFirstFlag != 0,
+				}
+			}
+			for _, s := range sinks {
+				s.OnFetchBatch(block[:m])
+			}
+		}
+		left -= n
+	}
+	return nil
+}
+
+// replayDataAll is the data-stream fan-out loop.
+func (b *Buffer) replayDataAll(ctx context.Context, sinks []DataBatchSink) error {
+	block := make([]DataEvent, batchLen)
+	left := b.nd
+	for _, ch := range b.data {
+		n := min(left, chunkLen)
+		for off := 0; off < n; off += batchLen {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			m := min(batchLen, n-off)
+			for i := 0; i < m; i++ {
+				meta := ch.meta[off+i]
+				block[i] = DataEvent{
+					Addr:  ch.addr[off+i],
+					Base:  ch.base[off+i],
+					Disp:  ch.disp[off+i],
+					Size:  meta & dataSizeMask,
+					Store: meta&dataStoreFlag != 0,
+				}
+			}
+			for _, s := range sinks {
+				s.OnDataBatch(block[:m])
+			}
+		}
+		left -= n
+	}
+	return nil
+}
+
+// Fetches materializes the recorded fetch stream as a fresh slice — a
+// convenience for tests and tools, not the replay hot path.
+func (b *Buffer) Fetches() []FetchEvent {
+	out := make([]FetchEvent, b.nf)
+	for i := range out {
+		out[i] = b.FetchAt(i)
+	}
+	return out
+}
+
+// Datas materializes the recorded data stream as a fresh slice.
+func (b *Buffer) Datas() []DataEvent {
+	out := make([]DataEvent, b.nd)
+	for i := range out {
+		out[i] = b.DataAt(i)
+	}
+	return out
 }
 
 // countingWriter tracks bytes written through it for WriteTo's return value.

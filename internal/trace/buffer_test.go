@@ -45,7 +45,7 @@ func TestBufferCaptureAndReplay(t *testing.T) {
 			t.Fatalf("DataAt(%d) = %+v, want %+v", i, got, want)
 		}
 	}
-	var rec Recorder
+	var rec eventLog
 	if err := b.Replay(context.Background(), &rec, &rec); err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestBufferReplayCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	var rec Recorder
+	var rec eventLog
 	if err := b.Replay(ctx, &rec, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled replay: err = %v", err)
 	}
@@ -164,7 +164,7 @@ func TestWriterCloseSemantics(t *testing.T) {
 	if written <= len(fileMagic) {
 		t.Fatal("Close did not flush the buffered record")
 	}
-	var check Recorder
+	var check eventLog
 	if err := ReadAll(bytes.NewReader(under.Bytes()), &check, &check); err != nil {
 		t.Fatal(err)
 	}

@@ -104,32 +104,6 @@ func DataTee(sinks ...DataSink) DataSink {
 	})
 }
 
-// Recorder captures both streams for trace-driven replay in tests.
-type Recorder struct {
-	Fetches []FetchEvent
-	Datas   []DataEvent
-}
-
-// OnFetch appends ev to the recorded fetch stream.
-func (r *Recorder) OnFetch(ev FetchEvent) { r.Fetches = append(r.Fetches, ev) }
-
-// OnData appends ev to the recorded data stream.
-func (r *Recorder) OnData(ev DataEvent) { r.Datas = append(r.Datas, ev) }
-
-// ReplayFetches feeds a recorded fetch stream to a sink.
-func ReplayFetches(evs []FetchEvent, s FetchSink) {
-	for _, ev := range evs {
-		s.OnFetch(ev)
-	}
-}
-
-// ReplayDatas feeds a recorded data stream to a sink.
-func ReplayDatas(evs []DataEvent, s DataSink) {
-	for _, ev := range evs {
-		s.OnData(ev)
-	}
-}
-
 // FlowCase is the four-way classification of instruction flow from Section 2
 // of the paper (Panwar & Rennels' taxonomy).
 type FlowCase uint8
@@ -161,18 +135,22 @@ func (c FlowCase) String() string {
 }
 
 // Classify maps a fetch event onto the paper's four flow cases given the
-// cache line size. Indirect jumps classify as non-sequential.
+// cache line size, which must be a power of two (cache.Config validates
+// this for every geometry in the system). Indirect jumps classify as
+// non-sequential.
 func Classify(ev FetchEvent, lineBytes uint32) FlowCase {
-	sameLine := ev.Addr/lineBytes == ev.Prev/lineBytes
-	seq := ev.Kind == KindSeq
-	switch {
-	case sameLine && seq:
-		return IntraSeq
-	case sameLine:
-		return IntraNonSeq
-	case seq:
-		return InterSeq
-	default:
-		return InterNonSeq
+	// Every I-cache controller classifies every fetch, so this compiles
+	// down to straight-line arithmetic: the same-line test is a mask, not
+	// two hardware divisions by the runtime-variable line size, and the
+	// case is assembled from the two predicates (inter adds 2, non-seq adds
+	// 1 — exactly the FlowCase encoding) instead of a data-dependent branch
+	// tree that mispredicts on irregular control flow.
+	c := IntraSeq
+	if (ev.Addr^ev.Prev)&^(lineBytes-1) != 0 {
+		c = InterSeq
 	}
+	if ev.Kind != KindSeq {
+		c++ // IntraSeq→IntraNonSeq, InterSeq→InterNonSeq
+	}
+	return c
 }

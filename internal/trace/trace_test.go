@@ -9,7 +9,7 @@ import (
 )
 
 func TestTeeFanout(t *testing.T) {
-	var a, b Recorder
+	var a, b eventLog
 	tee := FetchTee(&a, &b)
 	tee.OnFetch(FetchEvent{Addr: 0x100})
 	if len(a.Fetches) != 1 || len(b.Fetches) != 1 {
@@ -19,20 +19,6 @@ func TestTeeFanout(t *testing.T) {
 	dt.OnData(DataEvent{Addr: 0x200})
 	if len(a.Datas) != 1 || len(b.Datas) != 1 {
 		t.Fatal("data tee did not fan out")
-	}
-}
-
-func TestReplay(t *testing.T) {
-	evs := []FetchEvent{{Addr: 1}, {Addr: 2}, {Addr: 3}}
-	var r Recorder
-	ReplayFetches(evs, &r)
-	if len(r.Fetches) != 3 || r.Fetches[2].Addr != 3 {
-		t.Fatal("replay mismatch")
-	}
-	des := []DataEvent{{Addr: 4}, {Addr: 5}}
-	ReplayDatas(des, &r)
-	if len(r.Datas) != 2 {
-		t.Fatal("data replay mismatch")
 	}
 }
 
@@ -98,7 +84,7 @@ func TestFileRoundTrip(t *testing.T) {
 	if err := w.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	var got Recorder
+	var got eventLog
 	if err := ReadAll(&buf, &got, &got); err != nil {
 		t.Fatal(err)
 	}

@@ -7,7 +7,12 @@
 //
 //   - suite_live_ms: one full seven-benchmark suite pass, every technique
 //     attached, live execution (the cost of regenerating Figures 4-8);
-//   - suite_replay_ms: the same pass replayed from a warm trace cache;
+//   - suite_replay_ms: the same pass replayed from a warm trace cache on
+//     the legacy path — one per-event pass per technique sink;
+//   - suite_replay_batched_ms: the same warm pass on the batched fan-out
+//     engine — one pass per workload feeding all eight techniques — plus
+//     fanout_sinks_per_pass (fan-out width) and fanout_events_per_sec
+//     (per-sink event deliveries over the batched pass's wall time);
 //   - explore_live_ms / explore_shared_ms: a cold multi-geometry
 //     design-space sweep (24 geometries × 2 workloads) with the
 //     execute-once / replay-many engine off and on;
@@ -15,16 +20,19 @@
 //
 // Usage:
 //
-//	go run ./tools/benchrec [-o BENCH_3.json] [-j N]
-//	go run ./tools/benchrec -o /tmp/bench.json -compare BENCH_3.json -tolerance 20%
+//	go run ./tools/benchrec [-o BENCH_5.json] [-j N]
+//	go run ./tools/benchrec -o /tmp/bench.json -compare BENCH_5.json -tolerance 20%
 //
 // With -compare, the run additionally gates against a committed baseline:
-// the machine-portable ratio metrics — the suite replay rate (live time /
-// replay time) and the explore trace-sharing speedup — must not fall more
-// than -tolerance below the baseline's, or the process exits nonzero. The
-// absolute millisecond timings are never gated (they track the machine, not
-// the code); the ratios cancel machine speed out, which is what lets CI
-// compare its run against a number recorded elsewhere.
+// the machine-portable ratio metrics — the suite replay rates (live time
+// over per-sink replay time, and live time over batched replay time) and
+// the explore trace-sharing speedup — must not fall more than -tolerance
+// below the baseline's, or the process exits nonzero. Metrics a baseline
+// predates (BENCH_3 has no batched replay) are skipped, so the gate works
+// against any committed BENCH_<n>.json. The absolute millisecond timings
+// are never gated (they track the machine, not the code); the ratios cancel
+// machine speed out, which is what lets CI compare its run against a number
+// recorded elsewhere.
 package main
 
 import (
@@ -51,7 +59,13 @@ type record struct {
 	Parallel   int     `json:"parallelism"`
 	SuiteLive  float64 `json:"suite_live_ms"`
 	SuiteRepl  float64 `json:"suite_replay_ms"`
-	Explore    struct {
+	// SuiteReplBatched times the warm suite pass on the batched fan-out
+	// engine; SinksPerPass and EventsPerSec describe that pass's fan-out
+	// shape and delivery throughput (absent from pre-batching baselines).
+	SuiteReplBatched float64 `json:"suite_replay_batched_ms,omitempty"`
+	SinksPerPass     float64 `json:"fanout_sinks_per_pass,omitempty"`
+	EventsPerSec     float64 `json:"fanout_events_per_sec,omitempty"`
+	Explore          struct {
 		Geometries int     `json:"geometries"`
 		Workloads  int     `json:"workloads"`
 		Points     int     `json:"points"`
@@ -74,8 +88,18 @@ func timeIt(name string, f func() error) float64 {
 }
 
 // replayRate is the suite's execute-once / replay-many win: live suite
-// time over warm replay time.
+// time over warm per-sink replay time.
 func (r *record) replayRate() float64 { return r.SuiteLive / r.SuiteRepl }
+
+// batchedReplayRate is the batched fan-out engine's win: live suite time
+// over warm batched replay time (0 for baselines that predate batching,
+// which the compare gate skips).
+func (r *record) batchedReplayRate() float64 {
+	if r.SuiteReplBatched == 0 {
+		return 0
+	}
+	return r.SuiteLive / r.SuiteReplBatched
+}
 
 // parseTolerance accepts "20%" or "0.2".
 func parseTolerance(s string) (float64, error) {
@@ -123,6 +147,7 @@ func compareBaseline(cur *record, baselinePath string, tol float64) error {
 			name, got, want, floor, ok)
 	}
 	check("suite-replay-rate", cur.replayRate(), base.replayRate())
+	check("suite-replay-batched-rate", cur.batchedReplayRate(), base.batchedReplayRate())
 	check("explore-speedup", cur.Explore.Speedup, base.Explore.Speedup)
 	if regressions != nil {
 		return fmt.Errorf("ratio regressions vs %s: %s", baselinePath, strings.Join(regressions, "; "))
@@ -131,7 +156,7 @@ func compareBaseline(cur *record, baselinePath string, tol float64) error {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_3.json", "output file")
+	out := flag.String("o", "BENCH_5.json", "output file")
 	par := flag.Int("j", 0, "parallelism passed to the runners (0 = GOMAXPROCS)")
 	compare := flag.String("compare", "", "baseline BENCH_<n>.json `file`; exit nonzero if a ratio metric regresses beyond -tolerance")
 	tolerance := flag.String("tolerance", "20%", "allowed ratio-metric regression for -compare (\"20%\" or \"0.2\")")
@@ -167,10 +192,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchrec:", err)
 		os.Exit(1)
 	}
-	r.SuiteRepl = timeIt("suite replay (warm)", func() error {
+	r.SuiteRepl = timeIt("suite replay per-sink (warm)", func() error {
+		_, err := suite.Run(ctx, suite.WithParallelism(*par), suite.WithTraceCache(tc),
+			suite.WithBatchReplay(false))
+		return err
+	})
+	before := tc.Stats()
+	r.SuiteReplBatched = timeIt("suite replay batched (warm)", func() error {
 		_, err := suite.Run(ctx, suite.WithParallelism(*par), suite.WithTraceCache(tc))
 		return err
 	})
+	// Fan-out shape and delivery throughput of the batched pass alone.
+	after := tc.Stats()
+	if passes := after.FanOutPasses - before.FanOutPasses; passes > 0 {
+		r.SinksPerPass = float64(after.FanOutSinks-before.FanOutSinks) / float64(passes)
+		r.EventsPerSec = float64(after.FanOutDeliveries-before.FanOutDeliveries) /
+			(r.SuiteReplBatched / 1000)
+	}
 
 	// The same sweep bench_test.go times, so `go test -bench` and the
 	// committed numbers agree on what they measure.
