@@ -50,6 +50,7 @@ func runExplore(args []string) {
 		fmt.Fprintf(os.Stderr, "wmx explore: unexpected arguments %q\n", fs.Args())
 		os.Exit(2)
 	}
+	validateJ(fs, *par, "wmx explore")
 
 	space := explore.Space{PacketBytes: uint32(*packet)}
 	switch strings.ToLower(*domain) {

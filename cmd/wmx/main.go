@@ -10,6 +10,8 @@
 //	            [-packet N] [-cache-dir DIR] [-trace-dir DIR]
 //	            [-no-trace-share] [-replay-batch=false] [-j N] [-csv] [-md]
 //	            [-cpuprofile FILE] [-memprofile FILE]
+//	wmx serve   [-listen ADDR] [-store-dir DIR] [-store-budget SIZE] [-j N]
+//	            [-max-jobs N]
 //
 // NAME is one of: all, table1, table2, table3, fig4, fig5, fig6, fig7,
 // fig8, ablation-d, ablation-i, consistency, packet, report.
@@ -36,6 +38,13 @@
 // sweeps the workload axis:
 //
 //	wmx explore -workloads 'synth:pchase,fp=4KiB..64KiB,seed=7'
+//
+// The serve mode (default address 127.0.0.1:8077) runs the sweep daemon
+// (internal/serve): clients POST explore sweeps to /v1/sweeps, follow
+// per-point progress over server-sent events and query warm analytics;
+// identical in-flight grid points are deduplicated across clients and one
+// shared, byte-budgeted result + trace store serves everyone. See
+// tools/loadgen for the matching load harness.
 //
 // Both modes run on the execute-once / replay-many trace engine: each
 // workload is simulated once per process and its captured event stream is
@@ -74,6 +83,10 @@ func main() {
 		runExplore(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
+		return
+	}
 	exp := flag.String("exp", "all",
 		"experiment to run: "+strings.Join(expNames, ", ")+
 			" (the design-space mode is separate; see: wmx explore -h)")
@@ -86,6 +99,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	validateJ(flag.CommandLine, *par, "wmx")
 
 	which := strings.ToLower(*exp)
 	known := false

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"waymemo/internal/serve"
+)
+
+// defaultListen is the serve mode's default bind address: loopback only —
+// the daemon trusts its clients, so exposing it wider is an explicit
+// -listen choice.
+const defaultListen = "127.0.0.1:8077"
+
+// runServe is the `wmx serve` mode: boot the sweep daemon and serve until
+// interrupted.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("wmx serve", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: wmx serve [flags]")
+		fmt.Fprintln(fs.Output(), "run the sweep-as-a-service daemon: POST explore sweeps to /v1/sweeps,")
+		fmt.Fprintln(fs.Output(), "follow progress over SSE, query warm analytics; identical in-flight grid")
+		fmt.Fprintln(fs.Output(), "points are deduplicated and one budgeted store serves every client")
+		fs.PrintDefaults()
+	}
+	listen := fs.String("listen", defaultListen, "address to serve the HTTP API on")
+	storeDir := fs.String("store-dir", ".wmx-store", "shared result + trace store directory")
+	budget := fs.String("store-budget", "", "store byte budget with LRU eviction, e.g. 512MiB or 2GiB (empty = unlimited)")
+	par := fs.Int("j", 0, "grid points to simulate concurrently, across all sweeps (0 = GOMAXPROCS)")
+	maxJobs := fs.Int("max-jobs", 0, "finished sweeps kept queryable (0 = 4096)")
+	fs.Parse(args)
+	if fs.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "wmx serve: unexpected arguments %q\n", fs.Args())
+		os.Exit(2)
+	}
+	validateJ(fs, *par, "wmx serve")
+
+	budgetBytes, err := parseByteSize(*budget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmx serve: -store-budget:", err)
+		os.Exit(2)
+	}
+
+	srv, err := serve.New(serve.Config{
+		StoreDir:    *storeDir,
+		StoreBudget: budgetBytes,
+		Parallelism: *par,
+		MaxJobs:     *maxJobs,
+	})
+	exitOn(err)
+
+	ln, err := net.Listen("tcp", *listen)
+	exitOn(err)
+	hs := &http.Server{Handler: srv}
+
+	// Graceful shutdown: stop accepting, drain HTTP briefly, then cancel
+	// running sweeps. A second signal aborts the drain.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-sigs
+		fmt.Fprintln(os.Stderr, "wmx serve: shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		go func() {
+			<-sigs
+			cancel()
+		}()
+		hs.Shutdown(ctx)
+		srv.Close()
+	}()
+
+	budgetNote := "unlimited"
+	if budgetBytes > 0 {
+		budgetNote = *budget
+	}
+	fmt.Fprintf(os.Stderr, "wmx serve: listening on http://%s (store %s, budget %s)\n",
+		ln.Addr(), *storeDir, budgetNote)
+	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		exitOn(err)
+	}
+	<-done
+
+	st := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"wmx serve: served %d sweeps, %d points (%d simulated, %d store hits, %d dedup joins); "+
+			"store: %d results (%d B), %d trace files (%d B), %d+%d evictions\n",
+		st.Sweeps, st.Points, st.Simulations, st.StoreHits, st.DedupJoins,
+		st.Store.ResultEntries, st.Store.ResultBytes, st.Store.TraceFiles, st.Store.TraceBytes,
+		st.Store.ResultEvictions, st.Store.TraceEvictions)
+}
+
+// validateJ rejects worker counts that cannot mean anything: a negative -j,
+// or an explicit -j 0 (the 0 default stands for GOMAXPROCS, but writing
+// `-j 0` out is almost always a scripting bug, so it fails loudly instead
+// of silently maxing out the machine).
+func validateJ(fs *flag.FlagSet, par int, mode string) {
+	if par < 0 {
+		fmt.Fprintf(os.Stderr, "%s: -j %d: worker count must be positive\n", mode, par)
+		os.Exit(2)
+	}
+	if par == 0 {
+		explicit := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "j" {
+				explicit = true
+			}
+		})
+		if explicit {
+			fmt.Fprintf(os.Stderr, "%s: -j 0: worker count must be positive (omit -j for GOMAXPROCS)\n", mode)
+			os.Exit(2)
+		}
+	}
+}
+
+// parseByteSize parses a human byte size ("512MiB", "2GiB", "64k", plain
+// bytes). Empty means 0 (unlimited).
+func parseByteSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, sf := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+		{"KB", 1 << 10}, {"MB", 1 << 20}, {"GB", 1 << 30},
+		{"k", 1 << 10}, {"K", 1 << 10}, {"m", 1 << 20}, {"M", 1 << 20},
+		{"g", 1 << 30}, {"G", 1 << 30}, {"B", 1},
+	} {
+		if strings.HasSuffix(s, sf.suffix) {
+			mult, s = sf.mult, strings.TrimSuffix(s, sf.suffix)
+			break
+		}
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative size %d", v)
+	}
+	return v * mult, nil
+}

@@ -8,6 +8,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"time"
 
 	"waymemo/internal/cache"
 	"waymemo/internal/core"
@@ -109,11 +112,16 @@ type Cache interface {
 // point, named <key>.json. Unreadable or corrupt files are misses (the
 // point is re-simulated and the file rewritten), so a damaged cache
 // directory degrades to a cold one instead of failing the sweep.
+//
+// A DirCache is safe for concurrent use: Put is atomic (temp file +
+// rename) and Get tolerates concurrent rewrites of the same key, so many
+// sweeps — or many clients of one serve daemon — can share one directory.
 type DirCache struct {
 	dir string
 }
 
-// NewDirCache creates the directory if needed and returns a cache over it.
+// NewDirCache creates the directory — including any missing parents, so
+// nested paths like "cache/results/v1" work — and returns a cache over it.
 func NewDirCache(dir string) (*DirCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("explore: empty cache directory")
@@ -148,6 +156,78 @@ func (c *DirCache) Get(key string) (*PointResult, bool) {
 		return nil, false
 	}
 	return &r, true
+}
+
+// CacheStats describes a DirCache's on-disk footprint.
+type CacheStats struct {
+	// Entries is the number of stored grid points and Bytes their total
+	// file size. Both count only well-named entry files (<key>.json), so
+	// stray temp files from a killed writer do not inflate the accounting.
+	Entries int
+	Bytes   int64
+}
+
+// Entry describes one stored grid point, for size accounting and eviction.
+type Entry struct {
+	Key     string
+	Bytes   int64
+	ModTime time.Time
+}
+
+// Entries lists every stored grid point, oldest-modified first — the scan
+// a store's size accounting and LRU eviction start from. Files that vanish
+// mid-scan (a concurrent eviction) are skipped.
+func (c *DirCache) Entries() ([]Entry, error) {
+	des, err := os.ReadDir(c.dir)
+	if err != nil {
+		return nil, fmt.Errorf("explore: cache scan: %w", err)
+	}
+	out := make([]Entry, 0, len(des))
+	for _, de := range des {
+		key, ok := strings.CutSuffix(de.Name(), ".json")
+		if !ok || de.IsDir() {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Key: key, Bytes: info.Size(), ModTime: info.ModTime()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ModTime.Before(out[j].ModTime) })
+	return out, nil
+}
+
+// Entry stats one stored grid point; ok is false for an absent key.
+func (c *DirCache) Entry(key string) (Entry, bool) {
+	info, err := os.Stat(c.path(key))
+	if err != nil {
+		return Entry{}, false
+	}
+	return Entry{Key: key, Bytes: info.Size(), ModTime: info.ModTime()}, true
+}
+
+// Stats totals the cache's stored entries and bytes.
+func (c *DirCache) Stats() (CacheStats, error) {
+	ents, err := c.Entries()
+	if err != nil {
+		return CacheStats{}, err
+	}
+	s := CacheStats{Entries: len(ents)}
+	for _, e := range ents {
+		s.Bytes += e.Bytes
+	}
+	return s, nil
+}
+
+// Delete removes a stored grid point; deleting an absent key is a no-op.
+// The next Get for the key is a miss and the point re-simulates — eviction
+// can never make results wrong, only colder.
+func (c *DirCache) Delete(key string) error {
+	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("explore: cache delete: %w", err)
+	}
+	return nil
 }
 
 // Put stores a completed point atomically (temp file + rename), so a sweep

@@ -3,9 +3,11 @@ package explore
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"waymemo/internal/cache"
@@ -163,6 +165,135 @@ func TestKeySensitivity(t *testing.T) {
 		if len(k) != 64 || strings.Trim(k, "0123456789abcdef") != "" {
 			t.Errorf("%s: key %q is not hex SHA-256", name, k)
 		}
+	}
+}
+
+// TestDirCacheNestedDir pins that NewDirCache creates missing parents, so
+// a serve store can lay out "store/results" without pre-creating anything.
+func TestDirCacheNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store", "results", "v1")
+	dc, err := NewDirCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dc.Put("deadbeef", samplePointResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dc.Get("deadbeef"); !ok {
+		t.Fatal("nested-dir cache lost its entry")
+	}
+}
+
+// samplePointResult builds a minimal shape-valid result for store tests.
+func samplePointResult() *PointResult {
+	return &PointResult{
+		Geometry: cache.FRV32K,
+		Workload: "tiny",
+		Cycles:   100,
+		Instrs:   50,
+		Techs:    []TechOutcome{{ID: "original"}},
+	}
+}
+
+func TestDirCacheStatsAndDelete(t *testing.T) {
+	dc, err := NewDirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := dc.Stats()
+	if err != nil || s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("empty cache stats = %+v (err %v), want zeros", s, err)
+	}
+	keys := []string{"k1", "k2", "k3"}
+	for _, k := range keys {
+		if err := dc.Put(k, samplePointResult()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray temp file from a killed writer must not count as an entry.
+	if err := os.WriteFile(filepath.Join(dc.Dir(), "k4.tmp-123"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = dc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Entries != len(keys) {
+		t.Errorf("Entries = %d, want %d", s.Entries, len(keys))
+	}
+	if s.Bytes <= 0 {
+		t.Errorf("Bytes = %d, want > 0", s.Bytes)
+	}
+	ents, err := dc.Entries()
+	if err != nil || len(ents) != len(keys) {
+		t.Fatalf("Entries() = %d entries (err %v), want %d", len(ents), err, len(keys))
+	}
+	for _, e := range ents {
+		if e.Bytes <= 0 || e.Key == "" {
+			t.Errorf("entry %+v has empty key or zero size", e)
+		}
+	}
+
+	if err := dc.Delete("k2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dc.Get("k2"); ok {
+		t.Error("deleted key still readable")
+	}
+	if err := dc.Delete("k2"); err != nil {
+		t.Errorf("deleting absent key: %v, want nil", err)
+	}
+	if s, _ = dc.Stats(); s.Entries != 2 {
+		t.Errorf("after delete: Entries = %d, want 2", s.Entries)
+	}
+}
+
+// TestDirCacheConcurrentSameKey hammers one key with concurrent writers and
+// readers (run under -race in CI): readers must only ever observe a miss or
+// a complete, shape-valid result — never a torn file.
+func TestDirCacheConcurrentSameKey(t *testing.T) {
+	dc, err := NewDirCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := samplePointResult()
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*2)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 50; n++ {
+				if err := dc.Put("shared", want); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 50; n++ {
+				pr, ok := dc.Get("shared")
+				if !ok {
+					continue // not yet written, or mid-rename: a legal miss
+				}
+				if pr.Workload != want.Workload || pr.Cycles != want.Cycles ||
+					len(pr.Techs) != len(want.Techs) {
+					errs <- fmt.Errorf("torn read: %+v", pr)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if pr, ok := dc.Get("shared"); !ok || pr.Cycles != want.Cycles {
+		t.Fatal("final Get did not return the stored result")
 	}
 }
 

@@ -436,11 +436,16 @@ func assemblePoint(pt Point, techs []suite.Technique, mabs []core.Config,
 	return pr
 }
 
-// cachedPointValid checks a cache hit against the grid point it must
+// PointMatches checks a stored result against the grid point it must
 // answer for. The content hash already pins the inputs, but a tampered or
 // hand-edited file can hold shape-valid JSON for the wrong point; anything
 // that does not match the expected technique list degrades to a miss and
-// is re-simulated rather than poisoning the analysis.
+// is re-simulated rather than poisoning the analysis. Both explore.Run's
+// result cache and the serve daemon's shared store gate their hits on it.
+func PointMatches(pr *PointResult, pt Point, techs []suite.Technique) bool {
+	return cachedPointValid(pr, pt, techs)
+}
+
 func cachedPointValid(pr *PointResult, pt Point, techs []suite.Technique) bool {
 	if pr.Geometry != pt.Geometry || pr.Workload != pt.Workload.Name ||
 		len(pr.Techs) != len(techs) {
@@ -464,22 +469,50 @@ func runPoint(ctx context.Context, s Space, pt Point, techs []suite.Technique,
 			return pr, true, nil
 		}
 	}
+	// The per-point scheduler only runs live (no trace cache) or as the
+	// legacy escape hatch, so the inner suite pass must not batch either.
+	pr, err := simulatePoint(ctx, s, pt, techs, mabs, tc, false)
+	if err != nil {
+		return nil, false, err
+	}
+	if c != nil {
+		if err := c.Put(key, pr); err != nil {
+			return nil, false, err
+		}
+	}
+	return pr, false, nil
+}
+
+// SimulatePoint executes one grid point of a normalized Space, with no
+// result cache attached — the serve daemon's unit of work: the daemon does
+// its own store probing and in-flight deduplication per point and calls
+// this only for points that must actually run. With a trace cache the point
+// replays the workload's shared capture in one batched fan-out pass, so
+// however many daemon clients sweep a workload, it executes at most once
+// per (workload, packet). Results are bit-identical to explore.Run's.
+func SimulatePoint(ctx context.Context, s Space, pt Point, tc *suite.TraceCache) (*PointResult, error) {
+	return simulatePoint(ctx, s, pt, s.techniques(), s.MABs(), tc, true)
+}
+
+// simulatePoint is one suite pass over pt's workload with the space's full
+// technique list attached, extracted into the PointResult shape the result
+// cache and analysis layer consume.
+func simulatePoint(ctx context.Context, s Space, pt Point, techs []suite.Technique,
+	mabs []core.Config, tc *suite.TraceCache, batched bool) (*PointResult, error) {
 	runOpts := []suite.Option{
 		suite.WithWorkloads(pt.Workload),
 		suite.WithTechniques(techs...),
 		suite.WithGeometry(pt.Geometry),
 		suite.WithPacketBytes(s.PacketBytes),
 		suite.WithParallelism(1),
-		// The per-point scheduler only runs live (no trace cache) or as the
-		// legacy escape hatch, so the inner suite pass must not batch either.
-		suite.WithBatchReplay(false),
+		suite.WithBatchReplay(batched),
 	}
 	if tc != nil {
 		runOpts = append(runOpts, suite.WithTraceCache(tc))
 	}
 	r, err := suite.Run(ctx, runOpts...)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	b := r.Benchmarks[0]
 	pr := &PointResult{
@@ -496,7 +529,7 @@ func runPoint(ctx context.Context, s Space, pt Point, techs []suite.Technique,
 	for i, t := range techs {
 		tr, ok := byID[t.ID]
 		if !ok {
-			return nil, false, fmt.Errorf("explore: technique %q missing from results", t.ID)
+			return nil, fmt.Errorf("explore: technique %q missing from results", t.ID)
 		}
 		out := TechOutcome{
 			ID:    string(t.ID),
@@ -509,10 +542,5 @@ func runPoint(ctx context.Context, s Space, pt Point, techs []suite.Technique,
 		}
 		pr.Techs = append(pr.Techs, out)
 	}
-	if c != nil {
-		if err := c.Put(key, pr); err != nil {
-			return nil, false, err
-		}
-	}
-	return pr, false, nil
+	return pr, nil
 }

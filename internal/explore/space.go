@@ -104,6 +104,12 @@ func EngineBenchSpace() Space {
 	}
 }
 
+// Normalize fills defaulted axes, expands WorkloadSpecs into Workloads and
+// validates every axis value. The returned Space is fully explicit: callers
+// that schedule points themselves (the serve daemon) normalize once and
+// then use Points, Techniques and MABs, which all assume explicit axes.
+func (s Space) Normalize() (Space, error) { return s.normalized() }
+
 // normalized fills defaulted axes and validates every axis value. The
 // returned Space is fully explicit.
 func (s Space) normalized() (Space, error) {
@@ -227,6 +233,10 @@ type Point struct {
 	Workload workloads.Workload
 }
 
+// Points expands the grid in deterministic order (geometry major, workload
+// minor). Call it on a normalized Space — defaulted axes expand to nothing.
+func (s Space) Points() []Point { return s.points() }
+
 // points expands the grid in deterministic order.
 func (s Space) points() []Point {
 	out := make([]Point, 0, s.NumPoints())
@@ -237,6 +247,11 @@ func (s Space) points() []Point {
 	}
 	return out
 }
+
+// Techniques builds the per-point technique list: the domain's conventional
+// baseline first, then one way-memoized technique per MAB configuration.
+// Like Points it assumes a normalized Space.
+func (s Space) Techniques() []suite.Technique { return s.techniques() }
 
 // techniques builds the per-point technique list: the domain's conventional
 // baseline first, then one way-memoized technique per MAB configuration.

@@ -1,0 +1,212 @@
+// Package client is the typed HTTP client for the wmx serve daemon: it
+// submits sweeps, follows their server-sent-event progress streams, and
+// fetches the warm analytics — one small method per API endpoint, sharing
+// the wire types with internal/serve so client and daemon cannot drift.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"waymemo/internal/explore"
+	"waymemo/internal/serve"
+)
+
+// Client talks to one daemon. The zero value is not usable; construct with
+// New.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the daemon at base ("http://127.0.0.1:8077").
+// The underlying http.Client carries no timeout — event streams are
+// long-lived — so pass a context to every call instead.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiError decodes the daemon's JSON error body into a plain error.
+func apiError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("serve: %s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("serve: %s", resp.Status)
+}
+
+// getJSON fetches base+path and decodes the body into out.
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Health checks daemon liveness.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: health: %s", resp.Status)
+	}
+	return nil
+}
+
+// Submit posts a sweep request and returns its acceptance.
+func (c *Client) Submit(ctx context.Context, sr serve.SweepRequest) (serve.SubmitResponse, error) {
+	var sub serve.SubmitResponse
+	blob, err := json.Marshal(sr)
+	if err != nil {
+		return sub, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/sweeps", bytes.NewReader(blob))
+	if err != nil {
+		return sub, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return sub, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return sub, apiError(resp)
+	}
+	return sub, json.NewDecoder(resp.Body).Decode(&sub)
+}
+
+// Status fetches one sweep's current state and metrics.
+func (c *Client) Status(ctx context.Context, id string) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	err := c.getJSON(ctx, "/v1/sweeps/"+id, &st)
+	return st, err
+}
+
+// Events follows the sweep's SSE stream, invoking fn (if non-nil) for every
+// point event, and returns the terminal status carried by the stream's
+// "done" event. It blocks until the sweep finishes or ctx ends.
+func (c *Client) Events(ctx context.Context, id string, fn func(serve.Event)) (serve.JobStatus, error) {
+	var final serve.JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		return final, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return final, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return final, apiError(resp)
+	}
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := []byte(strings.TrimPrefix(line, "data: "))
+			switch event {
+			case "point":
+				if fn != nil {
+					var ev serve.Event
+					if err := json.Unmarshal(data, &ev); err != nil {
+						return final, fmt.Errorf("serve: bad point event: %w", err)
+					}
+					fn(ev)
+				}
+			case "done":
+				return final, json.Unmarshal(data, &final)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return final, err
+	}
+	return final, fmt.Errorf("serve: event stream for %s ended without done", id)
+}
+
+// Wait blocks until the sweep finishes (via its event stream) and returns
+// the terminal status. A sweep that failed server-side is returned as an
+// error.
+func (c *Client) Wait(ctx context.Context, id string) (serve.JobStatus, error) {
+	st, err := c.Events(ctx, id, nil)
+	if err != nil {
+		return st, err
+	}
+	if st.State != "done" {
+		return st, fmt.Errorf("serve: sweep %s %s: %s", id, st.State, st.Error)
+	}
+	return st, nil
+}
+
+// Result fetches a finished sweep's full grid.
+func (c *Client) Result(ctx context.Context, id string) (serve.ResultResponse, error) {
+	var res serve.ResultResponse
+	err := c.getJSON(ctx, "/v1/sweeps/"+id+"/result", &res)
+	return res, err
+}
+
+// Candidates fetches the per-(geometry, technique) averages.
+func (c *Client) Candidates(ctx context.Context, id string) ([]explore.Candidate, error) {
+	var out []explore.Candidate
+	err := c.getJSON(ctx, "/v1/sweeps/"+id+"/candidates", &out)
+	return out, err
+}
+
+// Pareto fetches the power/hit-rate frontier.
+func (c *Client) Pareto(ctx context.Context, id string) ([]explore.Candidate, error) {
+	var out []explore.Candidate
+	err := c.getJSON(ctx, "/v1/sweeps/"+id+"/pareto", &out)
+	return out, err
+}
+
+// Marginals fetches the per-axis marginal averages.
+func (c *Client) Marginals(ctx context.Context, id string) ([]explore.Marginal, error) {
+	var out []explore.Marginal
+	err := c.getJSON(ctx, "/v1/sweeps/"+id+"/marginals", &out)
+	return out, err
+}
+
+// Optimum fetches the measured power optimum plus the paper's pick.
+func (c *Client) Optimum(ctx context.Context, id string) (serve.OptimumResponse, error) {
+	var out serve.OptimumResponse
+	err := c.getJSON(ctx, "/v1/sweeps/"+id+"/optimum", &out)
+	return out, err
+}
+
+// Stats fetches the daemon-wide counters.
+func (c *Client) Stats(ctx context.Context) (serve.ServerStats, error) {
+	var out serve.ServerStats
+	err := c.getJSON(ctx, "/v1/stats", &out)
+	return out, err
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"waymemo/internal/explore"
+)
+
+// Job is one accepted sweep: its normalized space, its progress event log
+// (the SSE stream's backing store — late subscribers replay it from the
+// start, so no client misses events), and, once finished, the grid the
+// warm analytics endpoints answer from.
+type Job struct {
+	id      string
+	req     SweepRequest
+	space   explore.Space
+	started time.Time
+
+	mu      sync.Mutex
+	events  []Event
+	subs    map[chan struct{}]bool
+	state   string // "running", "done" or "failed"
+	errMsg  string
+	grid    *explore.Grid
+	metrics JobMetrics
+}
+
+func newJob(id string, req SweepRequest, space explore.Space, points int) *Job {
+	return &Job{
+		id:      id,
+		req:     req,
+		space:   space,
+		started: time.Now(),
+		subs:    map[chan struct{}]bool{},
+		state:   "running",
+		metrics: JobMetrics{Points: points},
+	}
+}
+
+// emit appends one progress event (stamping its Seq), updates the metrics
+// for "done" events, and wakes every subscriber.
+func (j *Job) emit(ev Event) {
+	j.mu.Lock()
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	if ev.Status == "done" {
+		j.metrics.Done++
+		switch ev.Source {
+		case SourceStore:
+			j.metrics.StoreHits++
+		case SourceDedup:
+			j.metrics.DedupJoins++
+		case SourceSimulated:
+			j.metrics.Simulated++
+		}
+	}
+	j.wakeLocked()
+	j.mu.Unlock()
+}
+
+// wakeLocked signals every subscriber without blocking; a subscriber whose
+// buffer is full already has a wakeup pending. Callers hold mu.
+func (j *Job) wakeLocked() {
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// finish moves the job to its terminal state and wakes subscribers.
+func (j *Job) finish(grid *explore.Grid, err error) {
+	j.mu.Lock()
+	j.metrics.ElapsedMS = time.Since(j.started).Seconds() * 1000
+	if err != nil {
+		j.state, j.errMsg = "failed", err.Error()
+	} else {
+		j.state, j.grid = "done", grid
+	}
+	j.wakeLocked()
+	j.mu.Unlock()
+}
+
+// subscribe registers for wakeups on new events or state changes. The
+// returned cancel must be called when the subscriber leaves.
+func (j *Job) subscribe() (ch chan struct{}, cancel func()) {
+	ch = make(chan struct{}, 1)
+	j.mu.Lock()
+	j.subs[ch] = true
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch)
+		j.mu.Unlock()
+	}
+}
+
+// eventsFrom returns the events at sequence >= from plus the current
+// state, for the SSE loop: drain, flush, then wait for a wakeup.
+func (j *Job) eventsFrom(from int) ([]Event, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from > len(j.events) {
+		from = len(j.events)
+	}
+	evs := make([]Event, len(j.events)-from)
+	copy(evs, j.events[from:])
+	return evs, j.state
+}
+
+// status snapshots the job for /v1/sweeps/{id}.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	m := j.metrics
+	if j.state == "running" {
+		m.ElapsedMS = time.Since(j.started).Seconds() * 1000
+	}
+	return JobStatus{ID: j.id, State: j.state, Error: j.errMsg, Request: j.req, Metrics: m}
+}
+
+// ID returns the job's identifier, as handed out by Submit.
+func (j *Job) ID() string { return j.id }
+
+// Wait blocks until the job reaches a terminal state (or ctx ends) and
+// returns its final status — the in-process equivalent of following the
+// SSE stream to its "done" event.
+func (j *Job) Wait(ctx context.Context) (JobStatus, error) {
+	ch, cancel := j.subscribe()
+	defer cancel()
+	for {
+		st := j.status()
+		if st.State != "running" {
+			return st, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// result returns the completed grid, or ok=false while running or failed.
+func (j *Job) result() (*explore.Grid, JobMetrics, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.grid, j.metrics, j.state == "done"
+}

@@ -1,0 +1,211 @@
+// Package load is the serve daemon's load harness: it replays N overlapping
+// client sweeps against one daemon, computes the unique grid points the
+// variant set actually contains (the same content hash the daemon
+// deduplicates on), and reports what the service layer promised — one
+// simulation per unique point however many clients ask, warm reruns that
+// simulate nothing, and warm analytics answered in microseconds. Both
+// tools/loadgen (against a live daemon) and tools/benchrec (against an
+// in-process server) run exactly this harness, so the CI assertion and the
+// committed benchmark number measure the same thing.
+package load
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"waymemo/internal/explore"
+	"waymemo/internal/serve"
+	"waymemo/internal/serve/client"
+)
+
+// Options configures one load run.
+type Options struct {
+	// Clients is how many concurrent sweep clients to replay (default 8).
+	Clients int
+	// Variants are the sweep requests the clients cycle through (client i
+	// submits Variants[i % len]); at least one is required. Overlapping
+	// variants are the point: the overlap is what the daemon dedups.
+	Variants []serve.SweepRequest
+	// WarmQueries is how many analytics queries to time per endpoint for
+	// the warm-latency figure (default 16).
+	WarmQueries int
+	// SkipWarm skips the warm rerun + warm query phases.
+	SkipWarm bool
+}
+
+// Report is one load run's outcome.
+type Report struct {
+	Clients int `json:"clients"`
+	// Variants is how many distinct sweep requests the clients cycled
+	// through; UniquePoints the size of their grid-point union.
+	Variants     int `json:"variants"`
+	Points       int `json:"points"`        // grid points requested, all clients
+	UniquePoints int `json:"unique_points"` // distinct content-addressed points
+
+	// Deltas of the daemon's counters across the run.
+	Simulations int64 `json:"simulations"`
+	StoreHits   int64 `json:"store_hits"`
+	DedupJoins  int64 `json:"dedup_joins"`
+
+	// DedupRate is the fraction of requested points served without a
+	// simulation (1 - Simulations/Points).
+	DedupRate float64 `json:"dedup_rate"`
+
+	// WarmRerunSimulations counts simulations during the warm rerun of
+	// every variant — the service promise is zero.
+	WarmRerunSimulations int64 `json:"warm_rerun_simulations"`
+	// WarmQueryMS is the median latency of a warm analytics query
+	// (candidates/pareto/marginals/optimum, round-robin).
+	WarmQueryMS float64 `json:"warm_query_ms"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// UniquePoints computes the union of content-addressed grid-point keys the
+// variant set expands to — client-side, with the same explore.KeyWorkload
+// hash the daemon dedups on, so a cold daemon must report exactly this many
+// simulations.
+func UniquePoints(variants []serve.SweepRequest) (int, error) {
+	keys := map[string]bool{}
+	for i, v := range variants {
+		sp, err := v.Space()
+		if err != nil {
+			return 0, fmt.Errorf("load: variant %d: %w", i, err)
+		}
+		mabs := sp.MABs()
+		for _, pt := range sp.Points() {
+			keys[explore.KeyWorkload(sp.Domain, pt.Geometry, pt.Workload, sp.PacketBytes, mabs)] = true
+		}
+	}
+	return len(keys), nil
+}
+
+// Run replays the load against the daemon behind c and reports.
+func Run(ctx context.Context, c *client.Client, opts Options) (*Report, error) {
+	if len(opts.Variants) == 0 {
+		return nil, fmt.Errorf("load: no sweep variants")
+	}
+	clients := opts.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	warmQ := opts.WarmQueries
+	if warmQ <= 0 {
+		warmQ = 16
+	}
+	unique, err := UniquePoints(opts.Variants)
+	if err != nil {
+		return nil, err
+	}
+	before, err := c.Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("load: daemon stats: %w", err)
+	}
+
+	// Phase 1: N overlapping clients, every variant in flight at once.
+	start := time.Now()
+	ids := make([]string, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub, err := c.Submit(ctx, opts.Variants[i%len(opts.Variants)])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = sub.ID
+			_, errs[i] = c.Wait(ctx, sub.ID)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("load: client %d: %w", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	after, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	points := after.Points - before.Points
+	rep := &Report{
+		Clients:      clients,
+		Variants:     len(opts.Variants),
+		Points:       int(points),
+		UniquePoints: unique,
+		Simulations:  after.Simulations - before.Simulations,
+		StoreHits:    after.StoreHits - before.StoreHits,
+		DedupJoins:   after.DedupJoins - before.DedupJoins,
+		ElapsedMS:    elapsed.Seconds() * 1000,
+	}
+	if points > 0 {
+		rep.DedupRate = 1 - float64(rep.Simulations)/float64(points)
+	}
+	if opts.SkipWarm {
+		return rep, nil
+	}
+
+	// Phase 2: warm rerun of every variant — the store is hot, so the
+	// promise is zero additional simulations.
+	for _, v := range opts.Variants {
+		sub, err := c.Submit(ctx, v)
+		if err != nil {
+			return nil, fmt.Errorf("load: warm rerun: %w", err)
+		}
+		if _, err := c.Wait(ctx, sub.ID); err != nil {
+			return nil, fmt.Errorf("load: warm rerun: %w", err)
+		}
+	}
+	warm, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep.WarmRerunSimulations = warm.Simulations - after.Simulations
+
+	// Phase 3: warm analytics latency on one finished sweep.
+	id := ids[0]
+	lat := make([]time.Duration, 0, warmQ)
+	for q := 0; q < warmQ; q++ {
+		t0 := time.Now()
+		switch q % 4 {
+		case 0:
+			_, err = c.Candidates(ctx, id)
+		case 1:
+			_, err = c.Pareto(ctx, id)
+		case 2:
+			_, err = c.Marginals(ctx, id)
+		case 3:
+			_, err = c.Optimum(ctx, id)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("load: warm query: %w", err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	rep.WarmQueryMS = lat[len(lat)/2].Seconds() * 1000
+	return rep, nil
+}
+
+// String renders the report for terminals.
+func (r *Report) String() string {
+	return fmt.Sprintf(
+		"clients         %d (x%d variants)\n"+
+			"points          %d requested, %d unique\n"+
+			"served          %d simulated, %d store hits, %d dedup joins\n"+
+			"dedup rate      %.1f%%\n"+
+			"warm rerun      %d simulations\n"+
+			"warm query      %.3f ms (median)\n"+
+			"elapsed         %.0f ms",
+		r.Clients, r.Variants, r.Points, r.UniquePoints,
+		r.Simulations, r.StoreHits, r.DedupJoins,
+		100*r.DedupRate, r.WarmRerunSimulations, r.WarmQueryMS, r.ElapsedMS)
+}

@@ -1,0 +1,68 @@
+package load
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"waymemo/internal/serve"
+	"waymemo/internal/serve/client"
+)
+
+// TestLoadRunAgainstServer drives the full stack — typed client, SSE waits,
+// overlapping variants — against an in-process daemon and checks the
+// harness's accounting against the service promises.
+func TestLoadRunAgainstServer(t *testing.T) {
+	srv, err := serve.New(serve.Config{StoreDir: t.TempDir(), Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Two variants sharing the 64-set point: 3 unique grid points across a
+	// union of 4 requested per variant pair.
+	variants := []serve.SweepRequest{
+		{Sets: []int{64, 128}, TagEntries: []int{1}, SetEntries: []int{4},
+			Workloads: []string{"synth:hotloop,fp=1KiB,n=2048"}},
+		{Sets: []int{64, 256}, TagEntries: []int{1}, SetEntries: []int{4},
+			Workloads: []string{"synth:hotloop,fp=1KiB,n=2048"}},
+	}
+	if uq, err := UniquePoints(variants); err != nil || uq != 3 {
+		t.Fatalf("UniquePoints = %d, %v; want 3", uq, err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	const clients = 10
+	rep, err := Run(ctx, client.New(ts.URL), Options{Clients: clients, Variants: variants})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Clients != clients || rep.Points != clients*2 || rep.UniquePoints != 3 {
+		t.Fatalf("report accounting off: %+v", rep)
+	}
+	// Cold store: exactly one simulation per unique point, everything else
+	// deduped away.
+	if rep.Simulations != 3 {
+		t.Errorf("simulations = %d, want 3 (one per unique point)", rep.Simulations)
+	}
+	if got := rep.StoreHits + rep.DedupJoins; got != int64(rep.Points)-3 {
+		t.Errorf("served without simulation = %d, want %d", got, rep.Points-3)
+	}
+	if want := 1 - 3.0/float64(rep.Points); rep.DedupRate < want-1e-9 {
+		t.Errorf("dedup rate = %.3f, want >= %.3f", rep.DedupRate, want)
+	}
+	if rep.WarmRerunSimulations != 0 {
+		t.Errorf("warm rerun simulated %d points, want 0", rep.WarmRerunSimulations)
+	}
+	if rep.WarmQueryMS <= 0 {
+		t.Errorf("warm query latency not measured: %v", rep.WarmQueryMS)
+	}
+	if rep.String() == "" {
+		t.Error("empty report rendering")
+	}
+}

@@ -1,0 +1,442 @@
+// Package serve is the sweep-as-a-service layer: a long-running HTTP/JSON
+// daemon that accepts design-space sweep requests (POST /v1/sweeps),
+// executes them on the explore engine, and shares everything shareable
+// across clients — a singleflight layer deduplicates identical in-flight
+// grid points by their explore.KeyWorkload content hash, one
+// content-addressed result + trace store (with a byte budget and LRU
+// eviction) serves every client, and one trace cache means each workload
+// executes at most once per (workload, packet) however many sweeps touch
+// it. Progress streams per grid point over server-sent events
+// (GET /v1/sweeps/{id}/events), and the warm analytics endpoints
+// (candidates, pareto, marginals, optimum) answer from completed grids
+// without simulating at all.
+//
+// The API surface:
+//
+//	POST /v1/sweeps                   submit a SweepRequest -> SubmitResponse
+//	GET  /v1/sweeps/{id}              JobStatus
+//	GET  /v1/sweeps/{id}/events      SSE: Event per grid point, then "done"
+//	GET  /v1/sweeps/{id}/result      ResultResponse (full grid)
+//	GET  /v1/sweeps/{id}/candidates  []explore.Candidate
+//	GET  /v1/sweeps/{id}/pareto      []explore.Candidate (the frontier)
+//	GET  /v1/sweeps/{id}/marginals   []explore.Marginal
+//	GET  /v1/sweeps/{id}/optimum     OptimumResponse
+//	GET  /v1/stats                    ServerStats
+//	GET  /healthz                     liveness
+//
+// `wmx serve` wraps a Server in an http.Server; internal/serve/client is
+// the typed client and tools/loadgen the load harness that proves N
+// overlapping sweeps cost one simulation per unique grid point.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waymemo/internal/explore"
+	"waymemo/internal/pool"
+	"waymemo/internal/suite"
+)
+
+// Config configures a Server.
+type Config struct {
+	// StoreDir roots the shared store (results + trace spills); required.
+	StoreDir string
+	// StoreBudget caps the store's combined byte footprint (0 =
+	// unlimited); see Store.
+	StoreBudget int64
+	// Parallelism bounds concurrent simulations across ALL sweeps (0 =
+	// GOMAXPROCS). Store hits and dedup joins are not counted against it.
+	Parallelism int
+	// MaxJobs caps how many finished jobs are kept queryable (0 = 4096);
+	// the oldest finished jobs are forgotten first.
+	MaxJobs int
+}
+
+// Server executes sweeps and serves the HTTP API. Create with New, attach
+// to an http.Server (it implements http.Handler), and Close on shutdown.
+type Server struct {
+	cfg     Config
+	store   *Store
+	traces  *suite.TraceCache
+	flights flightGroup
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	simSem  chan struct{}
+	mux     *http.ServeMux
+
+	jobsMu sync.Mutex
+	jobs   map[string]*Job
+	order  []string // creation order, for MaxJobs forgetting
+	nextID int64
+
+	sweeps, points, storeHits, dedupJoins, sims atomic.Int64
+}
+
+// New opens the store and builds a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	store, err := OpenStore(cfg.StoreDir, cfg.StoreBudget)
+	if err != nil {
+		return nil, err
+	}
+	traces, err := suite.NewDirTraceCache(store.TraceDir())
+	if err != nil {
+		return nil, err
+	}
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		traces:  traces,
+		baseCtx: ctx,
+		stop:    cancel,
+		simSem:  make(chan struct{}, par),
+		jobs:    map[string]*Job{},
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sweeps/{id}/candidates", s.analysisHandler(func(g *explore.Grid) any {
+		return g.Candidates()
+	}))
+	mux.HandleFunc("GET /v1/sweeps/{id}/pareto", s.analysisHandler(func(g *explore.Grid) any {
+		return explore.Pareto(g.Candidates())
+	}))
+	mux.HandleFunc("GET /v1/sweeps/{id}/marginals", s.analysisHandler(func(g *explore.Grid) any {
+		return g.Marginals()
+	}))
+	mux.HandleFunc("GET /v1/sweeps/{id}/optimum", s.analysisHandler(func(g *explore.Grid) any {
+		best, _ := explore.Optimum(g.Candidates())
+		tags, sets := explore.PaperPick(g.Space.Domain)
+		return OptimumResponse{Optimum: best, PaperTags: tags, PaperSets: sets}
+	}))
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP dispatches to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close cancels every running sweep. In-flight HTTP requests fail with the
+// cancellation; callers shut the http.Server down first.
+func (s *Server) Close() { s.stop() }
+
+// Store exposes the shared store (the CLI prints its stats on shutdown).
+func (s *Server) Store() *Store { return s.store }
+
+// Stats snapshots the daemon-wide counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Sweeps:         s.sweeps.Load(),
+		Points:         s.points.Load(),
+		StoreHits:      s.storeHits.Load(),
+		DedupJoins:     s.dedupJoins.Load(),
+		Simulations:    s.sims.Load(),
+		InFlightPoints: s.flights.inFlight(),
+		Store:          s.store.Stats(),
+		Traces:         s.traces.Stats(),
+	}
+}
+
+// Submit validates and starts a sweep without going through HTTP — the
+// handler's core, also convenient for in-process embedding and tests.
+func (s *Server) Submit(req SweepRequest) (*Job, error) {
+	space, err := req.Space()
+	if err != nil {
+		return nil, err
+	}
+	pts := space.Points()
+	s.jobsMu.Lock()
+	s.nextID++
+	id := fmt.Sprintf("sw-%06d", s.nextID)
+	job := newJob(id, req, space, len(pts))
+	s.jobs[id] = job
+	s.order = append(s.order, id)
+	s.forgetOldLocked()
+	s.jobsMu.Unlock()
+	s.sweeps.Add(1)
+	go s.runJob(job)
+	return job, nil
+}
+
+// forgetOldLocked drops the oldest finished jobs beyond MaxJobs, so a
+// long-lived daemon's job table does not grow without bound. Running jobs
+// are never dropped. Callers hold jobsMu.
+func (s *Server) forgetOldLocked() {
+	max := s.cfg.MaxJobs
+	if max <= 0 {
+		max = 4096
+	}
+	for i := 0; len(s.jobs) > max && i < len(s.order); {
+		id := s.order[i]
+		j, ok := s.jobs[id]
+		if ok && j.status().State == "running" {
+			i++
+			continue
+		}
+		delete(s.jobs, id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+	}
+}
+
+// job looks a sweep up by ID.
+func (s *Server) job(id string) (*Job, bool) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// runJob executes one sweep: every grid point is served from the store, by
+// joining another client's in-flight simulation, or by simulating —
+// whichever comes first — and lands at its deterministic grid index.
+func (s *Server) runJob(job *Job) {
+	sp := job.space
+	pts := sp.Points()
+	techs := sp.Techniques()
+	mabs := sp.MABs()
+	results := make([]explore.PointResult, len(pts))
+	var hits, misses atomic.Int64
+
+	err := pool.Run(s.baseCtx, len(pts), len(s.simSem), func(ctx context.Context, i int) error {
+		pt := pts[i]
+		key := explore.KeyWorkload(sp.Domain, pt.Geometry, pt.Workload, sp.PacketBytes, mabs)
+		job.emit(Event{Index: pt.Index, Total: len(pts), Workload: pt.Workload.Name,
+			Sets: pt.Geometry.Sets, Ways: pt.Geometry.Ways, Line: pt.Geometry.LineBytes,
+			Status: "start"})
+		pr, source, err := s.point(ctx, sp, pt, techs, key)
+		if err != nil {
+			return err
+		}
+		if source == SourceSimulated {
+			misses.Add(1)
+		} else {
+			hits.Add(1)
+			pr = clonePoint(pr)
+			pr.Cached = true
+		}
+		results[pt.Index] = *pr
+		job.emit(Event{Index: pt.Index, Total: len(pts), Workload: pt.Workload.Name,
+			Sets: pt.Geometry.Sets, Ways: pt.Geometry.Ways, Line: pt.Geometry.LineBytes,
+			Status: "done", Source: source})
+		return nil
+	})
+	if err != nil {
+		job.finish(nil, err)
+		return
+	}
+	grid := &explore.Grid{
+		Space:  sp,
+		Points: results,
+		Hits:   int(hits.Load()),
+		Misses: int(misses.Load()),
+		Traces: s.traces.Stats(),
+	}
+	// Sweep epilogue: apply the store budget, and if trace spills were
+	// evicted, drop the in-memory captures too so resident memory tracks
+	// the budget rather than every workload ever swept.
+	if _, tr := s.store.Enforce(); tr > 0 {
+		s.traces.Flush()
+	}
+	job.finish(grid, nil)
+}
+
+// point serves one grid point. The order of preference: the shared store
+// (warm), joining an identical in-flight simulation (singleflight), then
+// leading a simulation — which re-probes the store first, since a flight
+// that finished between our probe and our turn has stored its result.
+func (s *Server) point(ctx context.Context, sp explore.Space, pt explore.Point,
+	techs []suite.Technique, key string) (*explore.PointResult, string, error) {
+	s.points.Add(1)
+	if pr, ok := s.store.Get(key); ok && explore.PointMatches(pr, pt, techs) {
+		s.storeHits.Add(1)
+		return pr, SourceStore, nil
+	}
+	pr, simulated, led, err := s.flights.do(ctx, key, func() (*explore.PointResult, bool, error) {
+		if pr, ok := s.store.Get(key); ok && explore.PointMatches(pr, pt, techs) {
+			return pr, false, nil
+		}
+		// The semaphore bounds concurrent simulations daemon-wide; store
+		// hits and joiners never queue on it.
+		select {
+		case s.simSem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		defer func() { <-s.simSem }()
+		// Simulate under the server's lifetime context, not the job's:
+		// joiners from other sweeps may be waiting on this flight, and a
+		// cancelled leader must not take their result with it.
+		pr, err := explore.SimulatePoint(s.baseCtx, sp, pt, s.traces)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := s.store.Put(key, pr); err != nil {
+			return nil, false, err
+		}
+		return pr, true, nil
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	switch {
+	case led && simulated:
+		s.sims.Add(1)
+		return pr, SourceSimulated, nil
+	case led:
+		s.storeHits.Add(1)
+		return pr, SourceStore, nil
+	default:
+		s.dedupJoins.Add(1)
+		return pr, SourceDedup, nil
+	}
+}
+
+// clonePoint deep-copies a result before the per-job Cached flag is set:
+// store hits and dedup joins share one *PointResult across jobs.
+func clonePoint(pr *explore.PointResult) *explore.PointResult {
+	cp := *pr
+	cp.Techs = append([]explore.TechOutcome(nil), pr.Techs...)
+	return &cp
+}
+
+// ---- HTTP handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: job.id, Points: job.metrics.Points})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	grid, metrics, done := job.result()
+	if !done {
+		writeError(w, http.StatusConflict, "sweep %s is %s", job.id, job.status().State)
+		return
+	}
+	writeJSON(w, http.StatusOK, ResultResponse{Points: grid.Points, Metrics: metrics})
+}
+
+// analysisHandler builds the warm-analytics handlers: they answer purely
+// from the completed grid — zero simulations by construction.
+func (s *Server) analysisHandler(analyze func(*explore.Grid) any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.job(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+			return
+		}
+		grid, _, done := job.result()
+		if !done {
+			writeError(w, http.StatusConflict, "sweep %s is %s", job.id, job.status().State)
+			return
+		}
+		writeJSON(w, http.StatusOK, analyze(grid))
+	}
+}
+
+// handleEvents streams the job's progress as server-sent events: the full
+// event log from the start (late subscribers miss nothing), then live
+// events as grid points finish, then one terminal "done" event carrying
+// the final JobStatus.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such sweep %q", r.PathValue("id"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	ch, cancel := job.subscribe()
+	defer cancel()
+	next := 0
+	for {
+		evs, state := job.eventsFrom(next)
+		next += len(evs)
+		for _, ev := range evs {
+			blob, _ := json.Marshal(ev)
+			fmt.Fprintf(w, "event: point\ndata: %s\n\n", blob)
+		}
+		if state != "running" {
+			blob, _ := json.Marshal(job.status())
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", blob)
+			flusher.Flush()
+			return
+		}
+		flusher.Flush()
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		case <-s.baseCtx.Done():
+			return
+		case <-time.After(30 * time.Second):
+			// Heartbeat comment keeps idle proxies from timing the
+			// stream out.
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"waymemo/internal/explore"
+)
+
+// flightGroup deduplicates concurrent work on the same grid-point key: the
+// first caller for a key becomes the leader and runs the function, every
+// concurrent caller for the same key blocks on the leader's result instead
+// of repeating the work. The key is explore.KeyWorkload's content hash, so
+// "same key" means "provably the same simulation" — N clients sweeping
+// overlapping grids cost one simulation per unique point, however they
+// interleave.
+//
+// Unlike a memoizing cache, a flight is forgotten as soon as it completes:
+// the durable copy of the result lives in the Store, and the next request
+// for the key finds it there. Failed flights are forgotten too, so one
+// transient error never poisons a key.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// flight is one in-progress computation. done closes when val/simulated/err
+// are final.
+type flight struct {
+	done      chan struct{}
+	val       *explore.PointResult
+	simulated bool
+	err       error
+}
+
+// do runs fn for key, deduplicating against concurrent calls. fn returns
+// the point, whether it actually simulated (false when a re-probe found the
+// store already warm), and an error. do returns the flight's result plus
+// led: true for the leader that ran fn, false for a caller that joined an
+// existing flight.
+//
+// Joiners wait under their own ctx, so a cancelled request stops waiting
+// without affecting the flight; the leader's fn should run under the
+// server's lifetime context, not a request's, so one client disconnecting
+// cannot kill a simulation other clients are waiting on.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*explore.PointResult, bool, error)) (pr *explore.PointResult, simulated, led bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*flight{}
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.simulated, false, f.err
+		case <-ctx.Done():
+			return nil, false, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.simulated, f.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.simulated, true, f.err
+}
+
+// inFlight returns the number of keys currently being computed.
+func (g *flightGroup) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

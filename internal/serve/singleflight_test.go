@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waymemo/internal/explore"
+)
+
+// TestFlightGroupSingleExecution holds the leader inside fn until K
+// concurrent callers for the same key have arrived, then asserts fn ran
+// exactly once and exactly one caller led.
+func TestFlightGroupSingleExecution(t *testing.T) {
+	var g flightGroup
+	const K = 16
+	var execs, leads atomic.Int64
+	var started sync.WaitGroup
+	gate := make(chan struct{})
+	want := &explore.PointResult{Workload: "w", Cycles: 42}
+
+	var wg sync.WaitGroup
+	started.Add(K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Done()
+			pr, simulated, led, err := g.do(context.Background(), "k", func() (*explore.PointResult, bool, error) {
+				execs.Add(1)
+				<-gate
+				return want, true, nil
+			})
+			if err != nil {
+				t.Errorf("do: %v", err)
+				return
+			}
+			if led {
+				leads.Add(1)
+			}
+			if pr != want || !simulated {
+				t.Errorf("got (%p, %v), want (%p, true)", pr, simulated, want)
+			}
+		}()
+	}
+	started.Wait()
+	// The leader is parked in fn, so the flight cannot complete; give the
+	// joiners a moment to reach the map, then release the leader.
+	time.Sleep(100 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Errorf("fn executed %d times for %d concurrent callers, want 1", got, K)
+	}
+	if got := leads.Load(); got != 1 {
+		t.Errorf("%d callers led, want 1", got)
+	}
+	if n := g.inFlight(); n != 0 {
+		t.Errorf("inFlight after completion = %d, want 0", n)
+	}
+}
+
+// TestFlightGroupErrorNotSticky: a failed flight must be forgotten, not
+// poison its key for later callers.
+func TestFlightGroupErrorNotSticky(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	_, _, led, err := g.do(context.Background(), "k", func() (*explore.PointResult, bool, error) {
+		return nil, false, boom
+	})
+	if !led || !errors.Is(err, boom) {
+		t.Fatalf("first call: led=%v err=%v, want led=true err=boom", led, err)
+	}
+	want := &explore.PointResult{Workload: "w"}
+	pr, _, led, err := g.do(context.Background(), "k", func() (*explore.PointResult, bool, error) {
+		return want, true, nil
+	})
+	if err != nil || !led || pr != want {
+		t.Fatalf("retry after error: pr=%p led=%v err=%v, want fresh leader success", pr, led, err)
+	}
+}
+
+// TestFlightGroupJoinerCancel: a joiner's cancelled context releases the
+// joiner without touching the flight other callers wait on.
+func TestFlightGroupJoinerCancel(t *testing.T) {
+	var g flightGroup
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	want := &explore.PointResult{Workload: "w"}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, _, err := g.do(context.Background(), "k", func() (*explore.PointResult, bool, error) {
+			close(entered)
+			<-gate
+			return want, true, nil
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := g.do(ctx, "k", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled joiner: err=%v, want context.Canceled", err)
+	}
+
+	close(gate)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader after joiner cancel: %v", err)
+	}
+}

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"waymemo/internal/explore"
+)
+
+// Store is the daemon's shared content-addressed result + trace store: an
+// explore.DirCache of grid-point results plus the suite trace cache's
+// WMTRACE1 spill directory, under one byte budget with LRU eviction.
+//
+// Results are tracked with in-memory recency (every Get bumps the entry);
+// trace spill pairs are aged by file modification time, since the trace
+// cache writes them directly. When the combined footprint exceeds the
+// budget, Enforce deletes the least-recently-used items — whichever of the
+// oldest result and the oldest trace pair is staler — until under budget.
+// Eviction can never make results wrong: an evicted result re-simulates
+// and an evicted trace re-captures on next use.
+type Store struct {
+	results  *explore.DirCache
+	traceDir string // "" when the store keeps no traces
+	budget   int64  // bytes across results + traces; 0 = unlimited
+
+	mu          sync.Mutex
+	ll          *list.List               // LRU: front = most recent
+	ent         map[string]*list.Element // key -> element holding *storeEntry
+	resultBytes int64
+
+	hits, misses, puts              int64
+	resultEvictions, traceEvictions int64
+}
+
+// storeEntry is one result's LRU bookkeeping.
+type storeEntry struct {
+	key     string
+	bytes   int64
+	lastUse time.Time
+}
+
+// StoreStats is the store's accounting snapshot, as served by /v1/stats.
+type StoreStats struct {
+	ResultEntries   int   `json:"result_entries"`
+	ResultBytes     int64 `json:"result_bytes"`
+	TraceFiles      int   `json:"trace_files"` // spill pairs (.wmtrace + sidecar)
+	TraceBytes      int64 `json:"trace_bytes"`
+	BudgetBytes     int64 `json:"budget_bytes"` // 0 = unlimited
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Puts            int64 `json:"puts"`
+	ResultEvictions int64 `json:"result_evictions"`
+	TraceEvictions  int64 `json:"trace_evictions"`
+}
+
+// OpenStore opens (creating as needed, parents included) a store rooted at
+// dir: results under dir/results, trace spills under dir/traces. budget is
+// the combined byte budget, 0 for unlimited. Existing entries are adopted
+// with their file times as initial recency, so a restarted daemon resumes
+// warm.
+func OpenStore(dir string, budget int64) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("serve: empty store directory")
+	}
+	if budget < 0 {
+		return nil, fmt.Errorf("serve: negative store budget %d", budget)
+	}
+	results, err := explore.NewDirCache(filepath.Join(dir, "results"))
+	if err != nil {
+		return nil, err
+	}
+	traceDir := filepath.Join(dir, "traces")
+	if err := os.MkdirAll(traceDir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: store trace dir: %w", err)
+	}
+	st := &Store{
+		results:  results,
+		traceDir: traceDir,
+		budget:   budget,
+		ll:       list.New(),
+		ent:      map[string]*list.Element{},
+	}
+	ents, err := results.Entries() // oldest first
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		st.resultBytes += e.Bytes
+		el := st.ll.PushFront(&storeEntry{key: e.Key, bytes: e.Bytes, lastUse: e.ModTime})
+		st.ent[e.Key] = el
+	}
+	return st, nil
+}
+
+// ResultDir and TraceDir return the store's component directories; the
+// server hands TraceDir to suite.NewDirTraceCache so captures spill into
+// the budgeted store.
+func (st *Store) ResultDir() string { return st.results.Dir() }
+func (st *Store) TraceDir() string  { return st.traceDir }
+
+// Get loads a stored grid point and bumps its recency. A corrupt or absent
+// entry is a miss.
+func (st *Store) Get(key string) (*explore.PointResult, bool) {
+	pr, ok := st.results.Get(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !ok {
+		st.misses++
+		// A vanished or corrupt file no longer occupies space it is
+		// indexed for; drop the stale entry so accounting stays honest.
+		if el, idxed := st.ent[key]; idxed {
+			if e, still := st.results.Entry(key); still {
+				el.Value.(*storeEntry).bytes = e.Bytes
+			} else {
+				st.resultBytes -= el.Value.(*storeEntry).bytes
+				st.ll.Remove(el)
+				delete(st.ent, key)
+			}
+		}
+		return nil, false
+	}
+	st.hits++
+	st.touch(key)
+	return pr, true
+}
+
+// Put stores a grid point and accounts it. The caller is expected to run
+// Enforce (directly or via the server's sweep epilogue) to apply the
+// budget; Put itself only keeps the books.
+func (st *Store) Put(key string, pr *explore.PointResult) error {
+	if err := st.results.Put(key, pr); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.puts++
+	st.touch(key)
+	return nil
+}
+
+// touch bumps key to the LRU front, (re)stating its size. Callers hold mu.
+func (st *Store) touch(key string) {
+	var bytes int64
+	if e, ok := st.results.Entry(key); ok {
+		bytes = e.Bytes
+	}
+	if el, ok := st.ent[key]; ok {
+		se := el.Value.(*storeEntry)
+		st.resultBytes += bytes - se.bytes
+		se.bytes = bytes
+		se.lastUse = time.Now()
+		st.ll.MoveToFront(el)
+		return
+	}
+	st.resultBytes += bytes
+	st.ent[key] = st.ll.PushFront(&storeEntry{key: key, bytes: bytes, lastUse: time.Now()})
+}
+
+// tracePair is one spill pair on disk (WMTRACE1 file + JSON sidecar).
+type tracePair struct {
+	base    string // path without extension
+	bytes   int64
+	modTime time.Time
+}
+
+// scanTraces lists the spill pairs, oldest first.
+func (st *Store) scanTraces() ([]tracePair, int64) {
+	des, err := os.ReadDir(st.traceDir)
+	if err != nil {
+		return nil, 0
+	}
+	pairs := map[string]*tracePair{}
+	for _, de := range des {
+		name := de.Name()
+		base, isTrace := strings.CutSuffix(name, ".wmtrace")
+		if !isTrace {
+			if base, ok := strings.CutSuffix(name, ".json"); ok {
+				// Sidecar: account its bytes against the pair.
+				if info, err := de.Info(); err == nil {
+					p := pairs[base]
+					if p == nil {
+						p = &tracePair{base: filepath.Join(st.traceDir, base)}
+						pairs[base] = p
+					}
+					p.bytes += info.Size()
+				}
+			}
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		p := pairs[base]
+		if p == nil {
+			p = &tracePair{base: filepath.Join(st.traceDir, base)}
+			pairs[base] = p
+		}
+		p.bytes += info.Size()
+		p.modTime = info.ModTime()
+	}
+	out := make([]tracePair, 0, len(pairs))
+	var total int64
+	for _, p := range pairs {
+		out = append(out, *p)
+		total += p.bytes
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].modTime.Before(out[j].modTime) })
+	return out, total
+}
+
+// Enforce applies the byte budget: while results + traces exceed it, the
+// LRU item — the older of the least-recently-used result and the oldest
+// trace pair — is deleted. It returns how many results and trace pairs
+// were evicted. With no budget it is a no-op.
+func (st *Store) Enforce() (results, traces int) {
+	if st.budget == 0 {
+		return 0, 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pairs, traceBytes := st.scanTraces()
+	for st.resultBytes+traceBytes > st.budget {
+		oldestRes := st.ll.Back()
+		switch {
+		case oldestRes == nil && len(pairs) == 0:
+			return results, traces
+		case oldestRes == nil || (len(pairs) > 0 && pairs[0].modTime.Before(oldestRes.Value.(*storeEntry).lastUse)):
+			p := pairs[0]
+			pairs = pairs[1:]
+			os.Remove(p.base + ".wmtrace")
+			os.Remove(p.base + ".json")
+			traceBytes -= p.bytes
+			traces++
+			st.traceEvictions++
+		default:
+			se := oldestRes.Value.(*storeEntry)
+			if err := st.results.Delete(se.key); err != nil {
+				// Undeletable entry: stop rather than spin; the next
+				// Enforce retries.
+				return results, traces
+			}
+			st.resultBytes -= se.bytes
+			st.ll.Remove(oldestRes)
+			delete(st.ent, se.key)
+			results++
+			st.resultEvictions++
+		}
+	}
+	return results, traces
+}
+
+// Stats snapshots the store's accounting, rescanning the trace directory.
+func (st *Store) Stats() StoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	pairs, traceBytes := st.scanTraces()
+	return StoreStats{
+		ResultEntries:   len(st.ent),
+		ResultBytes:     st.resultBytes,
+		TraceFiles:      len(pairs),
+		TraceBytes:      traceBytes,
+		BudgetBytes:     st.budget,
+		Hits:            st.hits,
+		Misses:          st.misses,
+		Puts:            st.puts,
+		ResultEvictions: st.resultEvictions,
+		TraceEvictions:  st.traceEvictions,
+	}
+}

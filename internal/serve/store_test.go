@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"waymemo/internal/cache"
+	"waymemo/internal/explore"
+)
+
+// fakeResult builds a distinguishable PointResult for store bookkeeping
+// tests (no simulation involved).
+func fakeResult(i int) *explore.PointResult {
+	return &explore.PointResult{
+		Geometry: cache.Config{Sets: 64, Ways: 2, LineBytes: 16},
+		Workload: fmt.Sprintf("w%d", i),
+		Cycles:   uint64(1000 + i),
+		Instrs:   uint64(500 + i),
+		Techs:    []explore.TechOutcome{{ID: "original"}},
+	}
+}
+
+func TestStoreGetPutStats(t *testing.T) {
+	st, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("k0"); ok {
+		t.Fatal("Get on empty store hit")
+	}
+	if err := st.Put("k0", fakeResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	pr, ok := st.Get("k0")
+	if !ok || pr.Workload != "w0" {
+		t.Fatalf("Get after Put: ok=%v pr=%+v", ok, pr)
+	}
+	s := st.Stats()
+	if s.ResultEntries != 1 || s.ResultBytes <= 0 {
+		t.Errorf("stats entries=%d bytes=%d, want 1 entry with bytes > 0", s.ResultEntries, s.ResultBytes)
+	}
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 {
+		t.Errorf("stats hits=%d misses=%d puts=%d, want 1/1/1", s.Hits, s.Misses, s.Puts)
+	}
+}
+
+// TestStoreAdoptsExisting: a reopened store adopts on-disk entries, so a
+// restarted daemon resumes warm.
+func TestStoreAdoptsExisting(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Put(fmt.Sprintf("k%d", i), fakeResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := re.Stats(); s.ResultEntries != 3 || s.ResultBytes <= 0 {
+		t.Fatalf("reopened stats = %+v, want 3 adopted entries", s)
+	}
+	if pr, ok := re.Get("k1"); !ok || pr.Workload != "w1" {
+		t.Fatalf("reopened Get(k1): ok=%v pr=%+v", ok, pr)
+	}
+}
+
+// TestStoreLRUEviction: under a budget that holds two of four results, the
+// two most recently used survive Enforce.
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	seed, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := seed.Put(fmt.Sprintf("k%d", i), fakeResult(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Size the budget to exactly the two entries we intend to keep.
+	dc, err := explore.NewDirCache(filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keep int64
+	for _, k := range []string{"k2", "k3"} {
+		e, ok := dc.Entry(k)
+		if !ok {
+			t.Fatalf("missing entry %s", k)
+		}
+		keep += e.Bytes
+	}
+
+	st, err := OpenStore(dir, keep+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bump the keepers so k0/k1 are the LRU victims.
+	for _, k := range []string{"k2", "k3"} {
+		if _, ok := st.Get(k); !ok {
+			t.Fatalf("Get(%s) missed before eviction", k)
+		}
+	}
+	evRes, evTr := st.Enforce()
+	if evRes != 2 || evTr != 0 {
+		t.Fatalf("Enforce evicted %d results, %d traces; want 2, 0", evRes, evTr)
+	}
+	for _, k := range []string{"k2", "k3"} {
+		if _, ok := st.Get(k); !ok {
+			t.Errorf("recently used %s evicted", k)
+		}
+	}
+	for _, k := range []string{"k0", "k1"} {
+		if _, ok := st.Get(k); ok {
+			t.Errorf("LRU victim %s survived", k)
+		}
+	}
+	if s := st.Stats(); s.ResultBytes > s.BudgetBytes {
+		t.Errorf("after Enforce: %d result bytes over budget %d", s.ResultBytes, s.BudgetBytes)
+	}
+}
+
+// TestStoreTraceEviction: stale trace spill pairs are evicted before fresher
+// results, and both files of a pair go together.
+func TestStoreTraceEviction(t *testing.T) {
+	// First pass just measures one result's on-disk size.
+	probe, err := OpenStore(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Put("k0", fakeResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	resBytes := probe.Stats().ResultBytes
+
+	// Budget fits the result plus half the trace pair, so Enforce must shed
+	// the (older) trace pair and keep the result.
+	st, err := OpenStore(t.TempDir(), resBytes+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-time.Hour)
+	for _, name := range []string{"cap.wmtrace", "cap.json"} {
+		p := filepath.Join(st.TraceDir(), name)
+		if err := os.WriteFile(p, make([]byte, 1000), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put("k0", fakeResult(0)); err != nil {
+		t.Fatal(err)
+	}
+	evRes, evTr := st.Enforce()
+	if evRes != 0 || evTr != 1 {
+		t.Fatalf("Enforce evicted %d results, %d trace pairs; want 0, 1", evRes, evTr)
+	}
+	for _, name := range []string{"cap.wmtrace", "cap.json"} {
+		if _, err := os.Stat(filepath.Join(st.TraceDir(), name)); !os.IsNotExist(err) {
+			t.Errorf("%s survived trace eviction (err=%v)", name, err)
+		}
+	}
+	if _, ok := st.Get("k0"); !ok {
+		t.Error("fresh result evicted instead of stale trace pair")
+	}
+	if s := st.Stats(); s.TraceEvictions != 1 || s.TraceFiles != 0 {
+		t.Errorf("stats after trace eviction = %+v", s)
+	}
+}

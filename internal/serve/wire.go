@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"waymemo/internal/explore"
+	"waymemo/internal/suite"
+)
+
+// SweepRequest is the wire form of an explore.Space: everything is named
+// rather than embedded — workloads travel as benchmark names or synthetic
+// specs (ranged knobs expand server-side) — so a request is plain JSON and
+// two clients posting the same axes produce the same grid-point keys.
+// Empty axes take the same defaults explore.Space does (the paper's grid
+// and all seven benchmarks).
+type SweepRequest struct {
+	// Domain is "data" (default) or "fetch".
+	Domain     string `json:"domain,omitempty"`
+	Sets       []int  `json:"sets,omitempty"`
+	Ways       []int  `json:"ways,omitempty"`
+	LineBytes  []int  `json:"line_bytes,omitempty"`
+	TagEntries []int  `json:"mab_tags,omitempty"`
+	SetEntries []int  `json:"mab_sets,omitempty"`
+	// Workloads holds benchmark names and/or synthetic specs
+	// ("synth:pchase,fp=4KiB..64KiB"); empty means the paper's seven.
+	Workloads   []string `json:"workloads,omitempty"`
+	PacketBytes uint32   `json:"packet_bytes,omitempty"`
+}
+
+// Space resolves the request into a normalized explore.Space, expanding
+// workload names and validating every axis.
+func (r SweepRequest) Space() (explore.Space, error) {
+	sp := explore.Space{
+		Sets:          r.Sets,
+		Ways:          r.Ways,
+		LineBytes:     r.LineBytes,
+		TagEntries:    r.TagEntries,
+		SetEntries:    r.SetEntries,
+		WorkloadSpecs: r.Workloads,
+		PacketBytes:   r.PacketBytes,
+	}
+	switch strings.ToLower(r.Domain) {
+	case "", "data", "d":
+		sp.Domain = suite.Data
+	case "fetch", "i", "instruction":
+		sp.Domain = suite.Fetch
+	default:
+		return sp, fmt.Errorf("serve: unknown domain %q (valid: data, fetch)", r.Domain)
+	}
+	return sp.Normalize()
+}
+
+// SubmitResponse acknowledges an accepted sweep.
+type SubmitResponse struct {
+	ID string `json:"id"`
+	// Points is the expanded grid size (ranged specs counted).
+	Points int `json:"points"`
+}
+
+// JobMetrics is one sweep's serving breakdown: every grid point was
+// served exactly one way, so StoreHits + DedupJoins + Simulated == Done,
+// and Done == Points once the sweep completes.
+type JobMetrics struct {
+	Points int `json:"points"`
+	Done   int `json:"done"`
+	// StoreHits were answered from the shared result store, DedupJoins by
+	// joining another client's in-flight simulation of the same key, and
+	// Simulated by a simulation this sweep led.
+	StoreHits  int `json:"store_hits"`
+	DedupJoins int `json:"dedup_joins"`
+	Simulated  int `json:"simulated"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// JobStatus reports one sweep job.
+type JobStatus struct {
+	ID      string       `json:"id"`
+	State   string       `json:"state"` // "running", "done" or "failed"
+	Error   string       `json:"error,omitempty"`
+	Request SweepRequest `json:"request"`
+	Metrics JobMetrics   `json:"metrics"`
+}
+
+// Event is one progress report on a sweep's SSE stream: a grid point
+// starting ("start") or finishing ("done", with the Source that served
+// it). Seq numbers the job's events from 0 so a reconnecting subscriber
+// can detect replays.
+type Event struct {
+	Seq      int    `json:"seq"`
+	Index    int    `json:"index"`
+	Total    int    `json:"total"`
+	Workload string `json:"workload"`
+	Sets     int    `json:"sets"`
+	Ways     int    `json:"ways"`
+	Line     int    `json:"line_bytes"`
+	Status   string `json:"status"`           // "start" or "done"
+	Source   string `json:"source,omitempty"` // "store", "dedup" or "simulated"
+}
+
+// Point-serving sources, as reported in Event.Source and counted by
+// JobMetrics and ServerStats.
+const (
+	SourceStore     = "store"
+	SourceDedup     = "dedup"
+	SourceSimulated = "simulated"
+)
+
+// ServerStats is the daemon-wide counter snapshot served by /v1/stats.
+type ServerStats struct {
+	Sweeps         int64 `json:"sweeps"`
+	Points         int64 `json:"points"`
+	StoreHits      int64 `json:"store_hits"`
+	DedupJoins     int64 `json:"dedup_joins"`
+	Simulations    int64 `json:"simulations"`
+	InFlightPoints int   `json:"inflight_points"`
+
+	Store  StoreStats            `json:"store"`
+	Traces suite.TraceCacheStats `json:"traces"`
+}
+
+// OptimumResponse is /v1/sweeps/{id}/optimum: the measured power optimum
+// plus the paper's pick for the domain, for the classic comparison.
+type OptimumResponse struct {
+	Optimum   explore.Candidate `json:"optimum"`
+	PaperTags int               `json:"paper_tag_entries"`
+	PaperSets int               `json:"paper_set_entries"`
+}
+
+// ResultResponse is /v1/sweeps/{id}/result: the full grid plus metrics.
+type ResultResponse struct {
+	Points  []explore.PointResult `json:"points"`
+	Metrics JobMetrics            `json:"metrics"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -124,6 +124,29 @@ func NewDirTraceCache(dir string) (*TraceCache, error) {
 	return tc, nil
 }
 
+// Flush drops every completed in-memory capture, returning how many were
+// dropped. Spilled captures reload from disk on next use; memory-only ones
+// re-execute — results are unaffected either way. Long-running daemons call
+// it after evicting spill files so resident memory tracks the store's byte
+// budget instead of growing with every workload ever swept. Captures still
+// in flight are left alone.
+func (tc *TraceCache) Flush() int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	n := 0
+	for k, e := range tc.entries {
+		select {
+		case <-e.done:
+			// A failed filler already removed its entry, so anything still
+			// mapped and done is a completed capture.
+			delete(tc.entries, k)
+			n++
+		default:
+		}
+	}
+	return n
+}
+
 // Stats returns the cache's request counters so far.
 func (tc *TraceCache) Stats() TraceCacheStats {
 	return TraceCacheStats{

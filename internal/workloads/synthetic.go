@@ -70,14 +70,12 @@ func ExpandByName(name string) ([]Workload, error) {
 	return out, nil
 }
 
-// ParseList resolves a comma-separated workload list as CLIs accept it.
-// Synthetic specs contain commas themselves ("synth:pchase,fp=64KiB"), so a
-// fragment containing "=" re-attaches to the spec before it:
-//
-//	"DCT,synth:pchase,fp=4KiB..64KiB,seed=7,FFT"
-//
-// parses as DCT, one pchase spec (expanded over the footprint range), FFT.
-func ParseList(list string) ([]Workload, error) {
+// SplitList splits a comma-separated workload list into names without
+// resolving them, re-attaching a synthetic spec's own comma-separated knobs
+// to the spec before them (the same grammar ParseList resolves). Callers
+// that ship names over a wire — the serve client, loadgen — split with this
+// and let the receiving end expand.
+func SplitList(list string) []string {
 	var names []string
 	for _, f := range strings.Split(list, ",") {
 		f = strings.TrimSpace(f)
@@ -90,6 +88,18 @@ func ParseList(list string) ([]Workload, error) {
 		}
 		names = append(names, f)
 	}
+	return names
+}
+
+// ParseList resolves a comma-separated workload list as CLIs accept it.
+// Synthetic specs contain commas themselves ("synth:pchase,fp=64KiB"), so a
+// fragment containing "=" re-attaches to the spec before it:
+//
+//	"DCT,synth:pchase,fp=4KiB..64KiB,seed=7,FFT"
+//
+// parses as DCT, one pchase spec (expanded over the footprint range), FFT.
+func ParseList(list string) ([]Workload, error) {
+	names := SplitList(list)
 	if len(names) == 0 {
 		return nil, fmt.Errorf("workloads: empty workload list")
 	}

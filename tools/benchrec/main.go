@@ -16,17 +16,22 @@
 //   - explore_live_ms / explore_shared_ms: a cold multi-geometry
 //     design-space sweep (24 geometries × 2 workloads) with the
 //     execute-once / replay-many engine off and on;
-//   - explore_speedup: live / shared, the engine's headline win.
+//   - explore_speedup: live / shared, the engine's headline win;
+//   - serve_dedup_rate / serve_warm_query_ms: the service layer under the
+//     standard load harness (internal/serve/load) against an in-process
+//     daemon — 64 overlapping clients, two variants sharing a grid point;
+//     the dedup rate counts points served without a simulation.
 //
 // Usage:
 //
-//	go run ./tools/benchrec [-o BENCH_5.json] [-j N]
-//	go run ./tools/benchrec -o /tmp/bench.json -compare BENCH_5.json -tolerance 20%
+//	go run ./tools/benchrec [-o BENCH_6.json] [-j N]
+//	go run ./tools/benchrec -o /tmp/bench.json -compare BENCH_6.json -tolerance 20%
 //
 // With -compare, the run additionally gates against a committed baseline:
 // the machine-portable ratio metrics — the suite replay rates (live time
-// over per-sink replay time, and live time over batched replay time) and
-// the explore trace-sharing speedup — must not fall more than -tolerance
+// over per-sink replay time, and live time over batched replay time), the
+// explore trace-sharing speedup and the serve dedup rate — must not fall
+// more than -tolerance
 // below the baseline's, or the process exits nonzero. Metrics a baseline
 // predates (BENCH_3 has no batched replay) are skipped, so the gate works
 // against any committed BENCH_<n>.json. The absolute millisecond timings
@@ -40,6 +45,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
@@ -47,6 +53,9 @@ import (
 	"time"
 
 	"waymemo/internal/explore"
+	"waymemo/internal/serve"
+	"waymemo/internal/serve/client"
+	"waymemo/internal/serve/load"
 	"waymemo/internal/suite"
 	"waymemo/internal/workloads"
 )
@@ -73,6 +82,32 @@ type record struct {
 		SharedMS   float64 `json:"explore_shared_ms"`
 		Speedup    float64 `json:"explore_speedup"`
 	} `json:"explore_sweep_cold"`
+	// Serve is the service layer's load figure (nil in pre-serve
+	// baselines): the standard load harness against an in-process daemon.
+	Serve *serveRecord `json:"serve_load,omitempty"`
+}
+
+// serveRecord captures the serve-load metrics: the dedup rate is a
+// machine-portable ratio (it depends only on the variant overlap and the
+// dedup machinery, never on machine speed), so it is gated; the warm query
+// latency is informational.
+type serveRecord struct {
+	Clients      int     `json:"clients"`
+	Points       int     `json:"points"`
+	UniquePoints int     `json:"unique_points"`
+	Simulations  int64   `json:"simulations"`
+	DedupRate    float64 `json:"serve_dedup_rate"`
+	WarmQueryMS  float64 `json:"serve_warm_query_ms"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+// serveDedup is the gateable serve ratio, 0 when the baseline predates the
+// service layer.
+func (r *record) serveDedup() float64 {
+	if r.Serve == nil {
+		return 0
+	}
+	return r.Serve.DedupRate
 }
 
 func timeIt(name string, f func() error) float64 {
@@ -149,6 +184,7 @@ func compareBaseline(cur *record, baselinePath string, tol float64) error {
 	check("suite-replay-rate", cur.replayRate(), base.replayRate())
 	check("suite-replay-batched-rate", cur.batchedReplayRate(), base.batchedReplayRate())
 	check("explore-speedup", cur.Explore.Speedup, base.Explore.Speedup)
+	check("serve-dedup-rate", cur.serveDedup(), base.serveDedup())
 	if regressions != nil {
 		return fmt.Errorf("ratio regressions vs %s: %s", baselinePath, strings.Join(regressions, "; "))
 	}
@@ -156,7 +192,7 @@ func compareBaseline(cur *record, baselinePath string, tol float64) error {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_5.json", "output file")
+	out := flag.String("o", "BENCH_6.json", "output file")
 	par := flag.Int("j", 0, "parallelism passed to the runners (0 = GOMAXPROCS)")
 	compare := flag.String("compare", "", "baseline BENCH_<n>.json `file`; exit nonzero if a ratio metric regresses beyond -tolerance")
 	tolerance := flag.String("tolerance", "20%", "allowed ratio-metric regression for -compare (\"20%\" or \"0.2\")")
@@ -226,6 +262,46 @@ func main() {
 		return err
 	})
 	r.Explore.Speedup = r.Explore.LiveMS / r.Explore.SharedMS
+
+	// The service layer under the standard load harness: an in-process
+	// daemon, 64 overlapping clients cycling two variants that share a grid
+	// point. The dedup rate is fully determined by the variant overlap on a
+	// cold store (1 - unique/requested), which is what makes it gateable.
+	storeDir, err := os.MkdirTemp("", "benchrec-serve-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(storeDir)
+	srv, err := serve.New(serve.Config{StoreDir: storeDir, Parallelism: *par})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	ts := httptest.NewServer(srv)
+	variants := []serve.SweepRequest{
+		{Sets: []int{64, 128}, TagEntries: []int{1}, SetEntries: []int{4},
+			Workloads: []string{"synth:hotloop,fp=1KiB,n=8192"}},
+		{Sets: []int{64, 256}, TagEntries: []int{1}, SetEntries: []int{4},
+			Workloads: []string{"synth:hotloop,fp=1KiB,n=8192"}},
+	}
+	var rep *load.Report
+	timeIt("serve load (64 clients)", func() error {
+		var err error
+		rep, err = load.Run(ctx, client.New(ts.URL), load.Options{Clients: 64, Variants: variants})
+		return err
+	})
+	ts.Close()
+	srv.Close()
+	r.Serve = &serveRecord{
+		Clients:      rep.Clients,
+		Points:       rep.Points,
+		UniquePoints: rep.UniquePoints,
+		Simulations:  rep.Simulations,
+		DedupRate:    rep.DedupRate,
+		WarmQueryMS:  rep.WarmQueryMS,
+		ElapsedMS:    rep.ElapsedMS,
+	}
 
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

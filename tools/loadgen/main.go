@@ -1,0 +1,194 @@
+// loadgen replays overlapping client sweeps against a running wmx serve
+// daemon and asserts the service layer's promises: N clients sweeping
+// overlapping grids cost one simulation per unique grid point (singleflight
+// + shared store), a warm rerun simulates nothing, and warm analytics
+// answer fast. It is the load half of the serve-smoke CI job; point it at
+// any daemon to measure dedup under real concurrency.
+//
+// Usage:
+//
+//	wmx serve -listen 127.0.0.1:8077 -store-dir /tmp/wmx-store &
+//	go run ./tools/loadgen -addr http://127.0.0.1:8077 -clients 100 \
+//	    -sets "128,256|256,512" -min-dedup 0.9 -expect-unique
+//
+// Axis flags (-sets, -ways, -lines, -mab-tags, -mab-sets, -workloads) hold
+// one or more variants separated by '|': client i submits variant
+// i % len(variants), so two variants with overlapping axes give the daemon
+// overlap to dedup both within a variant (identical clients) and across
+// variants (shared grid points). Workload lists are comma-separated names
+// or synthetic specs; a spec's own commas are understood.
+//
+// Assertions (any failure exits nonzero):
+//
+//	-min-dedup R       overall dedup rate (points served without a
+//	                   simulation / points requested) must be >= R
+//	-expect-unique     simulations must equal the variant set's unique
+//	                   grid points exactly (requires a cold store)
+//	-max-warm-sims N   warm rerun may cost at most N simulations (default 0)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"waymemo/internal/serve"
+	"waymemo/internal/serve/client"
+	"waymemo/internal/serve/load"
+	"waymemo/internal/workloads"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8077", "daemon base URL")
+		clients  = flag.Int("clients", 100, "concurrent sweep clients")
+		domain   = flag.String("domain", "data", "cache domain: data or fetch")
+		sets     = flag.String("sets", "64,128", "sets axis variants ('|'-separated)")
+		ways     = flag.String("ways", "", "ways axis variants")
+		lines    = flag.String("lines", "", "line-bytes axis variants")
+		mabTags  = flag.String("mab-tags", "1", "MAB tag-entry axis variants")
+		mabSets  = flag.String("mab-sets", "4", "MAB set-entry axis variants")
+		wls      = flag.String("workloads", "synth:hotloop,fp=1KiB,n=2048", "workload list variants ('|'-separated)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+		minDedup = flag.Float64("min-dedup", -1, "fail unless dedup rate >= this (-1 disables)")
+		expectUq = flag.Bool("expect-unique", false, "fail unless simulations == unique points (cold store)")
+		maxWarm  = flag.Int64("max-warm-sims", 0, "fail if the warm rerun simulates more than this")
+		skipWarm = flag.Bool("skip-warm", false, "skip the warm rerun and warm query phases")
+		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+	)
+	flag.Parse()
+
+	variants, err := buildVariants(*domain, *sets, *ways, *lines, *mabTags, *mabSets, *wls)
+	if err != nil {
+		fatal("%v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	c := client.New(*addr)
+	if err := c.Health(ctx); err != nil {
+		fatal("daemon not reachable at %s: %v", *addr, err)
+	}
+	rep, err := load.Run(ctx, c, load.Options{
+		Clients:  *clients,
+		Variants: variants,
+		SkipWarm: *skipWarm,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Println(rep)
+	}
+
+	failed := false
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+			failed = true
+		}
+	}
+	if *minDedup >= 0 {
+		check(rep.DedupRate >= *minDedup, "dedup rate %.3f < required %.3f", rep.DedupRate, *minDedup)
+	}
+	if *expectUq {
+		check(rep.Simulations == int64(rep.UniquePoints),
+			"simulations %d != unique points %d (store not cold, or dedup broken)",
+			rep.Simulations, rep.UniquePoints)
+	}
+	if !*skipWarm {
+		check(rep.WarmRerunSimulations <= *maxWarm,
+			"warm rerun simulated %d points (allowed %d)", rep.WarmRerunSimulations, *maxWarm)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// buildVariants expands the '|'-separated axis flags into sweep requests:
+// variant i takes element i (mod length) of every axis's variant list, so
+// axes with fewer variants repeat against the longer ones.
+func buildVariants(domain, sets, ways, lines, mabTags, mabSets, wls string) ([]serve.SweepRequest, error) {
+	setsV, err := intVariants("sets", sets)
+	if err != nil {
+		return nil, err
+	}
+	waysV, err := intVariants("ways", ways)
+	if err != nil {
+		return nil, err
+	}
+	linesV, err := intVariants("lines", lines)
+	if err != nil {
+		return nil, err
+	}
+	tagsV, err := intVariants("mab-tags", mabTags)
+	if err != nil {
+		return nil, err
+	}
+	msetsV, err := intVariants("mab-sets", mabSets)
+	if err != nil {
+		return nil, err
+	}
+	var wlsV [][]string
+	for _, v := range strings.Split(wls, "|") {
+		wlsV = append(wlsV, workloads.SplitList(v))
+	}
+
+	n := 1
+	for _, l := range []int{len(setsV), len(waysV), len(linesV), len(tagsV), len(msetsV), len(wlsV)} {
+		if l > n {
+			n = l
+		}
+	}
+	pick := func(vv [][]int, i int) []int { return vv[i%len(vv)] }
+	out := make([]serve.SweepRequest, n)
+	for i := range out {
+		out[i] = serve.SweepRequest{
+			Domain:     domain,
+			Sets:       pick(setsV, i),
+			Ways:       pick(waysV, i),
+			LineBytes:  pick(linesV, i),
+			TagEntries: pick(tagsV, i),
+			SetEntries: pick(msetsV, i),
+			Workloads:  wlsV[i%len(wlsV)],
+		}
+	}
+	return out, nil
+}
+
+// intVariants parses "a,b|c,d" into [[a b] [c d]]. An empty flag is one
+// empty variant (the axis keeps the daemon's default).
+func intVariants(name, s string) ([][]int, error) {
+	var out [][]int
+	for _, v := range strings.Split(s, "|") {
+		var vals []int
+		for _, f := range strings.Split(v, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			n, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: -%s: bad value %q", name, f)
+			}
+			vals = append(vals, n)
+		}
+		out = append(out, vals)
+	}
+	return out, nil
+}
