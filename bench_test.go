@@ -7,6 +7,7 @@ package waymemo_test
 // prints the reproduced numbers.
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"sync"
@@ -292,6 +293,31 @@ func BenchmarkTraceFanOutRate(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(buf.Len()*sinks*b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkTraceColumnCodec measures the WMTRACE2 column codec end to end:
+// serializing a real capture's sealed delta/varint chunks and parsing them
+// back into an adopted buffer. Reported metrics: spill bytes per event
+// (the compression the format buys on the paper's access mix) and encode
+// throughput.
+func BenchmarkTraceColumnCodec(b *testing.B) {
+	var buf trace.Buffer
+	if _, err := workloads.Run(workloads.DCT(), &buf, &buf); err != nil {
+		b.Fatal(err)
+	}
+	var spill bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spill.Reset()
+		if _, err := buf.WriteTo(&spill); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.ReadBuffer(bytes.NewReader(spill.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(spill.Len())/float64(buf.Len()), "spill_B/event")
+	b.ReportMetric(float64(buf.Len()*b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
 // BenchmarkSimulatorIPS measures raw simulator speed (instructions/sec) on

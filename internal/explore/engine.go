@@ -285,7 +285,15 @@ type fanShard struct {
 
 // maxShardPoints bounds how many grid points one shard instantiates at
 // once, capping the controller state a single fan-out pass holds live.
-const maxShardPoints = 64
+// minShardPoints floors the split the other way: below four points per
+// pass, the fixed cost of decoding the capture's compressed columns stops
+// amortizing and the sweep degenerates toward one-replay-per-point, so the
+// scheduler prefers fewer, fuller shards over perfectly even worker
+// occupancy.
+const (
+	maxShardPoints = 64
+	minShardPoints = 4
+)
 
 // runFanOut is the batched per-(workload, packet) scheduler: result-cache
 // hits are served first without touching the trace engine, then each
@@ -345,6 +353,9 @@ func runFanOut(ctx context.Context, s Space, pts []Point, techs []suite.Techniqu
 			continue
 		}
 		k := perGroup
+		if maxK := (len(group) + minShardPoints - 1) / minShardPoints; k > maxK {
+			k = maxK
+		}
 		if minK := (len(group) + maxShardPoints - 1) / maxShardPoints; k < minK {
 			k = minK
 		}
@@ -361,8 +372,14 @@ func runFanOut(ctx context.Context, s Space, pts []Point, techs []suite.Techniqu
 		}
 		// Instantiate this shard's technique sinks only now, so the memory
 		// a sweep holds live is bounded by the active shards, not the grid.
+		// Pairs are laid out technique-major (all of one technique's
+		// instances across the shard's points adjacent) so each decoded
+		// block sweeps through structurally identical controllers together —
+		// their tables share layout, keeping the delivery loop's working set
+		// coherent. ReplayAll delivers the full stream to every sink
+		// regardless of pair order, so results are unaffected.
 		insts := make([][]suite.Instance, len(sh.pts))
-		pairs := make([]trace.SinkPair, 0, len(sh.pts)*len(techs))
+		pairs := make([]trace.SinkPair, len(sh.pts)*len(techs))
 		for pi, fp := range sh.pts {
 			insts[pi] = make([]suite.Instance, len(techs))
 			for ti, tech := range techs {
@@ -384,7 +401,7 @@ func runFanOut(ctx context.Context, s Space, pts []Point, techs []suite.Techniqu
 					pair.Fetch = inst.Fetch
 				}
 				insts[pi][ti] = inst
-				pairs = append(pairs, pair)
+				pairs[ti*len(sh.pts)+pi] = pair
 			}
 		}
 		c, err := tc.FanOut(runCtx, sh.w, s.PacketBytes, pairs, len(sh.pts))

@@ -9,6 +9,7 @@ import (
 
 	"waymemo/internal/cache"
 	"waymemo/internal/explore"
+	"waymemo/internal/trace"
 )
 
 // fakeResult builds a distinguishable PointResult for store bookkeeping
@@ -174,5 +175,88 @@ func TestStoreTraceEviction(t *testing.T) {
 	}
 	if s := st.Stats(); s.TraceEvictions != 1 || s.TraceFiles != 0 {
 		t.Errorf("stats after trace eviction = %+v", s)
+	}
+}
+
+// TestStoreMixedFormatTraceEviction: the store's byte budget is
+// format-agnostic — a directory holding a legacy WMTRACE1 spill pair next to
+// a current WMTRACE2 pair (what upgrading a long-lived daemon leaves behind)
+// evicts by age across formats, and the surviving pair still decodes.
+func TestStoreMixedFormatTraceEviction(t *testing.T) {
+	// One real capture, spilled in both formats.
+	var buf trace.Buffer
+	addr := uint32(0x1000)
+	for i := 0; i < 5000; i++ {
+		buf.OnFetch(trace.FetchEvent{
+			Addr: addr + 8, Prev: addr, Base: addr, Disp: 8,
+			Kind: trace.KindSeq, First: i == 0,
+		})
+		addr += 8
+		if i%4 == 0 {
+			buf.OnData(trace.DataEvent{Addr: 0x8000 + uint32(i)*4, Base: 0x8000, Disp: int32(i), Size: 4})
+		}
+	}
+	dir := t.TempDir()
+	seed, err := OpenStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, emit func(*os.File) error, age time.Duration) int64 {
+		t.Helper()
+		p := filepath.Join(seed.TraceDir(), name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := emit(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		when := time.Now().Add(-age)
+		if err := os.Chtimes(p, when, when); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.Size()
+	}
+	sidecar := func(f *os.File) error { _, err := f.Write([]byte(`{"version":1}`)); return err }
+	v1Bytes := write("legacy.wmtrace", func(f *os.File) error { _, err := buf.WriteToV1(f); return err }, time.Hour)
+	v1Bytes += write("legacy.json", sidecar, time.Hour)
+	v2Bytes := write("current.wmtrace", func(f *os.File) error { _, err := buf.WriteTo(f); return err }, 0)
+	v2Bytes += write("current.json", sidecar, 0)
+	if 2*v2Bytes >= v1Bytes {
+		t.Fatalf("WMTRACE2 pair %dB not under half the WMTRACE1 pair %dB", v2Bytes, v1Bytes)
+	}
+
+	st, err := OpenStore(dir, v2Bytes+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evRes, evTr := st.Enforce()
+	if evRes != 0 || evTr != 1 {
+		t.Fatalf("Enforce evicted %d results, %d trace pairs; want 0, 1", evRes, evTr)
+	}
+	for _, name := range []string{"legacy.wmtrace", "legacy.json"} {
+		if _, err := os.Stat(filepath.Join(st.TraceDir(), name)); !os.IsNotExist(err) {
+			t.Errorf("%s survived eviction (err=%v)", name, err)
+		}
+	}
+	f, err := os.Open(filepath.Join(st.TraceDir(), "current.wmtrace"))
+	if err != nil {
+		t.Fatalf("surviving WMTRACE2 pair gone: %v", err)
+	}
+	defer f.Close()
+	loaded, err := trace.ReadBuffer(f)
+	if err != nil {
+		t.Fatalf("surviving WMTRACE2 spill no longer decodes: %v", err)
+	}
+	if loaded.NumFetches() != buf.NumFetches() || loaded.NumDatas() != buf.NumDatas() {
+		t.Errorf("survivor decodes to %d/%d events, want %d/%d",
+			loaded.NumFetches(), loaded.NumDatas(), buf.NumFetches(), buf.NumDatas())
 	}
 }

@@ -1,10 +1,13 @@
 package suite
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"waymemo/internal/cache"
@@ -165,7 +168,8 @@ func TestTraceCacheSpill(t *testing.T) {
 	assertResultsEqual(t, first, second)
 }
 
-// TestTraceCacheSpillCorrupt checks that a truncated spill file degrades to
+// TestTraceCacheSpillCorrupt checks that a truncated spill file — the cut
+// lands mid-record, typically inside a varint column payload — degrades to
 // a re-capture (and is rewritten), never to an error or wrong results.
 func TestTraceCacheSpillCorrupt(t *testing.T) {
 	ctx := context.Background()
@@ -218,6 +222,155 @@ func TestTraceCacheSpillCorrupt(t *testing.T) {
 	}
 }
 
+// TestTraceCacheSpillBitFlips flips single bytes at offsets spread through
+// a WMTRACE2 spill — hitting record headers, column compression flags and
+// varint payloads (the trace package's every-byte-flip test proves the
+// per-offset coverage is exhaustive) — and checks each mutation degrades to
+// a re-capture with bit-identical results.
+func TestTraceCacheSpillBitFlips(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ws := raceWorkloads(t)[:1]
+
+	tc1, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := filepath.Glob(filepath.Join(dir, "*.wmtrace"))
+	if err != nil || len(traces) != 1 {
+		t.Fatalf("spill files: %v, %v", traces, err)
+	}
+	orig, err := os.ReadFile(traces[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offset 8 is the first record's tag byte; the interior offsets land in
+	// column flags/payloads; the last byte is CRC material.
+	for _, off := range []int{8, len(orig) / 4, len(orig) / 2, len(orig) - 1} {
+		mut := append([]byte(nil), orig...)
+		mut[off] ^= 0xff
+		if err := os.WriteFile(traces[0], mut, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		tc, err := NewDirTraceCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := tc.Stats(); st.Captures != 1 || st.DiskLoads != 0 {
+			t.Fatalf("flip at %d: not degraded to a capture: %+v", off, st)
+		}
+		assertResultsEqual(t, first, again)
+	}
+}
+
+// TestTraceCacheStaleSidecar: a sidecar whose event counts disagree with
+// the trace file (a torn or stale spill pair) must read as a miss and
+// re-capture, not serve a capture the sidecar no longer describes.
+func TestTraceCacheStaleSidecar(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ws := raceWorkloads(t)[:1]
+
+	tc1, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sides, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(sides) != 1 {
+		t.Fatalf("sidecar files: %v, %v", sides, err)
+	}
+	mb, err := os.ReadFile(sides[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["fetches"] = m["fetches"].(float64) + 1
+	mb, err = json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(sides[0], mb, 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	tc2, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tc2.Stats(); st.Captures != 1 || st.DiskLoads != 0 {
+		t.Fatalf("stale sidecar not degraded to a capture: %+v", st)
+	}
+	assertResultsEqual(t, first, second)
+}
+
+// TestTraceCacheSpillV1Compat: a spill directory holding a legacy WMTRACE1
+// file (written by an earlier version) with a matching sidecar must disk-load
+// through a fresh cache and replay bit-identically — old directories keep
+// working without re-capture.
+func TestTraceCacheSpillV1Compat(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	ws := raceWorkloads(t)[:1]
+
+	tc1, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the spill in the legacy format — same capture, same sidecar
+	// counts — exactly what a pre-upgrade process would have left behind.
+	c, err := tc1.Capture(ctx, ws[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := filepath.Glob(filepath.Join(dir, "*.wmtrace"))
+	if err != nil || len(traces) != 1 {
+		t.Fatalf("spill files: %v, %v", traces, err)
+	}
+	var v1 bytes.Buffer
+	if _, err := c.Buf.WriteToV1(&v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(traces[0], v1.Bytes(), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	tc2, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(ctx, WithWorkloads(ws...), WithTraceCache(tc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tc2.Stats(); st.Captures != 0 || st.DiskLoads != 1 {
+		t.Fatalf("legacy WMTRACE1 spill not disk-loaded: %+v", st)
+	}
+	assertResultsEqual(t, first, second)
+}
+
 // TestTraceCacheMaxInstrsKeyed: an instruction budget that would fail a
 // live run must fail through the cache too, not silently reuse a capture
 // recorded under a longer budget.
@@ -234,54 +387,153 @@ func TestTraceCacheMaxInstrsKeyed(t *testing.T) {
 	}
 }
 
-// TestFanOutReplayEquivalence is the batched fan-out contract: one
-// ReplayAll pass feeding every technique (suite.Run's default replay path)
-// must produce byte-identical counters and power to independent per-sink
-// Replay calls (WithBatchReplay(false)) and to live execution — for all
-// eight standard techniques of both domains, across a geometry grid, on a
-// synthetic workload spec.
+// TestFanOutReplayEquivalence is the batched fan-out contract, widened to
+// the compressed × parallelism grid: one ReplayAll pass feeding every
+// technique (suite.Run's default replay path) must produce byte-identical
+// counters and power to independent per-sink Replay calls
+// (WithBatchReplay(false)), to a WMTRACE2 spill reloaded from disk, and to
+// live execution — for all eight standard techniques of both domains,
+// across a geometry grid, at parallelism 1 and 4, on two synthetic
+// workloads (so parallelism actually interleaves benchmarks).
 func TestFanOutReplayEquivalence(t *testing.T) {
 	ctx := context.Background()
-	w, err := workloads.ByName("synth:pchase,fp=8KiB,stride=64,seed=3")
+	w1, err := workloads.ByName("synth:pchase,fp=8KiB,stride=64,seed=3")
 	if err != nil {
 		t.Fatal(err)
 	}
+	w2, err := workloads.ByName("synth:hotloop,fp=1KiB,n=2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []workloads.Workload{w1, w2}
 	geos := []cache.Config{
 		{Sets: 128, Ways: 1, LineBytes: 16},
 		{Sets: 256, Ways: 2, LineBytes: 32},
 		{Sets: 512, Ways: 4, LineBytes: 32},
 	}
-	tc := NewTraceCache()
+	dir := t.TempDir()
+	// tcWarm captures (and spills WMTRACE2 files); tcDisk shares the
+	// directory but is a distinct cache, so everything it serves comes from
+	// the compressed spill files, never from an in-memory capture.
+	tcWarm, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcDisk, err := NewDirTraceCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pars := []int{1, 4}
 	for _, geo := range geos {
-		live, err := Run(ctx, WithWorkloads(w), WithGeometry(geo))
+		live, err := Run(ctx, WithWorkloads(ws...), WithGeometry(geo))
 		if err != nil {
 			t.Fatal(err)
 		}
 		if n := len(live.Benchmarks[0].D) + len(live.Benchmarks[0].I); n != 8 {
 			t.Fatalf("standard registry has %d techniques, want 8", n)
 		}
-		batched, err := Run(ctx, WithWorkloads(w), WithGeometry(geo), WithTraceCache(tc))
-		if err != nil {
-			t.Fatal(err)
+		for _, par := range pars {
+			batched, err := Run(ctx, WithWorkloads(ws...), WithGeometry(geo),
+				WithTraceCache(tcWarm), WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			perSink, err := Run(ctx, WithWorkloads(ws...), WithGeometry(geo),
+				WithTraceCache(tcWarm), WithBatchReplay(false), WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// By the time tcDisk first runs, tcWarm's capture has already
+			// spilled, so this run decodes the WMTRACE2 files from disk.
+			spilled, err := Run(ctx, WithWorkloads(ws...), WithGeometry(geo),
+				WithTraceCache(tcDisk), WithParallelism(par))
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsEqual(t, live, batched)
+			assertResultsEqual(t, live, perSink)
+			assertResultsEqual(t, live, spilled)
 		}
-		perSink, err := Run(ctx, WithWorkloads(w), WithGeometry(geo),
-			WithTraceCache(tc), WithBatchReplay(false))
-		if err != nil {
-			t.Fatal(err)
-		}
-		assertResultsEqual(t, live, batched)
-		assertResultsEqual(t, live, perSink)
 	}
-	st := tc.Stats()
-	if st.Captures != 1 {
-		t.Fatalf("geometry sweep re-executed the workload: %+v", st)
+	st := tcWarm.Stats()
+	if st.Captures != len(ws) || st.DiskLoads != 0 {
+		t.Fatalf("geometry sweep re-executed a workload: %+v", st)
 	}
 	// Every batched pass fed all eight techniques from one stream walk.
-	if st.FanOutPasses != len(geos) || st.SinksPerPass() != 8 {
-		t.Fatalf("fan-out stats = %+v, want %d passes of 8 sinks", st, len(geos))
+	wantPasses := len(geos) * len(pars) * len(ws)
+	if st.FanOutPasses != wantPasses || st.SinksPerPass() != 8 {
+		t.Fatalf("fan-out stats = %+v, want %d passes of 8 sinks", st, wantPasses)
 	}
 	if st.FanOutEvents <= 0 || st.FanOutDeliveries <= st.FanOutEvents {
 		t.Fatalf("fan-out accounting degenerate: %+v", st)
+	}
+	if st := tcDisk.Stats(); st.Captures != 0 || st.DiskLoads != len(ws) {
+		t.Fatalf("disk cache stats = %+v, want pure WMTRACE2 loads", st)
+	}
+}
+
+// TestFanOutReplaySharedBufferRace hammers one shared capture from
+// contending sink groups: several goroutines each instantiate the full
+// eight-technique set and run their own batched fan-out pass over the same
+// compressed buffer concurrently. Block decode uses per-pass cursors and
+// scratch, so every group must observe the identical stream — counters must
+// match a single-threaded reference exactly. Run under -race in CI.
+func TestFanOutReplaySharedBufferRace(t *testing.T) {
+	ctx := context.Background()
+	w, err := workloads.ByName("synth:hotloop,fp=1KiB,n=2048")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := NewTraceCache()
+	c, err := tc.Capture(ctx, w, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	techs := defaultRegistry.Techniques()
+	build := func() ([]trace.SinkPair, map[string]*stats.Counters) {
+		var pairs []trace.SinkPair
+		counters := map[string]*stats.Counters{}
+		for _, tech := range techs {
+			inst := tech.New(cache.FRV32K)
+			switch tech.Domain {
+			case Data:
+				pairs = append(pairs, trace.SinkPair{Data: inst.Data})
+			case Fetch:
+				pairs = append(pairs, trace.SinkPair{Fetch: inst.Fetch})
+			}
+			counters[tech.Domain.String()+"/"+string(tech.ID)] = inst.Stats
+		}
+		return pairs, counters
+	}
+	refPairs, refCounters := build()
+	if err := c.Buf.ReplayAll(ctx, refPairs); err != nil {
+		t.Fatal(err)
+	}
+
+	const groups = 8
+	errs := make([]error, groups)
+	got := make([]map[string]*stats.Counters, groups)
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pairs, counters := build()
+			errs[g] = c.Buf.ReplayAll(ctx, pairs)
+			got[g] = counters
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < groups; g++ {
+		if errs[g] != nil {
+			t.Fatalf("group %d: %v", g, errs[g])
+		}
+		for id, want := range refCounters {
+			if *got[g][id] != *want {
+				t.Errorf("group %d/%s counters diverge:\nref: %+v\ngot: %+v",
+					g, id, *want, *got[g][id])
+			}
+		}
 	}
 }
 

@@ -26,10 +26,13 @@ import (
 // G×W executions.
 //
 // With a spill directory (NewDirTraceCache), captures are also written as
-// WMTRACE1 files with a JSON sidecar, and a later process loads them back
-// instead of executing at all. Spill files are keyed by the workload's
-// content fingerprint, so stale files for a renamed or edited workload
-// degrade to a re-capture, never to wrong results.
+// WMTRACE2 files (compressed column chunks) with a JSON sidecar, and a later
+// process loads them back instead of executing at all; legacy WMTRACE1
+// spills from earlier versions load transparently, so mixed directories
+// keep working. Spill files are keyed by the workload's content
+// fingerprint, so stale files for a renamed or edited workload — like a
+// truncated, bit-flipped or otherwise corrupt trace file — degrade to a
+// re-capture, never to wrong results.
 //
 // A TraceCache is safe for concurrent use and is meant to be shared across
 // many suite.Run calls; concurrent requests for the same pair block on a
@@ -110,8 +113,8 @@ func NewTraceCache() *TraceCache {
 }
 
 // NewDirTraceCache returns a trace cache that spills captures to dir as
-// WMTRACE1 files (plus JSON sidecars) and reloads them in later processes.
-// The directory is created if needed.
+// WMTRACE2 files (plus JSON sidecars) and reloads them — or legacy WMTRACE1
+// files — in later processes. The directory is created if needed.
 func NewDirTraceCache(dir string) (*TraceCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("suite: empty trace directory")
@@ -287,12 +290,17 @@ func (tc *TraceCache) fill(ctx context.Context, e *traceEntry, w workloads.Workl
 // spill directories wholesale.
 const traceMetaVersion = 1
 
-// traceMeta is the JSON sidecar of one spill file: what WMTRACE1 itself
-// cannot carry — the execution counts BenchResult needs, and the identity
-// fields that double-check the trace file answers for the right capture.
+// traceMeta is the JSON sidecar of one spill file: what the trace file
+// itself cannot carry — the execution counts BenchResult needs, and the
+// identity fields that double-check the trace file answers for the right
+// capture. The same sidecar schema covers both trace formats; the reader
+// sniffs the file's own magic, so Format is informational (old sidecars
+// lack it and still validate).
 type traceMeta struct {
 	Version  int    `json:"version"`
 	Workload string `json:"workload"`
+	// Format names the trace file format the spill was written in.
+	Format string `json:"format,omitempty"`
 	// Spec is the canonical synthetic spec the workload was generated from
 	// (empty for the paper benchmarks), making spill directories
 	// self-describing: the sidecar alone says how to regenerate the
@@ -349,7 +357,7 @@ func (tc *TraceCache) load(e *traceEntry, k traceKey, w workloads.Workload) bool
 	return true
 }
 
-// store writes the capture as a WMTRACE1 file plus sidecar, each through a
+// store writes the capture as a WMTRACE2 file plus sidecar, each through a
 // temp file and rename so readers never observe a torn spill.
 func (tc *TraceCache) store(e *traceEntry, k traceKey, w workloads.Workload) error {
 	base := tc.spillBase(k)
@@ -362,6 +370,7 @@ func (tc *TraceCache) store(e *traceEntry, k traceKey, w workloads.Workload) err
 	m := traceMeta{
 		Version:     traceMetaVersion,
 		Workload:    k.name,
+		Format:      "WMTRACE2",
 		Spec:        w.Spec,
 		Fingerprint: fmt.Sprintf("%016x", k.fingerprint),
 		PacketBytes: k.packet,

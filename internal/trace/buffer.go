@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Buffer is a compact in-memory recording of one execution's event streams,
@@ -14,27 +15,40 @@ import (
 // pass over the storage (ReplayAll), so the capture streams through memory
 // once per sweep, not once per technique.
 //
-// Events are packed into fixed-size column chunks (structure-of-arrays, 21
-// bytes per fetch event and 13 per data event instead of the 24/16 of the
-// unpacked structs), so a full seven-benchmark capture of the paper's suite
-// fits in ~200MB and replay walks memory linearly. The program-order
-// interleaving of the two streams is kept as one bit per event, which is
-// what lets WriteTo spill the buffer to the WMTRACE1 file format and
-// ReadBuffer reload it losslessly.
+// Storage is compressed column chunks: events are staged into fixed-size
+// structure-of-arrays chunks and, each time a chunk fills, sealed into the
+// delta/varint column encoding of columns.go (~5 bytes per fetch event on
+// the paper's workloads instead of the 24 of the unpacked struct, with a
+// per-column raw fallback for incompressible streams). Replay decodes each
+// sealed chunk block-wise into a batchLen event scratch that stays L2-hot
+// while every sink of the pass walks it, so a fan-out pass streams the
+// encoded bytes — severalfold fewer than raw columns — exactly once. The
+// program-order interleaving of the two streams is kept as one bit per
+// event, which is what lets WriteTo spill the buffer to the WMTRACE2 file
+// format (sealed chunks verbatim) and ReadBuffer reload it losslessly.
 //
 // A Buffer is append-only: it implements FetchSink and DataSink for capture
 // and is safe for any number of concurrent replays once capture has
 // finished. It is not safe to append and replay concurrently.
 type Buffer struct {
-	fetch []*fetchChunk
-	data  []*dataChunk
-	nf    int
-	nd    int
+	fetch []encFetchChunk // sealed full chunks, chunkLen events each
+	data  []encDataChunk
+	// The not-yet-full tail of each stream stays raw in a staging chunk
+	// (reused after each seal), so appends never re-encode.
+	fstage *fetchChunk
+	dstage *dataChunk
+	nf     int
+	nd     int
 
 	// order holds one bit per recorded event in arrival order: 0 = fetch,
 	// 1 = data. It preserves the program-order interleaving for WriteTo.
 	order []uint64
 	n     int
+
+	// at caches the one most recently decoded chunk per stream for the
+	// random-access FetchAt/DataAt path (tests and tools; replay never
+	// touches it).
+	at atCache
 }
 
 const (
@@ -53,7 +67,7 @@ const (
 	dataStoreFlag = 0x80
 )
 
-// fetchChunk is one column-packed block of fetch events.
+// fetchChunk is one staging block of raw column-packed fetch events.
 type fetchChunk struct {
 	addr [chunkLen]uint32
 	prev [chunkLen]uint32
@@ -62,12 +76,21 @@ type fetchChunk struct {
 	kind [chunkLen]uint8
 }
 
-// dataChunk is one column-packed block of data events.
+// dataChunk is one staging block of raw column-packed data events.
 type dataChunk struct {
 	addr [chunkLen]uint32
 	base [chunkLen]uint32
 	disp [chunkLen]int32
 	meta [chunkLen]uint8
+}
+
+// atCache memoizes one decoded chunk per stream for FetchAt/DataAt.
+type atCache struct {
+	mu sync.Mutex
+	fi int // index of the decoded fetch chunk, or 0 with f == nil
+	f  *fetchChunk
+	di int
+	d  *dataChunk
 }
 
 // NumFetches returns the number of recorded fetch events.
@@ -78,6 +101,21 @@ func (b *Buffer) NumDatas() int { return b.nd }
 
 // Len returns the total number of recorded events.
 func (b *Buffer) Len() int { return b.n }
+
+// EncodedBytes returns the compressed footprint of the sealed chunks plus
+// the raw footprint of the staged tails — the bytes one replay pass streams.
+func (b *Buffer) EncodedBytes() int64 {
+	var total int64
+	for i := range b.fetch {
+		total += int64(b.fetch[i].encodedBytes())
+	}
+	for i := range b.data {
+		total += int64(b.data[i].encodedBytes())
+	}
+	total += int64((b.nf & chunkMask) * 17)
+	total += int64((b.nd & chunkMask) * 13)
+	return total
+}
 
 func (b *Buffer) pushOrder(isData bool) {
 	if b.n&63 == 0 {
@@ -92,46 +130,50 @@ func (b *Buffer) pushOrder(isData bool) {
 // OnFetch appends one fetch event to the buffer.
 func (b *Buffer) OnFetch(ev FetchEvent) {
 	i := b.nf & chunkMask
-	if i == 0 {
-		b.fetch = append(b.fetch, new(fetchChunk))
+	if b.fstage == nil {
+		b.fstage = new(fetchChunk)
 	}
-	ch := b.fetch[len(b.fetch)-1]
-	ch.addr[i] = ev.Addr
-	ch.prev[i] = ev.Prev
-	ch.base[i] = ev.Base
-	ch.disp[i] = ev.Disp
+	st := b.fstage
+	st.addr[i] = ev.Addr
+	st.prev[i] = ev.Prev
+	st.base[i] = ev.Base
+	st.disp[i] = ev.Disp
 	k := uint8(ev.Kind) & fetchKindMask
 	if ev.First {
 		k |= fetchFirstFlag
 	}
-	ch.kind[i] = k
+	st.kind[i] = k
 	b.nf++
+	if b.nf&chunkMask == 0 {
+		b.fetch = append(b.fetch, sealFetchChunk(st, chunkLen))
+	}
 	b.pushOrder(false)
 }
 
 // OnData appends one data event to the buffer.
 func (b *Buffer) OnData(ev DataEvent) {
 	i := b.nd & chunkMask
-	if i == 0 {
-		b.data = append(b.data, new(dataChunk))
+	if b.dstage == nil {
+		b.dstage = new(dataChunk)
 	}
-	ch := b.data[len(b.data)-1]
-	ch.addr[i] = ev.Addr
-	ch.base[i] = ev.Base
-	ch.disp[i] = ev.Disp
+	st := b.dstage
+	st.addr[i] = ev.Addr
+	st.base[i] = ev.Base
+	st.disp[i] = ev.Disp
 	m := ev.Size & dataSizeMask
 	if ev.Store {
 		m |= dataStoreFlag
 	}
-	ch.meta[i] = m
+	st.meta[i] = m
 	b.nd++
+	if b.nd&chunkMask == 0 {
+		b.data = append(b.data, sealDataChunk(st, chunkLen))
+	}
 	b.pushOrder(true)
 }
 
-// FetchAt returns the i-th recorded fetch event.
-func (b *Buffer) FetchAt(i int) FetchEvent {
-	ch := b.fetch[i>>chunkShift]
-	j := i & chunkMask
+// fetchEventAt assembles the j-th event of a raw chunk.
+func fetchEventAt(ch *fetchChunk, j int) FetchEvent {
 	return FetchEvent{
 		Addr:  ch.addr[j],
 		Prev:  ch.prev[j],
@@ -142,10 +184,8 @@ func (b *Buffer) FetchAt(i int) FetchEvent {
 	}
 }
 
-// DataAt returns the i-th recorded data event.
-func (b *Buffer) DataAt(i int) DataEvent {
-	ch := b.data[i>>chunkShift]
-	j := i & chunkMask
+// dataEventAt assembles the j-th event of a raw chunk.
+func dataEventAt(ch *dataChunk, j int) DataEvent {
 	return DataEvent{
 		Addr:  ch.addr[j],
 		Base:  ch.base[j],
@@ -153,6 +193,51 @@ func (b *Buffer) DataAt(i int) DataEvent {
 		Size:  ch.meta[j] & dataSizeMask,
 		Store: ch.meta[j]&dataStoreFlag != 0,
 	}
+}
+
+// FetchAt returns the i-th recorded fetch event — a convenience for tests
+// and tools. Sealed chunks are decoded whole and memoized one at a time, so
+// sequential scans stay linear; replay paths never come through here. A
+// decode failure (possible only for a corrupt file-adopted chunk) panics:
+// random access has no error channel, and load-time CRCs make it unreachable
+// in practice.
+func (b *Buffer) FetchAt(i int) FetchEvent {
+	if full := len(b.fetch) * chunkLen; i >= full {
+		return fetchEventAt(b.fstage, i-full)
+	}
+	ci := i >> chunkShift
+	b.at.mu.Lock()
+	defer b.at.mu.Unlock()
+	if b.at.f == nil || b.at.fi != ci {
+		if b.at.f == nil {
+			b.at.f = new(fetchChunk)
+		}
+		if err := decodeFetchChunk(&b.fetch[ci], b.at.f); err != nil {
+			panic(fmt.Sprintf("trace: fetch chunk %d: %v", ci, err))
+		}
+		b.at.fi = ci
+	}
+	return fetchEventAt(b.at.f, i&chunkMask)
+}
+
+// DataAt returns the i-th recorded data event; see FetchAt.
+func (b *Buffer) DataAt(i int) DataEvent {
+	if full := len(b.data) * chunkLen; i >= full {
+		return dataEventAt(b.dstage, i-full)
+	}
+	ci := i >> chunkShift
+	b.at.mu.Lock()
+	defer b.at.mu.Unlock()
+	if b.at.d == nil || b.at.di != ci {
+		if b.at.d == nil {
+			b.at.d = new(dataChunk)
+		}
+		if err := decodeDataChunk(&b.data[ci], b.at.d); err != nil {
+			panic(fmt.Sprintf("trace: data chunk %d: %v", ci, err))
+		}
+		b.at.di = ci
+	}
+	return dataEventAt(b.at.d, i&chunkMask)
 }
 
 // SinkPair registers one consumer's sinks for a fan-out replay pass. Either
@@ -163,10 +248,10 @@ type SinkPair struct {
 	Data  DataSink
 }
 
-// batchLen is the number of events decoded per fan-out block: large enough
-// that the one dynamic dispatch per block per sink is noise, small enough
-// that the decoded block (~96KB of fetch events) stays resident in L2 while
-// every sink of the pass walks it.
+// batchLen is the number of events decoded per replay block: large enough
+// that decode overhead and the one dynamic dispatch per block per sink are
+// noise, small enough that the decoded block (~96KB of fetch events) stays
+// resident in L2 while every sink of the pass walks it.
 const batchLen = 4096
 
 // Replay feeds both recorded streams to the sinks (either may be nil). It
@@ -177,12 +262,13 @@ func (b *Buffer) Replay(ctx context.Context, fetch FetchSink, data DataSink) err
 }
 
 // ReplayAll fans the capture out to every registered sink in a single pass:
-// each column chunk is decoded into event blocks once, and each block is
-// handed to all sinks (native batch sinks directly, legacy per-event sinks
-// through the adapter shim) before the next block is touched — so an
-// N-technique sweep streams the buffer once instead of N times and the hot
-// block stays cache-resident. Per-sink event order is exactly capture
-// order, identical to N independent Replay calls.
+// each compressed column chunk is decoded into event blocks once, and each
+// block is handed to all sinks (native batch sinks directly, legacy
+// per-event sinks through the adapter shim) before the next block is
+// touched — so an N-technique sweep streams the encoded bytes once instead
+// of the raw bytes N times, and the hot block stays cache-resident.
+// Per-sink event order is exactly capture order, identical to N independent
+// Replay calls.
 //
 // The two streams are replayed back to back, not interleaved: every sink in
 // this repository consumes exactly one stream, so per-stream order — which
@@ -190,159 +276,113 @@ func (b *Buffer) Replay(ctx context.Context, fetch FetchSink, data DataSink) err
 // faithful program-order interleaving.
 //
 // ctx is checked between blocks, so a sweep cancels mid-fan-out with at
-// most one partial block delivered.
+// most one partial block delivered. A corrupt file-adopted chunk surfaces
+// as an error at the block that fails to decode, never as wrong events.
 func (b *Buffer) ReplayAll(ctx context.Context, sinks []SinkPair) error {
-	var fetch []FetchSink
-	var data []DataSink
+	var fetch []FetchBatchSink
+	var data []DataBatchSink
 	for _, p := range sinks {
 		if p.Fetch != nil {
-			fetch = append(fetch, p.Fetch)
+			fetch = append(fetch, BatchFetchSink(p.Fetch))
 		}
 		if p.Data != nil {
-			data = append(data, p.Data)
+			data = append(data, BatchDataSink(p.Data))
 		}
 	}
-	// A single sink gets the direct per-event loop: the event is built in
-	// registers and handed straight over, where the block path would round-
-	// trip every event through the decode scratch for no amortization gain
-	// (measurably slower for one consumer). Two or more sinks take the
-	// batched fan-out, where one decode pays for the whole group.
-	switch len(fetch) {
-	case 0:
-	case 1:
-		if err := b.replayFetchOne(ctx, fetch[0]); err != nil {
-			return err
-		}
-	default:
-		batch := make([]FetchBatchSink, len(fetch))
-		for i, s := range fetch {
-			batch[i] = BatchFetchSink(s)
-		}
-		if err := b.replayFetchAll(ctx, batch); err != nil {
+	if len(fetch) > 0 {
+		if err := b.forEachFetchBlock(ctx, func(blk []FetchEvent) error {
+			for _, s := range fetch {
+				s.OnFetchBatch(blk)
+			}
+			return nil
+		}); err != nil {
 			return err
 		}
 	}
-	switch len(data) {
-	case 0:
-	case 1:
-		if err := b.replayDataOne(ctx, data[0]); err != nil {
-			return err
-		}
-	default:
-		batch := make([]DataBatchSink, len(data))
-		for i, s := range data {
-			batch[i] = BatchDataSink(s)
-		}
-		if err := b.replayDataAll(ctx, batch); err != nil {
+	if len(data) > 0 {
+		if err := b.forEachDataBlock(ctx, func(blk []DataEvent) error {
+			for _, s := range data {
+				s.OnDataBatch(blk)
+			}
+			return nil
+		}); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// replayFetchOne is the single-sink chunked per-event fetch replay loop.
-func (b *Buffer) replayFetchOne(ctx context.Context, s FetchSink) error {
-	left := b.nf
-	for _, ch := range b.fetch {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		n := min(left, chunkLen)
-		for i := 0; i < n; i++ {
-			s.OnFetch(FetchEvent{
-				Addr:  ch.addr[i],
-				Prev:  ch.prev[i],
-				Base:  ch.base[i],
-				Disp:  ch.disp[i],
-				Kind:  ControlKind(ch.kind[i] & fetchKindMask),
-				First: ch.kind[i]&fetchFirstFlag != 0,
-			})
-		}
-		left -= n
-	}
-	return nil
-}
-
-// replayDataOne is the single-sink chunked per-event data replay loop.
-func (b *Buffer) replayDataOne(ctx context.Context, s DataSink) error {
-	left := b.nd
-	for _, ch := range b.data {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		n := min(left, chunkLen)
-		for i := 0; i < n; i++ {
-			s.OnData(DataEvent{
-				Addr:  ch.addr[i],
-				Base:  ch.base[i],
-				Disp:  ch.disp[i],
-				Size:  ch.meta[i] & dataSizeMask,
-				Store: ch.meta[i]&dataStoreFlag != 0,
-			})
-		}
-		left -= n
-	}
-	return nil
-}
-
-// replayFetchAll is the fetch-stream fan-out loop: decode one block, feed
-// every sink, advance.
-func (b *Buffer) replayFetchAll(ctx context.Context, sinks []FetchBatchSink) error {
+// forEachFetchBlock decodes the fetch stream block-wise and hands each block
+// to fn. The block slice is reused; fn must not retain it.
+func (b *Buffer) forEachFetchBlock(ctx context.Context, fn func([]FetchEvent) error) error {
+	var sc blockScratch
 	block := make([]FetchEvent, batchLen)
-	left := b.nf
-	for _, ch := range b.fetch {
-		n := min(left, chunkLen)
-		for off := 0; off < n; off += batchLen {
+	for ci := range b.fetch {
+		cu := b.fetch[ci].cursors()
+		for off := 0; off < chunkLen; off += batchLen {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			m := min(batchLen, n-off)
-			for i := 0; i < m; i++ {
-				k := ch.kind[off+i]
-				block[i] = FetchEvent{
-					Addr:  ch.addr[off+i],
-					Prev:  ch.prev[off+i],
-					Base:  ch.base[off+i],
-					Disp:  ch.disp[off+i],
-					Kind:  ControlKind(k & fetchKindMask),
-					First: k&fetchFirstFlag != 0,
-				}
+			if err := cu.decodeBlock(block, &sc); err != nil {
+				return fmt.Errorf("trace: fetch chunk %d: %w", ci, err)
 			}
-			for _, s := range sinks {
-				s.OnFetchBatch(block[:m])
+			if err := fn(block); err != nil {
+				return err
 			}
 		}
-		left -= n
+		if !cu.done() {
+			return fmt.Errorf("trace: fetch chunk %d: %w", ci, errColumn)
+		}
+	}
+	tail := b.nf & chunkMask
+	for off := 0; off < tail; off += batchLen {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m := min(batchLen, tail-off)
+		for i := 0; i < m; i++ {
+			block[i] = fetchEventAt(b.fstage, off+i)
+		}
+		if err := fn(block[:m]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
 
-// replayDataAll is the data-stream fan-out loop.
-func (b *Buffer) replayDataAll(ctx context.Context, sinks []DataBatchSink) error {
+// forEachDataBlock is forEachFetchBlock for the data stream.
+func (b *Buffer) forEachDataBlock(ctx context.Context, fn func([]DataEvent) error) error {
+	var sc blockScratch
 	block := make([]DataEvent, batchLen)
-	left := b.nd
-	for _, ch := range b.data {
-		n := min(left, chunkLen)
-		for off := 0; off < n; off += batchLen {
+	for ci := range b.data {
+		cu := b.data[ci].cursors()
+		for off := 0; off < chunkLen; off += batchLen {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			m := min(batchLen, n-off)
-			for i := 0; i < m; i++ {
-				meta := ch.meta[off+i]
-				block[i] = DataEvent{
-					Addr:  ch.addr[off+i],
-					Base:  ch.base[off+i],
-					Disp:  ch.disp[off+i],
-					Size:  meta & dataSizeMask,
-					Store: meta&dataStoreFlag != 0,
-				}
+			if err := cu.decodeBlock(block, &sc); err != nil {
+				return fmt.Errorf("trace: data chunk %d: %w", ci, err)
 			}
-			for _, s := range sinks {
-				s.OnDataBatch(block[:m])
+			if err := fn(block); err != nil {
+				return err
 			}
 		}
-		left -= n
+		if !cu.done() {
+			return fmt.Errorf("trace: data chunk %d: %w", ci, errColumn)
+		}
+	}
+	tail := b.nd & chunkMask
+	for off := 0; off < tail; off += batchLen {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		m := min(batchLen, tail-off)
+		for i := 0; i < m; i++ {
+			block[i] = dataEventAt(b.dstage, off+i)
+		}
+		if err := fn(block[:m]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -350,19 +390,21 @@ func (b *Buffer) replayDataAll(ctx context.Context, sinks []DataBatchSink) error
 // Fetches materializes the recorded fetch stream as a fresh slice — a
 // convenience for tests and tools, not the replay hot path.
 func (b *Buffer) Fetches() []FetchEvent {
-	out := make([]FetchEvent, b.nf)
-	for i := range out {
-		out[i] = b.FetchAt(i)
-	}
+	out := make([]FetchEvent, 0, b.nf)
+	b.forEachFetchBlock(context.Background(), func(blk []FetchEvent) error {
+		out = append(out, blk...)
+		return nil
+	})
 	return out
 }
 
 // Datas materializes the recorded data stream as a fresh slice.
 func (b *Buffer) Datas() []DataEvent {
-	out := make([]DataEvent, b.nd)
-	for i := range out {
-		out[i] = b.DataAt(i)
-	}
+	out := make([]DataEvent, 0, b.nd)
+	b.forEachDataBlock(context.Background(), func(blk []DataEvent) error {
+		out = append(out, blk...)
+		return nil
+	})
 	return out
 }
 
@@ -378,35 +420,25 @@ func (c *countingWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// WriteTo spills the buffer to w in the WMTRACE1 file format, preserving
-// the recorded program-order interleaving of the two streams, so the
-// resulting file is interchangeable with one written by attaching a Writer
-// to the CPU directly. It implements io.WriterTo.
-func (b *Buffer) WriteTo(w io.Writer) (int64, error) {
-	cw := &countingWriter{w: w}
-	tw, err := NewWriter(cw)
-	if err != nil {
-		return cw.n, err
-	}
-	fi, di := 0, 0
-	for i := 0; i < b.n; i++ {
-		if b.order[i>>6]&(1<<(i&63)) != 0 {
-			tw.OnData(b.DataAt(di))
-			di++
-		} else {
-			tw.OnFetch(b.FetchAt(fi))
-			fi++
-		}
-	}
-	return cw.n, tw.Flush()
-}
-
-// ReadBuffer loads a WMTRACE1 stream into a new Buffer, preserving the
-// interleaving, so capture → WriteTo → ReadBuffer → Replay is
-// indistinguishable from replaying the original capture.
+// ReadBuffer loads a WMTRACE1 or WMTRACE2 stream into a new Buffer,
+// preserving the interleaving, so capture → WriteTo → ReadBuffer → Replay
+// is indistinguishable from replaying the original capture. WMTRACE2 sealed
+// chunks are adopted verbatim (CRC-checked, no re-encode); a partial tail
+// chunk is decoded back into staging so the buffer stays appendable.
 func ReadBuffer(r io.Reader) (*Buffer, error) {
+	br := newTraceReader(r)
+	v2, err := readMagic(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: loading buffer: %w", err)
+	}
 	b := new(Buffer)
-	if err := ReadAll(r, b, b); err != nil {
+	if v2 {
+		if err := readBuffer2(br, b); err != nil {
+			return nil, fmt.Errorf("trace: loading buffer: %w", err)
+		}
+		return b, nil
+	}
+	if err := readAll1(br, b, b); err != nil {
 		return nil, fmt.Errorf("trace: loading buffer: %w", err)
 	}
 	return b, nil

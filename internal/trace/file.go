@@ -8,123 +8,79 @@ import (
 	"io"
 )
 
-// Binary trace file format, for trace-driven evaluation without re-running
-// the simulator: a magic header followed by fixed-size little-endian
-// records, interleaved in program order.
+// Binary trace file formats, for trace-driven evaluation without re-running
+// the simulator. Two formats are readable; WMTRACE2 is what gets written.
+//
+// WMTRACE1 (legacy, PR 3): a magic header followed by fixed-size
+// little-endian records, interleaved in program order.
 //
 //	"WMTRACE1" (8 bytes)
 //	fetch record: 'F' addr(4) prev(4) kind(1) base(4) disp(4) flags(1)
 //	data record:  'D' addr(4) base(4) disp(4) flags(1) size(1)
+//
+// WMTRACE2: the compressed column chunks of columns.go, spilled verbatim —
+// a sealed chunk's bytes on disk are its bytes in memory, so loading a
+// spill is adoption, not transcoding. See file2.go for the record layout.
+// Readers sniff the magic, so spill directories may mix both formats.
 
-const fileMagic = "WMTRACE1"
+const (
+	fileMagic  = "WMTRACE1"
+	fileMagic2 = "WMTRACE2"
+)
 
 // ErrWriterClosed is reported by Flush when events were recorded after
-// Close; the events themselves are dropped.
+// Close (or after a finalizing Flush); the events themselves are dropped.
 var ErrWriterClosed = errors.New("trace: writer is closed")
 
-// Writer streams events to an io.Writer in the trace file format. It
-// implements both FetchSink and DataSink, so it can be attached to a CPU
-// directly (or teed next to live controllers).
-type Writer struct {
-	w      *bufio.Writer
-	under  io.Writer
-	err    error
-	closed bool
+// newTraceReader wraps r for record-oriented reading.
+func newTraceReader(r io.Reader) *bufio.Reader {
+	return bufio.NewReaderSize(r, 1<<16)
 }
 
-// NewWriter starts a trace on w.
-func NewWriter(w io.Writer) (*Writer, error) {
-	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.WriteString(fileMagic); err != nil {
-		return nil, err
-	}
-	return &Writer{w: bw, under: w}, nil
-}
-
-func (t *Writer) put32(v uint32) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	if t.err == nil {
-		_, t.err = t.w.Write(b[:])
-	}
-}
-
-func (t *Writer) put8(v byte) {
-	if t.err == nil {
-		t.err = t.w.WriteByte(v)
-	}
-}
-
-// OnFetch records one fetch event.
-func (t *Writer) OnFetch(ev FetchEvent) {
-	t.put8('F')
-	t.put32(ev.Addr)
-	t.put32(ev.Prev)
-	t.put8(byte(ev.Kind))
-	t.put32(ev.Base)
-	t.put32(uint32(ev.Disp))
-	var flags byte
-	if ev.First {
-		flags |= 1
-	}
-	t.put8(flags)
-}
-
-// OnData records one data event.
-func (t *Writer) OnData(ev DataEvent) {
-	t.put8('D')
-	t.put32(ev.Addr)
-	t.put32(ev.Base)
-	t.put32(uint32(ev.Disp))
-	var flags byte
-	if ev.Store {
-		flags |= 1
-	}
-	t.put8(flags)
-	t.put8(ev.Size)
-}
-
-// Flush finishes the trace and reports any deferred write error.
-func (t *Writer) Flush() error {
-	if t.err != nil {
-		return t.err
-	}
-	return t.w.Flush()
-}
-
-// Close flushes the trace and, when the underlying writer is an io.Closer
-// (a file, typically), closes it too. Close is idempotent: the first call
-// reports any flush or close error, later calls return nil. Events recorded
-// after Close are dropped, and the drop is reported by a subsequent Flush
-// as ErrWriterClosed.
-func (t *Writer) Close() error {
-	if t.closed {
-		return nil
-	}
-	t.closed = true
-	err := t.Flush()
-	if c, ok := t.under.(io.Closer); ok {
-		if cerr := c.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if t.err == nil {
-		t.err = ErrWriterClosed
-	}
-	return err
-}
-
-// ReadAll parses a trace and dispatches every record to the sinks (either
-// may be nil). Records are replayed in their original interleaving.
-func ReadAll(r io.Reader, fetch FetchSink, data DataSink) error {
-	br := bufio.NewReaderSize(r, 1<<16)
+// readMagic consumes the 8-byte magic and reports which format follows.
+func readMagic(br *bufio.Reader) (v2 bool, err error) {
 	magic := make([]byte, len(fileMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("trace: reading magic: %w", err)
+		return false, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if string(magic) != fileMagic {
-		return fmt.Errorf("trace: bad magic %q", magic)
+	switch string(magic) {
+	case fileMagic:
+		return false, nil
+	case fileMagic2:
+		return true, nil
 	}
+	return false, fmt.Errorf("trace: bad magic %q", magic)
+}
+
+// ReadAll parses a trace in either format and dispatches every record to
+// the sinks (either may be nil). Records are replayed in their original
+// program-order interleaving.
+func ReadAll(r io.Reader, fetch FetchSink, data DataSink) error {
+	br := newTraceReader(r)
+	v2, err := readMagic(br)
+	if err != nil {
+		return err
+	}
+	if !v2 {
+		return readAll1(br, fetch, data)
+	}
+	b := new(Buffer)
+	if err := readBuffer2(br, b); err != nil {
+		return err
+	}
+	var ffn func(FetchEvent)
+	if fetch != nil {
+		ffn = fetch.OnFetch
+	}
+	var dfn func(DataEvent)
+	if data != nil {
+		dfn = data.OnData
+	}
+	return b.walk(ffn, dfn)
+}
+
+// readAll1 parses the WMTRACE1 record stream following the magic.
+func readAll1(br *bufio.Reader, fetch FetchSink, data DataSink) error {
 	get32 := func() (uint32, error) {
 		var b [4]byte
 		if _, err := io.ReadFull(br, b[:]); err != nil {
@@ -198,4 +154,208 @@ func ReadAll(r io.Reader, fetch FetchSink, data DataSink) error {
 			return fmt.Errorf("trace: unknown record tag %#x", tag)
 		}
 	}
+}
+
+// v1Encoder emits WMTRACE1 records.
+type v1Encoder struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (t *v1Encoder) put32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	if t.err == nil {
+		_, t.err = t.w.Write(b[:])
+	}
+}
+
+func (t *v1Encoder) put8(v byte) {
+	if t.err == nil {
+		t.err = t.w.WriteByte(v)
+	}
+}
+
+func (t *v1Encoder) fetch(ev FetchEvent) {
+	t.put8('F')
+	t.put32(ev.Addr)
+	t.put32(ev.Prev)
+	t.put8(byte(ev.Kind))
+	t.put32(ev.Base)
+	t.put32(uint32(ev.Disp))
+	var flags byte
+	if ev.First {
+		flags |= 1
+	}
+	t.put8(flags)
+}
+
+func (t *v1Encoder) data(ev DataEvent) {
+	t.put8('D')
+	t.put32(ev.Addr)
+	t.put32(ev.Base)
+	t.put32(uint32(ev.Disp))
+	var flags byte
+	if ev.Store {
+		flags |= 1
+	}
+	t.put8(flags)
+	t.put8(ev.Size)
+}
+
+// WriteToV1 spills the buffer in the legacy WMTRACE1 format, preserving the
+// recorded program-order interleaving — byte-identical to what the PR 3
+// Writer produced for the same streams. It exists for compatibility checks
+// and format-size comparisons; new spills use WriteTo.
+func (b *Buffer) WriteToV1(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriterSize(cw, 1<<16)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return cw.n, err
+	}
+	enc := &v1Encoder{w: bw}
+	if err := b.walk(enc.fetch, enc.data); err != nil {
+		return cw.n, err
+	}
+	if enc.err != nil {
+		return cw.n, enc.err
+	}
+	return cw.n, bw.Flush()
+}
+
+// walk replays the buffer in program order, calling the per-event functions
+// (either may be nil) in the recorded interleaving. It decodes each stream
+// lazily, one block at a time.
+func (b *Buffer) walk(fetch func(FetchEvent), data func(DataEvent)) error {
+	fit := fetchIter{b: b, ci: -1}
+	dit := dataIter{b: b, ci: -1}
+	for i := 0; i < b.n; i++ {
+		if b.order[i>>6]&(1<<(i&63)) != 0 {
+			ev, err := dit.next()
+			if err != nil {
+				return err
+			}
+			if data != nil {
+				data(ev)
+			}
+		} else {
+			ev, err := fit.next()
+			if err != nil {
+				return err
+			}
+			if fetch != nil {
+				fetch(ev)
+			}
+		}
+	}
+	return nil
+}
+
+// fetchIter yields the fetch stream one event at a time for walk, decoding
+// sealed chunks block-wise on demand.
+type fetchIter struct {
+	b      *Buffer
+	sc     blockScratch
+	blk    [batchLen]FetchEvent
+	cu     fetchCursors
+	ci     int // chunk being decoded; -1 before the first
+	pos, m int // cursor within blk
+	idx    int // absolute stream index of blk[0] + m
+}
+
+func (it *fetchIter) next() (FetchEvent, error) {
+	if it.pos >= it.m {
+		if err := it.fill(); err != nil {
+			return FetchEvent{}, err
+		}
+	}
+	ev := it.blk[it.pos]
+	it.pos++
+	return ev, nil
+}
+
+func (it *fetchIter) fill() error {
+	b := it.b
+	full := len(b.fetch) * chunkLen
+	switch {
+	case it.idx < full:
+		ci := it.idx >> chunkShift
+		if ci != it.ci {
+			if it.ci >= 0 && !it.cu.done() {
+				return fmt.Errorf("trace: fetch chunk %d: %w", it.ci, errColumn)
+			}
+			it.ci = ci
+			it.cu = b.fetch[ci].cursors()
+		}
+		if err := it.cu.decodeBlock(it.blk[:], &it.sc); err != nil {
+			return fmt.Errorf("trace: fetch chunk %d: %w", ci, err)
+		}
+		it.m = batchLen
+	case it.idx < b.nf:
+		m := min(batchLen, b.nf-it.idx)
+		base := it.idx - full
+		for i := 0; i < m; i++ {
+			it.blk[i] = fetchEventAt(b.fstage, base+i)
+		}
+		it.m = m
+	default:
+		return io.ErrUnexpectedEOF
+	}
+	it.pos = 0
+	it.idx += it.m
+	return nil
+}
+
+// dataIter is fetchIter for the data stream.
+type dataIter struct {
+	b      *Buffer
+	sc     blockScratch
+	blk    [batchLen]DataEvent
+	cu     dataCursors
+	ci     int
+	pos, m int
+	idx    int
+}
+
+func (it *dataIter) next() (DataEvent, error) {
+	if it.pos >= it.m {
+		if err := it.fill(); err != nil {
+			return DataEvent{}, err
+		}
+	}
+	ev := it.blk[it.pos]
+	it.pos++
+	return ev, nil
+}
+
+func (it *dataIter) fill() error {
+	b := it.b
+	full := len(b.data) * chunkLen
+	switch {
+	case it.idx < full:
+		ci := it.idx >> chunkShift
+		if ci != it.ci {
+			if it.ci >= 0 && !it.cu.done() {
+				return fmt.Errorf("trace: data chunk %d: %w", it.ci, errColumn)
+			}
+			it.ci = ci
+			it.cu = b.data[ci].cursors()
+		}
+		if err := it.cu.decodeBlock(it.blk[:], &it.sc); err != nil {
+			return fmt.Errorf("trace: data chunk %d: %w", ci, err)
+		}
+		it.m = batchLen
+	case it.idx < b.nd:
+		m := min(batchLen, b.nd-it.idx)
+		base := it.idx - full
+		for i := 0; i < m; i++ {
+			it.blk[i] = dataEventAt(b.dstage, base+i)
+		}
+		it.m = m
+	default:
+		return io.ErrUnexpectedEOF
+	}
+	it.pos = 0
+	it.idx += it.m
+	return nil
 }

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenStream regenerates the deterministic event mix that produced
+// testdata/golden_v1.wmtrace with the PR 3 WMTRACE1 writer: mostly
+// sequential fetch packets with periodic branches, links and indirect jumps,
+// and a data access every fifth event. It must never change — the fixture
+// bytes pin the legacy format.
+func goldenStream() (fs []FetchEvent, ds []DataEvent, order []bool) {
+	x := uint32(0x9e3779b9)
+	rnd := func() uint32 { x ^= x << 13; x ^= x >> 17; x ^= x << 5; return x }
+	addr, prev := uint32(0x1000), uint32(0)
+	sizes := []uint8{1, 2, 4, 8}
+	for i := 0; i < 1024; i++ {
+		if i%5 == 3 {
+			base := rnd()
+			disp := int32(rnd()%4096) - 2048
+			ds = append(ds, DataEvent{Addr: base + uint32(disp), Base: base, Disp: disp, Store: i%2 == 0, Size: sizes[i%4]})
+			order = append(order, true)
+			continue
+		}
+		ev := FetchEvent{Prev: prev, First: i == 0}
+		switch {
+		case i%31 == 7:
+			ev.Kind = KindIndirect
+			ev.Addr = (0xfffffff8 - addr) &^ 7
+		case i%13 == 4:
+			ev.Kind = KindBranch
+			ev.Base = addr
+			ev.Disp = int32(rnd()%8192) - 4096
+			ev.Addr = (ev.Base + uint32(ev.Disp)) &^ 7
+		case i%17 == 11:
+			ev.Kind = KindLink
+			ev.Base = rnd() &^ 7
+			ev.Addr = ev.Base
+		default:
+			ev.Kind = KindSeq
+			ev.Base = addr
+			ev.Disp = 8
+			ev.Addr = addr + 8
+		}
+		prev, addr = ev.Addr, ev.Addr
+		fs = append(fs, ev)
+		order = append(order, false)
+	}
+	return fs, ds, order
+}
+
+// TestGoldenWMTRACE1 proves WMTRACE1 files written by earlier PRs still
+// load bit-identically: the committed fixture (written by the PR 3 Writer,
+// before compressed columns existed) must decode to exactly the generating
+// stream, survive a Buffer round trip, and re-serialize via WriteToV1 to
+// the fixture's exact bytes.
+func TestGoldenWMTRACE1(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_v1.wmtrace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF, wantD, order := goldenStream()
+
+	var got eventLog
+	if err := ReadAll(bytes.NewReader(raw), &got, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fetches) != len(wantF) || len(got.Datas) != len(wantD) {
+		t.Fatalf("fixture decodes to %d/%d events, want %d/%d",
+			len(got.Fetches), len(got.Datas), len(wantF), len(wantD))
+	}
+	for i := range wantF {
+		if got.Fetches[i] != wantF[i] {
+			t.Fatalf("fetch %d: %+v != %+v", i, got.Fetches[i], wantF[i])
+		}
+	}
+	for i := range wantD {
+		if got.Datas[i] != wantD[i] {
+			t.Fatalf("data %d: %+v != %+v", i, got.Datas[i], wantD[i])
+		}
+	}
+
+	// The loaded buffer preserves the interleaving and the v1 writer still
+	// reproduces the legacy bytes exactly.
+	b, err := ReadBuffer(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if _, err := b.WriteToV1(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), raw) {
+		t.Fatal("WriteToV1 does not reproduce the golden fixture bit-identically")
+	}
+
+	// And the modern spill of the same events replays identically.
+	var v2 bytes.Buffer
+	if _, err := b.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := ReadBuffer(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got2 eventLog
+	if err := b2.Replay(t.Context(), &got2, &got2); err != nil {
+		t.Fatal(err)
+	}
+	if len(got2.Fetches) != len(wantF) || len(got2.Datas) != len(wantD) {
+		t.Fatalf("v2 round trip: %d/%d events", len(got2.Fetches), len(got2.Datas))
+	}
+	for i := range wantF {
+		if got2.Fetches[i] != wantF[i] {
+			t.Fatalf("v2 fetch %d differs", i)
+		}
+	}
+	if len(order) != b.Len() {
+		t.Fatalf("order length %d, buffer %d", len(order), b.Len())
+	}
+
+	// The golden mix is dominated by sequential packets: the compressed
+	// spill must be well under half the v1 size.
+	if v2.Len()*2 >= len(raw) {
+		t.Fatalf("WMTRACE2 spill %dB not ≤ 0.5× WMTRACE1 %dB", v2.Len(), len(raw))
+	}
+}

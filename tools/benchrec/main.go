@@ -20,23 +20,41 @@
 //   - serve_dedup_rate / serve_warm_query_ms: the service layer under the
 //     standard load harness (internal/serve/load) against an in-process
 //     daemon — 64 overlapping clients, two variants sharing a grid point;
-//     the dedup rate counts points served without a simulation.
+//     the dedup rate counts points served without a simulation;
+//   - trace_columns: the WMTRACE2 compressed-column footprint over the
+//     paper workloads' captures — encoded bytes per event for both file
+//     formats, the in-memory decoded event size, and the v1/v2
+//     compression_ratio;
+//   - scaling_matrix: the warm batched fan-out replay and the cold shared
+//     explore sweep repeated at GOMAXPROCS ∈ {1, 2, 4, NumCPU} (clamped to
+//     the machine; -scale-procs overrides), recording each point's
+//     aggregate fanout_events_per_sec and its speedup-per-core, plus
+//     scaling_replay_ratio — the best ≥2-core replay rate over the 1-core
+//     rate. On a single-core machine the matrix degenerates to its 1-proc
+//     point: the run prints a loud note, records single_core: true, and
+//     omits the ratio.
 //
 // Usage:
 //
-//	go run ./tools/benchrec [-o BENCH_6.json] [-j N]
-//	go run ./tools/benchrec -o /tmp/bench.json -compare BENCH_6.json -tolerance 20%
+//	go run ./tools/benchrec [-o BENCH_7.json] [-j N]
+//	go run ./tools/benchrec -o /tmp/bench.json -compare BENCH_7.json -tolerance 20%
+//	go run ./tools/benchrec -scale-procs 1,2 -min-scaling 1.15
 //
 // With -compare, the run additionally gates against a committed baseline:
 // the machine-portable ratio metrics — the suite replay rates (live time
 // over per-sink replay time, and live time over batched replay time), the
-// explore trace-sharing speedup and the serve dedup rate — must not fall
-// more than -tolerance
+// explore trace-sharing speedup, the serve dedup rate, the trace
+// compression ratio (which must also clear an absolute 2.0x floor) and the
+// multi-core scaling_replay_ratio — must not fall more than -tolerance
 // below the baseline's, or the process exits nonzero. Metrics a baseline
-// predates (BENCH_3 has no batched replay) are skipped, so the gate works
-// against any committed BENCH_<n>.json. The absolute millisecond timings
-// are never gated (they track the machine, not the code); the ratios cancel
-// machine speed out, which is what lets CI compare its run against a number
+// predates (BENCH_3 has no batched replay; BENCH_6 no scaling matrix) are
+// skipped, as are scaling ratios on single-core machines, so the gate works
+// against any committed BENCH_<n>.json. -min-scaling sets an absolute floor
+// for scaling_replay_ratio independent of any baseline — what CI's
+// multi-core runners use, since a committed single-core baseline has no
+// ratio to compare against. The absolute millisecond timings are never
+// gated (they track the machine, not the code); the ratios cancel machine
+// speed out, which is what lets CI compare its run against a number
 // recorded elsewhere.
 package main
 
@@ -45,18 +63,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
+	"unsafe"
 
 	"waymemo/internal/explore"
 	"waymemo/internal/serve"
 	"waymemo/internal/serve/client"
 	"waymemo/internal/serve/load"
 	"waymemo/internal/suite"
+	"waymemo/internal/trace"
 	"waymemo/internal/workloads"
 )
 
@@ -85,6 +107,51 @@ type record struct {
 	// Serve is the service layer's load figure (nil in pre-serve
 	// baselines): the standard load harness against an in-process daemon.
 	Serve *serveRecord `json:"serve_load,omitempty"`
+	// TraceColumns is the WMTRACE2 compressed-column footprint over the
+	// paper workloads' captures (nil in pre-column baselines).
+	TraceColumns *traceColumnsRecord `json:"trace_columns,omitempty"`
+	// SingleCore is true when the machine cannot produce a multi-core
+	// scaling point, so ScalingRatio is absent and downstream gates must
+	// rely on -min-scaling runs on wider machines.
+	SingleCore bool `json:"single_core,omitempty"`
+	// Scaling is the GOMAXPROCS matrix; ScalingRatio the best ≥2-proc
+	// batched replay rate over the 1-proc rate (0 when single-core).
+	Scaling      []scalePoint `json:"scaling_matrix,omitempty"`
+	ScalingRatio float64      `json:"scaling_replay_ratio,omitempty"`
+}
+
+// scalePoint is one GOMAXPROCS point of the scaling matrix: the warm
+// batched fan-out replay and the cold shared explore sweep re-run with both
+// the scheduler's processor count and the runners' -j pinned to Procs.
+type scalePoint struct {
+	Procs int `json:"procs"`
+	// ReplayBatchedMS and EventsPerSec describe the warm batched suite
+	// replay at this width: wall time, and per-sink event deliveries over
+	// that time (the aggregate fan-out throughput the point achieves).
+	ReplayBatchedMS float64 `json:"suite_replay_batched_ms"`
+	EventsPerSec    float64 `json:"fanout_events_per_sec"`
+	// ExploreSharedMS is a cold shared-trace explore sweep at this width.
+	ExploreSharedMS float64 `json:"explore_shared_ms"`
+	// SpeedupPerCore is (EventsPerSec / 1-proc EventsPerSec) / Procs — 1.0
+	// means perfect linear scaling, the curve's droop is the contention
+	// cost.
+	SpeedupPerCore float64 `json:"speedup_per_core"`
+}
+
+// traceColumnsRecord compares the spill formats over the same captures: the
+// paper workloads' full event streams encoded as WMTRACE1 (fixed records),
+// WMTRACE2 (delta/varint columns) and the decoded in-memory events. The
+// compression ratio is machine-portable (pure function of the workloads'
+// address streams), so it is gated.
+type traceColumnsRecord struct {
+	Events          int     `json:"events"`
+	V1BytesPerEvent float64 `json:"wmtrace1_bytes_per_event"`
+	V2BytesPerEvent float64 `json:"wmtrace2_bytes_per_event"`
+	// DecodedBytesPerEvent prices the replay-time representation the
+	// columns decode into, averaged over the fetch/data mix.
+	DecodedBytesPerEvent float64 `json:"decoded_bytes_per_event"`
+	// CompressionRatio is WMTRACE1 bytes over WMTRACE2 bytes.
+	CompressionRatio float64 `json:"compression_ratio"`
 }
 
 // serveRecord captures the serve-load metrics: the dedup rate is a
@@ -108,6 +175,88 @@ func (r *record) serveDedup() float64 {
 		return 0
 	}
 	return r.Serve.DedupRate
+}
+
+// compressionRatio is the gateable trace-column ratio, 0 when the baseline
+// predates compressed columns.
+func (r *record) compressionRatio() float64 {
+	if r.TraceColumns == nil {
+		return 0
+	}
+	return r.TraceColumns.CompressionRatio
+}
+
+// scaleProcs resolves the matrix widths: the -scale-procs list, or the
+// default {1, 2, 4, NumCPU}, deduplicated, sorted and clamped to the
+// machine. An explicit list whose every entry exceeds the machine yields an
+// empty matrix (the caller notes the skip).
+func scaleProcs(list string) ([]int, error) {
+	cpus := runtime.NumCPU()
+	var raw []int
+	if strings.TrimSpace(list) != "" {
+		for _, f := range strings.Split(list, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("bad -scale-procs entry %q", f)
+			}
+			raw = append(raw, v)
+		}
+	} else {
+		raw = []int{1, 2, 4, cpus}
+	}
+	seen := map[int]bool{}
+	var procs []int
+	for _, v := range raw {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if v > cpus {
+			fmt.Fprintf(os.Stderr, "benchrec: dropping scaling point %d procs (machine has %d)\n", v, cpus)
+			continue
+		}
+		procs = append(procs, v)
+	}
+	sort.Ints(procs)
+	return procs, nil
+}
+
+// measureTraceColumns sizes every paper workload's capture in both spill
+// formats against the decoded in-memory events they replay as. The captures
+// are already warm in tc, so this is pure re-serialization.
+func measureTraceColumns(ctx context.Context, tc *suite.TraceCache) (*traceColumnsRecord, error) {
+	var events int
+	var v1b, v2b, decoded int64
+	for _, w := range workloads.All() {
+		c, err := tc.Capture(ctx, w, 0)
+		if err != nil {
+			return nil, err
+		}
+		n1, err := c.Buf.WriteToV1(io.Discard)
+		if err != nil {
+			return nil, err
+		}
+		n2, err := c.Buf.WriteTo(io.Discard)
+		if err != nil {
+			return nil, err
+		}
+		nf, nd := c.Buf.NumFetches(), c.Buf.NumDatas()
+		events += nf + nd
+		v1b += n1
+		v2b += n2
+		decoded += int64(nf)*int64(unsafe.Sizeof(trace.FetchEvent{})) +
+			int64(nd)*int64(unsafe.Sizeof(trace.DataEvent{}))
+	}
+	if events == 0 || v2b == 0 {
+		return nil, fmt.Errorf("trace columns: empty captures")
+	}
+	return &traceColumnsRecord{
+		Events:               events,
+		V1BytesPerEvent:      float64(v1b) / float64(events),
+		V2BytesPerEvent:      float64(v2b) / float64(events),
+		DecodedBytesPerEvent: float64(decoded) / float64(events),
+		CompressionRatio:     float64(v1b) / float64(v2b),
+	}, nil
 }
 
 func timeIt(name string, f func() error) float64 {
@@ -185,6 +334,17 @@ func compareBaseline(cur *record, baselinePath string, tol float64) error {
 	check("suite-replay-batched-rate", cur.batchedReplayRate(), base.batchedReplayRate())
 	check("explore-speedup", cur.Explore.Speedup, base.Explore.Speedup)
 	check("serve-dedup-rate", cur.serveDedup(), base.serveDedup())
+	check("trace-compression-ratio", cur.compressionRatio(), base.compressionRatio())
+	// The compression ratio also clears an absolute floor: the columns must
+	// at least halve the paper workloads' spill bytes, whatever any baseline
+	// says.
+	if cr := cur.compressionRatio(); cr > 0 && cr < 2.0 {
+		regressions = append(regressions,
+			fmt.Sprintf("trace-compression-ratio %.2fx below the absolute 2.00x floor", cr))
+	}
+	// Skipped (both sides 0) when either run is single-core: a 1-proc
+	// matrix has no multi-core rate to form the ratio from.
+	check("scaling-replay-ratio", cur.ScalingRatio, base.ScalingRatio)
 	if regressions != nil {
 		return fmt.Errorf("ratio regressions vs %s: %s", baselinePath, strings.Join(regressions, "; "))
 	}
@@ -192,12 +352,19 @@ func compareBaseline(cur *record, baselinePath string, tol float64) error {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_6.json", "output file")
+	out := flag.String("o", "BENCH_7.json", "output file")
 	par := flag.Int("j", 0, "parallelism passed to the runners (0 = GOMAXPROCS)")
 	compare := flag.String("compare", "", "baseline BENCH_<n>.json `file`; exit nonzero if a ratio metric regresses beyond -tolerance")
 	tolerance := flag.String("tolerance", "20%", "allowed ratio-metric regression for -compare (\"20%\" or \"0.2\")")
+	scaleList := flag.String("scale-procs", "", "comma-separated GOMAXPROCS `widths` for the scaling matrix (default 1,2,4,NumCPU, clamped to the machine)")
+	minScaling := flag.Float64("min-scaling", 0, "absolute floor for scaling_replay_ratio; exit nonzero below it (requires a multi-core matrix)")
 	flag.Parse()
 	tol, err := parseTolerance(*tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(2)
+	}
+	procs, err := scaleProcs(*scaleList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchrec:", err)
 		os.Exit(2)
@@ -263,6 +430,64 @@ func main() {
 	})
 	r.Explore.Speedup = r.Explore.LiveMS / r.Explore.SharedMS
 
+	// Trace columns: both spill encodings of the already-warm captures.
+	r.TraceColumns, err = measureTraceColumns(ctx, tc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchrec: trace columns: %.1f B/event v1, %.1f B/event v2 (%.2fx), %.0f B/event decoded\n",
+		r.TraceColumns.V1BytesPerEvent, r.TraceColumns.V2BytesPerEvent,
+		r.TraceColumns.CompressionRatio, r.TraceColumns.DecodedBytesPerEvent)
+
+	// Scaling matrix: the warm batched replay and a cold shared sweep with
+	// the scheduler pinned at each width. GOMAXPROCS is restored afterwards
+	// so the serve phase below runs at the machine default.
+	prevProcs := runtime.GOMAXPROCS(0)
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		pt := scalePoint{Procs: p}
+		before := tc.Stats()
+		pt.ReplayBatchedMS = timeIt(fmt.Sprintf("suite replay batched (warm, %d procs)", p), func() error {
+			_, err := suite.Run(ctx, suite.WithParallelism(p), suite.WithTraceCache(tc))
+			return err
+		})
+		after := tc.Stats()
+		pt.EventsPerSec = float64(after.FanOutDeliveries-before.FanOutDeliveries) /
+			(pt.ReplayBatchedMS / 1000)
+		pt.ExploreSharedMS = timeIt(fmt.Sprintf("explore sweep shared (%d procs)", p), func() error {
+			_, err := explore.Run(ctx, s, explore.WithParallelism(p))
+			return err
+		})
+		r.Scaling = append(r.Scaling, pt)
+	}
+	runtime.GOMAXPROCS(prevProcs)
+	var oneCoreEPS float64
+	for _, pt := range r.Scaling {
+		if pt.Procs == 1 {
+			oneCoreEPS = pt.EventsPerSec
+		}
+	}
+	if oneCoreEPS > 0 {
+		for i := range r.Scaling {
+			r.Scaling[i].SpeedupPerCore = (r.Scaling[i].EventsPerSec / oneCoreEPS) /
+				float64(r.Scaling[i].Procs)
+			if r.Scaling[i].Procs >= 2 {
+				if ratio := r.Scaling[i].EventsPerSec / oneCoreEPS; ratio > r.ScalingRatio {
+					r.ScalingRatio = ratio
+				}
+			}
+		}
+	}
+	if r.ScalingRatio == 0 {
+		r.SingleCore = true
+		fmt.Fprintln(os.Stderr, "benchrec: ======================================================================")
+		fmt.Fprintln(os.Stderr, "benchrec: NOTE: no multi-core scaling point ran (single-core machine or matrix")
+		fmt.Fprintln(os.Stderr, "benchrec: skipped) — recording single_core: true and omitting")
+		fmt.Fprintln(os.Stderr, "benchrec: scaling_replay_ratio; gate scaling with -min-scaling on a wider box.")
+		fmt.Fprintln(os.Stderr, "benchrec: ======================================================================")
+	}
+
 	// The service layer under the standard load harness: an in-process
 	// daemon, 64 overlapping clients cycling two variants that share a grid
 	// point. The dedup rate is fully determined by the variant overlap on a
@@ -314,6 +539,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchrec: wrote %s (explore speedup %.2fx)\n", *out, r.Explore.Speedup)
+	if *minScaling > 0 {
+		if r.ScalingRatio == 0 {
+			fmt.Fprintf(os.Stderr, "benchrec: -min-scaling %.2f set but no multi-core scaling point ran\n", *minScaling)
+			os.Exit(1)
+		}
+		if r.ScalingRatio < *minScaling {
+			fmt.Fprintf(os.Stderr, "benchrec: scaling_replay_ratio %.2fx below -min-scaling floor %.2fx\n",
+				r.ScalingRatio, *minScaling)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchrec: scaling_replay_ratio %.2fx clears -min-scaling floor %.2fx\n",
+			r.ScalingRatio, *minScaling)
+	}
 	if *compare != "" {
 		if err := compareBaseline(&r, *compare, tol); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrec:", err)
