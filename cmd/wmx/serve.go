@@ -14,6 +14,7 @@ import (
 	"syscall"
 	"time"
 
+	"waymemo/internal/fault"
 	"waymemo/internal/serve"
 )
 
@@ -38,6 +39,9 @@ func runServe(args []string) {
 	budget := fs.String("store-budget", "", "store byte budget with LRU eviction, e.g. 512MiB or 2GiB (empty = unlimited)")
 	par := fs.Int("j", 0, "grid points to simulate concurrently, across all sweeps (0 = GOMAXPROCS)")
 	maxJobs := fs.Int("max-jobs", 0, "finished sweeps kept queryable (0 = 4096)")
+	maxBacklog := fs.Int("max-backlog", 0, "unfinished grid points admitted before shedding sweeps with 429 (0 = 4096, -1 = unlimited)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline for non-streaming endpoints (0 = 60s)")
+	faultSpec := fs.String("fault-spec", "", "fault-injection spec, e.g. 'seed=7;io:err:0.05;http:drop:0.01' (empty = off)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "wmx serve: unexpected arguments %q\n", fs.Args())
@@ -50,28 +54,42 @@ func runServe(args []string) {
 		fmt.Fprintln(os.Stderr, "wmx serve: -store-budget:", err)
 		os.Exit(2)
 	}
+	inj, err := fault.NewFromString(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wmx serve: -fault-spec:", err)
+		os.Exit(2)
+	}
 
 	srv, err := serve.New(serve.Config{
-		StoreDir:    *storeDir,
-		StoreBudget: budgetBytes,
-		Parallelism: *par,
-		MaxJobs:     *maxJobs,
+		StoreDir:       *storeDir,
+		StoreBudget:    budgetBytes,
+		Parallelism:    *par,
+		MaxJobs:        *maxJobs,
+		MaxBacklog:     *maxBacklog,
+		RequestTimeout: *reqTimeout,
+		Faults:         inj,
 	})
 	exitOn(err)
 
 	ln, err := net.Listen("tcp", *listen)
 	exitOn(err)
-	hs := &http.Server{Handler: srv}
+	// ReadHeaderTimeout bounds a client that connects and stalls before
+	// sending headers — without it, a handful of dead connections pins
+	// goroutines forever.
+	hs := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
 
-	// Graceful shutdown: stop accepting, drain HTTP briefly, then cancel
-	// running sweeps. A second signal aborts the drain.
+	// Graceful shutdown, drain-first: flip /readyz to 503 and shed new
+	// sweeps so orchestrators stop routing here, drain HTTP briefly, then
+	// cancel whatever sweeps are still running. A second signal aborts the
+	// drain.
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		<-sigs
-		fmt.Fprintln(os.Stderr, "wmx serve: shutting down...")
+		fmt.Fprintln(os.Stderr, "wmx serve: draining...")
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		go func() {
@@ -86,8 +104,12 @@ func runServe(args []string) {
 	if budgetBytes > 0 {
 		budgetNote = *budget
 	}
-	fmt.Fprintf(os.Stderr, "wmx serve: listening on http://%s (store %s, budget %s)\n",
-		ln.Addr(), *storeDir, budgetNote)
+	faultNote := ""
+	if inj != nil {
+		faultNote = fmt.Sprintf(", FAULT INJECTION %q", *faultSpec)
+	}
+	fmt.Fprintf(os.Stderr, "wmx serve: listening on http://%s (store %s, budget %s%s)\n",
+		ln.Addr(), *storeDir, budgetNote, faultNote)
 	if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		exitOn(err)
 	}
@@ -95,11 +117,16 @@ func runServe(args []string) {
 
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr,
-		"wmx serve: served %d sweeps, %d points (%d simulated, %d store hits, %d dedup joins); "+
-			"store: %d results (%d B), %d trace files (%d B), %d+%d evictions\n",
-		st.Sweeps, st.Points, st.Simulations, st.StoreHits, st.DedupJoins,
+		"wmx serve: served %d sweeps, %d points (%d simulated, %d store hits, %d dedup joins), %d shed; "+
+			"store: %d results (%d B), %d trace files (%d B), %d+%d evictions, "+
+			"%d+%d+%d recovered at boot\n",
+		st.Sweeps, st.Points, st.Simulations, st.StoreHits, st.DedupJoins, st.ShedSweeps,
 		st.Store.ResultEntries, st.Store.ResultBytes, st.Store.TraceFiles, st.Store.TraceBytes,
-		st.Store.ResultEvictions, st.Store.TraceEvictions)
+		st.Store.ResultEvictions, st.Store.TraceEvictions,
+		st.Store.RecoveredResults, st.Store.RecoveredTraces, st.Store.RecoveredTemps)
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "wmx serve: faults: %s\n", inj.Describe())
+	}
 }
 
 // validateJ rejects worker counts that cannot mean anything: a negative -j,

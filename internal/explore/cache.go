@@ -4,8 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -14,6 +14,7 @@ import (
 
 	"waymemo/internal/cache"
 	"waymemo/internal/core"
+	"waymemo/internal/fault"
 	"waymemo/internal/isa"
 	"waymemo/internal/suite"
 	"waymemo/internal/workloads"
@@ -113,23 +114,30 @@ type Cache interface {
 // point is re-simulated and the file rewritten), so a damaged cache
 // directory degrades to a cold one instead of failing the sweep.
 //
-// A DirCache is safe for concurrent use: Put is atomic (temp file +
+// A DirCache is safe for concurrent use: Put is atomic (temp file + fsync +
 // rename) and Get tolerates concurrent rewrites of the same key, so many
 // sweeps — or many clients of one serve daemon — can share one directory.
 type DirCache struct {
 	dir string
+	fs  fault.FS
 }
 
 // NewDirCache creates the directory — including any missing parents, so
 // nested paths like "cache/results/v1" work — and returns a cache over it.
 func NewDirCache(dir string) (*DirCache, error) {
+	return NewDirCacheFS(dir, fault.FS{})
+}
+
+// NewDirCacheFS is NewDirCache with the cache's entry I/O routed through a
+// fault-injection shim (sites io.result.*); the zero FS is a passthrough.
+func NewDirCacheFS(dir string, fs fault.FS) (*DirCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("explore: empty cache directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("explore: cache dir: %w", err)
 	}
-	return &DirCache{dir: dir}, nil
+	return &DirCache{dir: dir, fs: fs}, nil
 }
 
 // Dir returns the cache directory.
@@ -142,7 +150,7 @@ func (c *DirCache) path(key string) string {
 // Get loads a memoized point. Any read or decode failure — missing file,
 // truncated JSON, wrong shape — is a miss.
 func (c *DirCache) Get(key string) (*PointResult, bool) {
-	blob, err := os.ReadFile(c.path(key))
+	blob, err := c.fs.ReadFile(fault.SiteResultRead, c.path(key))
 	if err != nil {
 		return nil, false
 	}
@@ -224,30 +232,25 @@ func (c *DirCache) Stats() (CacheStats, error) {
 // The next Get for the key is a miss and the point re-simulates — eviction
 // can never make results wrong, only colder.
 func (c *DirCache) Delete(key string) error {
-	if err := os.Remove(c.path(key)); err != nil && !os.IsNotExist(err) {
+	if err := c.fs.Remove(fault.SiteResultDelete, c.path(key)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("explore: cache delete: %w", err)
 	}
 	return nil
 }
 
-// Put stores a completed point atomically (temp file + rename), so a sweep
-// killed mid-write leaves no half-written entry behind for Get to trip on.
+// Put stores a completed point atomically (temp file + fsync + rename), so
+// a sweep killed mid-write leaves no half-written entry behind for Get to
+// trip on — at worst a temp file for the store's startup sweep.
 func (c *DirCache) Put(key string, r *PointResult) error {
 	blob, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return fmt.Errorf("explore: encode point: %w", err)
 	}
-	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	err = c.fs.WriteFileAtomic(fault.SiteResultWrite, c.path(key), func(w io.Writer) error {
+		_, werr := w.Write(append(blob, '\n'))
+		return werr
+	})
 	if err != nil {
-		return fmt.Errorf("explore: cache write: %w", err)
-	}
-	_, werr := tmp.Write(append(blob, '\n'))
-	if err := errors.Join(werr, tmp.Close()); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("explore: cache write: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
 		return fmt.Errorf("explore: cache write: %w", err)
 	}
 	return nil

@@ -1,0 +1,180 @@
+package fault
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Injection sites. The file sites are owned by the store layers that pass
+// them to FS calls; they are declared here so spec writers have one table
+// to target and docs one place to point at.
+const (
+	SiteResultRead   = "io.result.read"
+	SiteResultWrite  = "io.result.write"
+	SiteResultDelete = "io.result.delete"
+	SiteTraceRead    = "io.trace.read"
+	SiteTraceWrite   = "io.trace.write"
+	SiteHTTP         = "http"
+)
+
+// FS is the file-op shim the store and trace-spill layers route their I/O
+// through. The zero value (nil Inj) is a direct passthrough to the os
+// package — one nil check per operation, nothing else — so production
+// configurations pay nothing for the fault layer existing.
+//
+// Beyond injection, FS owns the repo's one atomic-write implementation
+// (WriteFileAtomic: same-dir temp, fsync, rename), so every store write is
+// crash-safe by construction and the fault layer can tear it apart at each
+// seam.
+type FS struct {
+	Inj *Injector
+}
+
+// ReadFile reads name, optionally delayed, failed, or silently truncated
+// (KindShortRead — a torn read; checksummed formats must reject it).
+func (f FS) ReadFile(site, name string) ([]byte, error) {
+	if f.Inj != nil {
+		kind, delay := f.Inj.roll(site, KindLatency, KindErr, KindShortRead)
+		sleep(delay)
+		switch kind {
+		case KindErr:
+			return nil, &Error{Site: site, Kind: kind}
+		case KindShortRead:
+			b, err := os.ReadFile(name)
+			if err != nil {
+				return nil, err
+			}
+			return b[:len(b)/2], nil
+		}
+	}
+	return os.ReadFile(name)
+}
+
+// Open opens name for reading. Under KindShortRead the returned reader ends
+// halfway through the file, as a reader racing a crashed writer would.
+func (f FS) Open(site, name string) (io.ReadCloser, error) {
+	if f.Inj != nil {
+		kind, delay := f.Inj.roll(site, KindLatency, KindErr, KindShortRead)
+		sleep(delay)
+		switch kind {
+		case KindErr:
+			return nil, &Error{Site: site, Kind: kind}
+		case KindShortRead:
+			fl, err := os.Open(name)
+			if err != nil {
+				return nil, err
+			}
+			st, err := fl.Stat()
+			if err != nil {
+				fl.Close()
+				return nil, err
+			}
+			return &shortReader{Reader: io.LimitReader(fl, st.Size()/2), c: fl}, nil
+		}
+	}
+	return os.Open(name)
+}
+
+type shortReader struct {
+	io.Reader
+	c io.Closer
+}
+
+func (s *shortReader) Close() error { return s.c.Close() }
+
+// Remove deletes name (optionally delayed or failed).
+func (f FS) Remove(site, name string) error {
+	if f.Inj != nil {
+		kind, delay := f.Inj.roll(site, KindLatency, KindErr)
+		sleep(delay)
+		if kind == KindErr {
+			return &Error{Site: site, Kind: kind}
+		}
+	}
+	return os.Remove(name)
+}
+
+// WriteFileAtomic writes path crash-safely: fill streams into a same-dir
+// temp file, which is fsynced, closed and renamed over path, so a reader
+// never observes a torn destination and a killed writer leaves only a temp
+// file for startup recovery to sweep.
+//
+// The injectable seams mirror the real failure modes: KindErr/KindENOSPC
+// fail up front; KindShortWrite truncates the temp, leaves it behind and
+// errors (writer killed mid-write); KindFsync fails the sync;
+// KindRename fails the final rename, leaving the full temp behind; and
+// KindTornWrite truncates, skips the fsync and renames anyway, reporting
+// success — the lying-disk case a startup sweep must catch later.
+func (f FS) WriteFileAtomic(site, path string, fill func(io.Writer) error) error {
+	var kind Kind
+	if f.Inj != nil {
+		var delay time.Duration
+		kind, delay = f.Inj.roll(site, KindLatency, KindErr, KindENOSPC,
+			KindShortWrite, KindTornWrite, KindFsync, KindRename)
+		sleep(delay)
+		if kind == KindErr || kind == KindENOSPC {
+			return &Error{Site: site, Kind: kind}
+		}
+	}
+	tf, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := tf.Name()
+	if err := fill(tf); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	switch kind {
+	case KindShortWrite:
+		truncateHalf(tf)
+		tf.Close()
+		return &Error{Site: site, Kind: kind}
+	case KindTornWrite:
+		truncateHalf(tf)
+		tf.Close()
+		if err := os.Rename(tmp, path); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return nil
+	case KindFsync:
+		tf.Close()
+		os.Remove(tmp)
+		return &Error{Site: site, Kind: kind}
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if kind == KindRename {
+		return &Error{Site: site, Kind: kind}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// truncateHalf cuts the file to half its current size — the canonical torn
+// write.
+func truncateHalf(f *os.File) {
+	if st, err := f.Stat(); err == nil {
+		f.Truncate(st.Size() / 2)
+	}
+}
+
+func sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

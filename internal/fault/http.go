@@ -1,0 +1,33 @@
+package fault
+
+import (
+	"net/http"
+)
+
+// Middleware wraps next with injected request latency and connection drops
+// at the "http" site. A drop aborts the connection mid-request via
+// http.ErrAbortHandler, so the client sees a reset/EOF rather than a tidy
+// error body — exactly what a crashed proxy or flaky network produces.
+//
+// The liveness and readiness probes (/healthz, /readyz) are exempt:
+// orchestrators probing a chaos-mode daemon must still see the truth.
+//
+// A nil injector returns next unchanged, so the disabled path has no
+// wrapper at all.
+func Middleware(inj *Injector, next http.Handler) http.Handler {
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		kind, delay := inj.roll(SiteHTTP, KindLatency, KindDrop)
+		sleep(delay)
+		if kind == KindDrop {
+			panic(http.ErrAbortHandler)
+		}
+		next.ServeHTTP(w, r)
+	})
+}

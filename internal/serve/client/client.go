@@ -2,6 +2,14 @@
 // submits sweeps, follows their server-sent-event progress streams, and
 // fetches the warm analytics — one small method per API endpoint, sharing
 // the wire types with internal/serve so client and daemon cannot drift.
+//
+// With WithRetry, every call also rides a retry loop built for the daemon's
+// degradation ladder: capped exponential backoff with jitter, Retry-After
+// honored verbatim (load shedding and drains always send one), transport
+// failures and 5xx retried, client mistakes (4xx) not. Run is the
+// whole-sweep form — submit, follow, resubmit on retryable failure — and is
+// safe to hammer because sweeps are content-keyed and idempotent: a retried
+// sweep redoes only the points that never completed.
 package client
 
 import (
@@ -9,10 +17,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"waymemo/internal/explore"
 	"waymemo/internal/serve"
@@ -21,31 +32,57 @@ import (
 // Client talks to one daemon. The zero value is not usable; construct with
 // New.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	policy RetryPolicy
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithRetry enables the retry loop under the given policy.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.policy = p }
 }
 
 // New returns a client for the daemon at base ("http://127.0.0.1:8077").
 // The underlying http.Client carries no timeout — event streams are
-// long-lived — so pass a context to every call instead.
-func New(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+// long-lived — so pass a context to every call instead. Without WithRetry
+// every call is single-attempt.
+func New(base string, opts ...Option) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// apiError decodes the daemon's JSON error body into a plain error.
+// apiError decodes a non-2xx response into an *APIError, capturing any
+// Retry-After the daemon attached.
 func apiError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode}
 	var e struct {
 		Error string `json:"error"`
 	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("serve: %s: %s", resp.Status, e.Error)
+		ae.Message = e.Error
+	} else {
+		ae.Message = strings.TrimSpace(string(body))
 	}
-	return fmt.Errorf("serve: %s", resp.Status)
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	return ae
 }
 
-// getJSON fetches base+path and decodes the body into out.
+// getJSON fetches base+path and decodes the body into out, retrying under
+// the client's policy.
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	return c.retry(ctx, func() error { return c.getJSONOnce(ctx, path, out) })
+}
+
+func (c *Client) getJSONOnce(ctx context.Context, path string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err
@@ -78,8 +115,39 @@ func (c *Client) Health(ctx context.Context) error {
 	return nil
 }
 
-// Submit posts a sweep request and returns its acceptance.
+// Ready checks the readiness probe: nil while the daemon accepts sweeps, an
+// *APIError with Retry-After once it is draining. Never retried — a probe
+// reports, it does not wait.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Submit posts a sweep request and returns its acceptance, retrying under
+// the client's policy — in particular backing off and resubmitting when the
+// daemon sheds the sweep with 429 + Retry-After.
 func (c *Client) Submit(ctx context.Context, sr serve.SweepRequest) (serve.SubmitResponse, error) {
+	var sub serve.SubmitResponse
+	err := c.retry(ctx, func() error {
+		var err error
+		sub, err = c.submitOnce(ctx, sr)
+		return err
+	})
+	return sub, err
+}
+
+func (c *Client) submitOnce(ctx context.Context, sr serve.SweepRequest) (serve.SubmitResponse, error) {
 	var sub serve.SubmitResponse
 	blob, err := json.Marshal(sr)
 	if err != nil {
@@ -110,8 +178,24 @@ func (c *Client) Status(ctx context.Context, id string) (serve.JobStatus, error)
 
 // Events follows the sweep's SSE stream, invoking fn (if non-nil) for every
 // point event, and returns the terminal status carried by the stream's
-// "done" event. It blocks until the sweep finishes or ctx ends.
+// "done" event. It blocks until the sweep finishes or ctx ends. Under a
+// retry policy a dropped stream reconnects with backoff; the daemon replays
+// the job's full event log on reattach, and events already delivered are
+// skipped by sequence number, so fn sees each event at most once.
 func (c *Client) Events(ctx context.Context, id string, fn func(serve.Event)) (serve.JobStatus, error) {
+	var final serve.JobStatus
+	lastSeq := -1
+	err := c.retry(ctx, func() error {
+		var err error
+		final, err = c.eventsOnce(ctx, id, &lastSeq, fn)
+		return err
+	})
+	return final, err
+}
+
+// eventsOnce is one SSE attach: it streams events with Seq > *lastSeq to fn
+// (advancing *lastSeq), so reconnects deliver each event exactly once.
+func (c *Client) eventsOnce(ctx context.Context, id string, lastSeq *int, fn func(serve.Event)) (serve.JobStatus, error) {
 	var final serve.JobStatus
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/sweeps/"+id+"/events", nil)
 	if err != nil {
@@ -137,11 +221,15 @@ func (c *Client) Events(ctx context.Context, id string, fn func(serve.Event)) (s
 			data := []byte(strings.TrimPrefix(line, "data: "))
 			switch event {
 			case "point":
+				var ev serve.Event
+				if err := json.Unmarshal(data, &ev); err != nil {
+					return final, fmt.Errorf("serve: bad point event: %w", err)
+				}
+				if ev.Seq <= *lastSeq {
+					continue // replayed on reconnect; already delivered
+				}
+				*lastSeq = ev.Seq
 				if fn != nil {
-					var ev serve.Event
-					if err := json.Unmarshal(data, &ev); err != nil {
-						return final, fmt.Errorf("serve: bad point event: %w", err)
-					}
 					fn(ev)
 				}
 			case "done":
@@ -167,6 +255,69 @@ func (c *Client) Wait(ctx context.Context, id string) (serve.JobStatus, error) {
 		return st, fmt.Errorf("serve: sweep %s %s: %s", id, st.State, st.Error)
 	}
 	return st, nil
+}
+
+// Run drives one sweep end to end under the retry policy: submit, follow
+// its events (fn as in Events), and — when the daemon sheds the sweep, the
+// stream drops and the job is gone on reattach, or the sweep itself fails
+// retryably (a dead singleflight leader, an injected I/O fault) — back off
+// and resubmit. Resubmission is safe because grid points are content-keyed:
+// completed points answer from the store and only the never-finished rest
+// re-simulates. Each inner call is single-attempt, so the policy's
+// MaxAttempts bounds the total tries rather than multiplying through
+// nested loops. The returned status is "done" on success; otherwise the
+// last attempt's failure comes back as the error.
+func (c *Client) Run(ctx context.Context, sr serve.SweepRequest, fn func(serve.Event)) (serve.JobStatus, error) {
+	var st serve.JobStatus
+	var err error
+	var hint time.Duration
+	id, lastSeq := "", -1
+	for attempt := 0; attempt < c.policy.attempts(); attempt++ {
+		if attempt > 0 {
+			if sleepCtx(ctx, c.policy.delay(attempt-1, hint)) != nil {
+				return st, err
+			}
+			hint = 0
+		}
+		if id == "" {
+			var sub serve.SubmitResponse
+			sub, err = c.submitOnce(ctx, sr)
+			if err != nil {
+				if retryable(err) && ctx.Err() == nil {
+					hint = retryAfterHint(err)
+					continue
+				}
+				return st, err
+			}
+			id, lastSeq = sub.ID, -1
+		}
+		st, err = c.eventsOnce(ctx, id, &lastSeq, fn)
+		if err != nil {
+			var ae *APIError
+			if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+				// The daemon forgot (or lost) the job; start over.
+				id, lastSeq = "", -1
+			}
+			if retryable(err) && ctx.Err() == nil {
+				hint = retryAfterHint(err)
+				continue
+			}
+			return st, err
+		}
+		if st.State == "done" {
+			return st, nil
+		}
+		err = fmt.Errorf("serve: sweep %s %s: %s", id, st.State, st.Error)
+		if st.Retryable && ctx.Err() == nil {
+			// A failed sweep is resubmitted fresh — its flights were
+			// forgotten, its completed points are in the store.
+			id, lastSeq = "", -1
+			hint = time.Duration(st.RetryAfterMS) * time.Millisecond
+			continue
+		}
+		return st, err
+	}
+	return st, err
 }
 
 // Result fetches a finished sweep's full grid.

@@ -1,0 +1,149 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"time"
+)
+
+// RetryPolicy configures the client's retry loop: capped exponential
+// backoff with jitter, always deferring to an explicit Retry-After from the
+// daemon. The zero policy (MaxAttempts 0 or 1) disables retries entirely —
+// every call is single-attempt, exactly the pre-retry client.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation (first
+	// attempt included); values below 2 mean no retrying.
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 100ms); each further attempt
+	// doubles it up to MaxDelay (default 5s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter spreads each delay uniformly over ±Jitter of itself (default
+	// policy uses 0.5), so a shed stampede does not re-stampede in sync.
+	Jitter float64
+}
+
+// DefaultRetryPolicy is the recommended policy for n total attempts.
+func DefaultRetryPolicy(n int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: n, BaseDelay: 100 * time.Millisecond, MaxDelay: 5 * time.Second, Jitter: 0.5}
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// delay computes the backoff before retry number attempt (0-based), taking
+// the larger of the exponential schedule and the daemon's Retry-After hint.
+func (p RetryPolicy) delay(attempt int, hint time.Duration) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	cap := p.MaxDelay
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	d := cap
+	if attempt < 20 {
+		if exp := base << attempt; exp < cap {
+			d = exp
+		}
+	}
+	if hint > d {
+		d = hint
+	}
+	if p.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + p.Jitter*(2*rand.Float64()-1)))
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// APIError is a non-2xx daemon response: the status, the decoded error
+// message, and any Retry-After the daemon attached (load shedding and
+// draining always carry one).
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("serve: %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("serve: status %d", e.Status)
+}
+
+// Retryable reports whether the daemon's answer invites another try: 429
+// (shed) and every 5xx (draining, overload, transient server failure) do;
+// 4xx client mistakes do not.
+func (e *APIError) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status >= 500
+}
+
+// retryable classifies an error for the retry loop. The caller's own
+// context ending is never retryable; a typed daemon answer decides for
+// itself; everything left is transport-level (connection reset, dropped
+// mid-body, truncated stream) and retrying is the whole point.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable()
+	}
+	return true
+}
+
+// retryAfterHint extracts the daemon's Retry-After from an error, 0 if none.
+func retryAfterHint(err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.RetryAfter
+	}
+	return 0
+}
+
+// sleepCtx sleeps for d or until ctx ends.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// retry runs op under the client's policy: attempts are separated by
+// backoff (honoring Retry-After), and the loop stops early on success, a
+// non-retryable error, or the caller's context ending. The last attempt's
+// error is returned.
+func (c *Client) retry(ctx context.Context, op func() error) error {
+	var err error
+	var hint time.Duration
+	for attempt := 0; attempt < c.policy.attempts(); attempt++ {
+		if attempt > 0 {
+			if sleepCtx(ctx, c.policy.delay(attempt-1, hint)) != nil {
+				return err
+			}
+		}
+		err = op()
+		if err == nil || !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		hint = retryAfterHint(err)
+	}
+	return err
+}

@@ -1,0 +1,267 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waymemo/internal/fault"
+	"waymemo/internal/serve"
+)
+
+func TestPolicyDelaySchedule(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	cases := []struct {
+		attempt int
+		hint    time.Duration
+		want    time.Duration
+	}{
+		{0, 0, 100 * time.Millisecond},
+		{1, 0, 200 * time.Millisecond},
+		{2, 0, 400 * time.Millisecond},
+		{4, 0, time.Second},                      // capped by MaxDelay
+		{40, 0, time.Second},                     // shift overflow guarded
+		{0, 3 * time.Second, 3 * time.Second},    // Retry-After beats the schedule
+		{4, 500 * time.Millisecond, time.Second}, // but never lowers it
+	}
+	for _, c := range cases {
+		if got := p.delay(c.attempt, c.hint); got != c.want {
+			t.Errorf("delay(%d, %v) = %v, want %v", c.attempt, c.hint, got, c.want)
+		}
+	}
+	// Jitter spreads around the base delay but stays within its band.
+	j := RetryPolicy{MaxAttempts: 8, BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	for i := 0; i < 100; i++ {
+		d := j.delay(1, 0)
+		if d < 100*time.Millisecond || d > 300*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [100ms, 300ms]", d)
+		}
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&APIError{Status: http.StatusTooManyRequests}, true},
+		{&APIError{Status: http.StatusServiceUnavailable}, true},
+		{&APIError{Status: http.StatusInternalServerError}, true},
+		{&APIError{Status: http.StatusNotFound}, false},
+		{&APIError{Status: http.StatusBadRequest}, false},
+		{fmt.Errorf("wrapped: %w", &APIError{Status: 429}), true},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{errors.New("connection reset by peer"), true}, // transport-level
+	}
+	for _, c := range cases {
+		if got := retryable(c.err); got != c.want {
+			t.Errorf("retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestRetryLoop: retryable daemon answers are retried until success,
+// non-retryable ones fail fast, and the Retry-After header is parsed into
+// the hint the backoff honors.
+func TestRetryLoop(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1, 2:
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"shed"}`)
+		default:
+			fmt.Fprint(w, `{"sweeps":7}`)
+		}
+	}))
+	defer ts.Close()
+
+	// MaxDelay under the Retry-After hint would stall the test; keep the
+	// hint out of play by not asserting wall time, just attempt counts.
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats after retries: %v", err)
+	}
+	if st.Sweeps != 7 || calls.Load() != 3 {
+		t.Fatalf("stats %+v after %d calls, want success on the 3rd", st, calls.Load())
+	}
+}
+
+func TestRetryStopsOnClientMistake(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"no such sweep"}`)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(DefaultRetryPolicy(5)))
+	_, err := c.Status(context.Background(), "nope")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+	if ae.Message != "no such sweep" {
+		t.Errorf("decoded message %q", ae.Message)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("404 was retried %d times; client mistakes must fail fast", calls.Load())
+	}
+}
+
+func TestRetryAfterHeaderParsed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprint(w, `{"error":"draining"}`)
+	}))
+	defer ts.Close()
+
+	err := New(ts.URL).Ready(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("Ready on draining daemon = %v, want APIError", err)
+	}
+	if ae.RetryAfter != 3*time.Second || !ae.Retryable() {
+		t.Fatalf("APIError = %+v, want retryable with 3s hint", ae)
+	}
+}
+
+// TestRunRidesOutChaos is the client half of the robustness contract, end to
+// end over real HTTP: against a daemon dropping connections and erroring
+// store I/O, Run's submit-follow-resubmit loop converges to a completed
+// sweep whose grid matches a fault-free daemon's.
+func TestRunRidesOutChaos(t *testing.T) {
+	req := serve.SweepRequest{
+		Sets:       []int{64, 128},
+		TagEntries: []int{1},
+		SetEntries: []int{4},
+		Workloads:  []string{"synth:hotloop,fp=1KiB,n=2048"},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	refSrv, err := serve.New(serve.Config{StoreDir: t.TempDir(), Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSrv.Close()
+	refTS := httptest.NewServer(refSrv)
+	defer refTS.Close()
+	ref := New(refTS.URL)
+	refSt, err := ref.Run(ctx, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Result(ctx, refSt.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := fault.NewFromString("seed=11;http:drop:0.25;io:err:0.15;io.result.write:tornwrite:0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{StoreDir: t.TempDir(), Parallelism: 1, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 50, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond, Jitter: 0.5}))
+	st, err := c.Run(ctx, req, nil)
+	if err != nil {
+		t.Fatalf("Run under chaos: %v (faults: %v)", err, inj.Counts())
+	}
+	if st.State != "done" {
+		t.Fatalf("final state %q: %s", st.State, st.Error)
+	}
+
+	res, err := c.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != len(refRes.Points) {
+		t.Fatalf("chaos grid has %d points, reference %d", len(res.Points), len(refRes.Points))
+	}
+	for i := range res.Points {
+		a, b := res.Points[i], refRes.Points[i]
+		if a.Cycles != b.Cycles || a.Instrs != b.Instrs || len(a.Techs) != len(b.Techs) {
+			t.Fatalf("point %d differs under chaos: %+v vs %+v", i, a, b)
+		}
+		for j := range a.Techs {
+			if a.Techs[j] != b.Techs[j] {
+				t.Fatalf("point %d tech %d differs under chaos", i, j)
+			}
+		}
+	}
+	if inj.Total() == 0 {
+		t.Error("chaos run injected nothing; the test proved nothing")
+	}
+}
+
+// TestEventsReconnectDedupe: with connection drops only (a drop aborts the
+// request before the handler runs, so exactly one job exists end to end),
+// the SSE follower reconnects through the drops and still delivers each
+// event exactly once — the daemon replays its full log on reattach, the
+// client skips already-seen sequence numbers.
+func TestEventsReconnectDedupe(t *testing.T) {
+	inj, err := fault.NewFromString("seed=21;http:drop:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{StoreDir: t.TempDir(), Parallelism: 2, Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond}))
+	sub, err := c.Submit(ctx, serve.SweepRequest{
+		Sets:       []int{64, 128},
+		TagEntries: []int{1},
+		SetEntries: []int{4},
+		Workloads:  []string{"synth:hotloop,fp=1KiB,n=2048"},
+	})
+	if err != nil {
+		t.Fatalf("Submit through drops: %v", err)
+	}
+
+	seen := map[int]int{} // seq -> deliveries; Events invokes fn from one goroutine
+	st, err := c.Events(ctx, sub.ID, func(ev serve.Event) { seen[ev.Seq]++ })
+	if err != nil {
+		t.Fatalf("Events through drops: %v (faults: %v)", err, inj.Counts())
+	}
+	if st.State != "done" {
+		t.Fatalf("final state %q: %s", st.State, st.Error)
+	}
+	// 2 grid points x (start + done) = 4 events, each exactly once.
+	if len(seen) != 4 {
+		t.Fatalf("saw %d distinct events, want 4: %v", len(seen), seen)
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Errorf("event seq %d delivered %d times, want exactly once", seq, n)
+		}
+	}
+	if inj.Counts()["http:drop"] == 0 {
+		t.Error("no connections dropped; the test proved nothing")
+	}
+}

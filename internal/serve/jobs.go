@@ -18,13 +18,15 @@ type Job struct {
 	space   explore.Space
 	started time.Time
 
-	mu      sync.Mutex
-	events  []Event
-	subs    map[chan struct{}]bool
-	state   string // "running", "done" or "failed"
-	errMsg  string
-	grid    *explore.Grid
-	metrics JobMetrics
+	mu         sync.Mutex
+	events     []Event
+	subs       map[chan struct{}]bool
+	state      string // "running", "done" or "failed"
+	errMsg     string
+	retryable  bool
+	retryAfter time.Duration
+	grid       *explore.Grid
+	metrics    JobMetrics
 }
 
 func newJob(id string, req SweepRequest, space explore.Space, points int) *Job {
@@ -71,12 +73,14 @@ func (j *Job) wakeLocked() {
 	}
 }
 
-// finish moves the job to its terminal state and wakes subscribers.
+// finish moves the job to its terminal state, extracting the retry
+// contract from typed failures, and wakes subscribers.
 func (j *Job) finish(grid *explore.Grid, err error) {
 	j.mu.Lock()
 	j.metrics.ElapsedMS = time.Since(j.started).Seconds() * 1000
 	if err != nil {
 		j.state, j.errMsg = "failed", err.Error()
+		j.retryable, j.retryAfter = retryDetails(err)
 	} else {
 		j.state, j.grid = "done", grid
 	}
@@ -119,7 +123,9 @@ func (j *Job) status() JobStatus {
 	if j.state == "running" {
 		m.ElapsedMS = time.Since(j.started).Seconds() * 1000
 	}
-	return JobStatus{ID: j.id, State: j.state, Error: j.errMsg, Request: j.req, Metrics: m}
+	return JobStatus{ID: j.id, State: j.state, Error: j.errMsg,
+		Retryable: j.retryable, RetryAfterMS: j.retryAfter.Milliseconds(),
+		Request: j.req, Metrics: m}
 }
 
 // ID returns the job's identifier, as handed out by Submit.

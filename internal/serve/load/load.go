@@ -11,6 +11,8 @@ package load
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +22,11 @@ import (
 	"waymemo/internal/serve"
 	"waymemo/internal/serve/client"
 )
+
+// ErrWrongResult is wrapped by Run when Verify finds two clients of the
+// same variant holding different grids — the one failure mode the whole
+// system promises can never happen, under any fault.
+var ErrWrongResult = errors.New("load: wrong result")
 
 // Options configures one load run.
 type Options struct {
@@ -34,6 +41,15 @@ type Options struct {
 	WarmQueries int
 	// SkipWarm skips the warm rerun + warm query phases.
 	SkipWarm bool
+	// AllowFailures tolerates clients whose sweeps still fail after the
+	// client's retries (chaos runs): they count into Failed/SuccessRate
+	// instead of failing the run. At least one client must succeed.
+	AllowFailures bool
+	// Verify cross-checks every successful client's full grid against the
+	// other clients of the same variant, byte for byte. Any divergence is
+	// an ErrWrongResult — correctness is never probabilistic, even under
+	// fault injection.
+	Verify bool
 }
 
 // Report is one load run's outcome.
@@ -45,10 +61,28 @@ type Report struct {
 	Points       int `json:"points"`        // grid points requested, all clients
 	UniquePoints int `json:"unique_points"` // distinct content-addressed points
 
+	// Succeeded and Failed count clients whose sweep completed (after any
+	// client-side retries) versus gave up; SuccessRate = Succeeded/Clients.
+	Succeeded   int     `json:"succeeded"`
+	Failed      int     `json:"failed"`
+	SuccessRate float64 `json:"success_rate"`
+
 	// Deltas of the daemon's counters across the run.
 	Simulations int64 `json:"simulations"`
 	StoreHits   int64 `json:"store_hits"`
 	DedupJoins  int64 `json:"dedup_joins"`
+
+	// ShedSweeps is how many submissions the daemon's admission controller
+	// rejected during the run (each typically retried by the client), and
+	// ShedRate that count over all submission outcomes (shed + accepted).
+	ShedSweeps int64   `json:"shed_sweeps"`
+	ShedRate   float64 `json:"shed_rate"`
+	// FaultsInjected is the daemon's injected-fault delta (0 unless it
+	// runs with -fault-spec).
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
+	// VerifiedClients is how many client grids the Verify cross-check
+	// compared (0 when Verify is off).
+	VerifiedClients int `json:"verified_clients,omitempty"`
 
 	// DedupRate is the fraction of requested points served without a
 	// simulation (1 - Simulations/Points).
@@ -106,6 +140,9 @@ func Run(ctx context.Context, c *client.Client, opts Options) (*Report, error) {
 	}
 
 	// Phase 1: N overlapping clients, every variant in flight at once.
+	// Each client drives its sweep through client.Run, so a retry-enabled
+	// client rides out shedding, dropped streams and retryable sweep
+	// failures on its own; with no retry policy this is plain submit+wait.
 	start := time.Now()
 	ids := make([]string, clients)
 	errs := make([]error, clients)
@@ -114,20 +151,27 @@ func Run(ctx context.Context, c *client.Client, opts Options) (*Report, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sub, err := c.Submit(ctx, opts.Variants[i%len(opts.Variants)])
+			st, err := c.Run(ctx, opts.Variants[i%len(opts.Variants)], nil)
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			ids[i] = sub.ID
-			_, errs[i] = c.Wait(ctx, sub.ID)
+			ids[i] = st.ID
 		}(i)
 	}
 	wg.Wait()
+	succeeded := 0
 	for i, err := range errs {
-		if err != nil {
+		if err == nil {
+			succeeded++
+			continue
+		}
+		if !opts.AllowFailures {
 			return nil, fmt.Errorf("load: client %d: %w", i, err)
 		}
+	}
+	if succeeded == 0 {
+		return nil, fmt.Errorf("load: every client failed; first: %w", errs[0])
 	}
 	elapsed := time.Since(start)
 
@@ -141,13 +185,52 @@ func Run(ctx context.Context, c *client.Client, opts Options) (*Report, error) {
 		Variants:     len(opts.Variants),
 		Points:       int(points),
 		UniquePoints: unique,
+		Succeeded:    succeeded,
+		Failed:       clients - succeeded,
+		SuccessRate:  float64(succeeded) / float64(clients),
 		Simulations:  after.Simulations - before.Simulations,
 		StoreHits:    after.StoreHits - before.StoreHits,
 		DedupJoins:   after.DedupJoins - before.DedupJoins,
+		ShedSweeps:   after.ShedSweeps - before.ShedSweeps,
 		ElapsedMS:    elapsed.Seconds() * 1000,
 	}
 	if points > 0 {
 		rep.DedupRate = 1 - float64(rep.Simulations)/float64(points)
+	}
+	if outcomes := rep.ShedSweeps + (after.Sweeps - before.Sweeps); outcomes > 0 {
+		rep.ShedRate = float64(rep.ShedSweeps) / float64(outcomes)
+	}
+	rep.FaultsInjected = faultTotal(after.Faults) - faultTotal(before.Faults)
+
+	// Verification: clients of the same variant must hold bit-identical
+	// grids — under faults, under shedding, under retries, always. This is
+	// the paper's memoization contract surfacing at the service layer:
+	// faults may change cost (who simulated, who joined, who retried) but
+	// never results.
+	if opts.Verify {
+		canonical := map[int]string{} // variant index -> grid JSON
+		owner := map[int]int{}
+		for i, id := range ids {
+			if id == "" {
+				continue
+			}
+			res, err := c.Result(ctx, id)
+			if err != nil {
+				return nil, fmt.Errorf("load: verify fetch client %d: %w", i, err)
+			}
+			blob, err := json.Marshal(res.Points)
+			if err != nil {
+				return nil, err
+			}
+			v := i % len(opts.Variants)
+			if prev, ok := canonical[v]; !ok {
+				canonical[v], owner[v] = string(blob), i
+			} else if prev != string(blob) {
+				return nil, fmt.Errorf("%w: clients %d and %d disagree on variant %d's grid",
+					ErrWrongResult, owner[v], i, v)
+			}
+			rep.VerifiedClients++
+		}
 	}
 	if opts.SkipWarm {
 		return rep, nil
@@ -156,11 +239,7 @@ func Run(ctx context.Context, c *client.Client, opts Options) (*Report, error) {
 	// Phase 2: warm rerun of every variant — the store is hot, so the
 	// promise is zero additional simulations.
 	for _, v := range opts.Variants {
-		sub, err := c.Submit(ctx, v)
-		if err != nil {
-			return nil, fmt.Errorf("load: warm rerun: %w", err)
-		}
-		if _, err := c.Wait(ctx, sub.ID); err != nil {
+		if _, err := c.Run(ctx, v, nil); err != nil {
 			return nil, fmt.Errorf("load: warm rerun: %w", err)
 		}
 	}
@@ -170,8 +249,15 @@ func Run(ctx context.Context, c *client.Client, opts Options) (*Report, error) {
 	}
 	rep.WarmRerunSimulations = warm.Simulations - after.Simulations
 
-	// Phase 3: warm analytics latency on one finished sweep.
-	id := ids[0]
+	// Phase 3: warm analytics latency on one finished sweep (the first
+	// client that succeeded — under AllowFailures that may not be ids[0]).
+	id := ""
+	for _, cand := range ids {
+		if cand != "" {
+			id = cand
+			break
+		}
+	}
 	lat := make([]time.Duration, 0, warmQ)
 	for q := 0; q < warmQ; q++ {
 		t0 := time.Now()
@@ -195,17 +281,37 @@ func Run(ctx context.Context, c *client.Client, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// faultTotal sums a /v1/stats faults map (nil-safe).
+func faultTotal(m map[string]int64) int64 {
+	var t int64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
 // String renders the report for terminals.
 func (r *Report) String() string {
-	return fmt.Sprintf(
-		"clients         %d (x%d variants)\n"+
+	s := fmt.Sprintf(
+		"clients         %d (x%d variants), %d succeeded / %d failed (%.1f%%)\n"+
 			"points          %d requested, %d unique\n"+
 			"served          %d simulated, %d store hits, %d dedup joins\n"+
 			"dedup rate      %.1f%%\n"+
-			"warm rerun      %d simulations\n"+
+			"shed            %d sweeps (%.1f%% of submissions)",
+		r.Clients, r.Variants, r.Succeeded, r.Failed, 100*r.SuccessRate,
+		r.Points, r.UniquePoints,
+		r.Simulations, r.StoreHits, r.DedupJoins,
+		100*r.DedupRate, r.ShedSweeps, 100*r.ShedRate)
+	if r.FaultsInjected > 0 {
+		s += fmt.Sprintf("\nfaults          %d injected", r.FaultsInjected)
+	}
+	if r.VerifiedClients > 0 {
+		s += fmt.Sprintf("\nverified        %d client grids bit-identical per variant", r.VerifiedClients)
+	}
+	s += fmt.Sprintf(
+		"\nwarm rerun      %d simulations\n"+
 			"warm query      %.3f ms (median)\n"+
 			"elapsed         %.0f ms",
-		r.Clients, r.Variants, r.Points, r.UniquePoints,
-		r.Simulations, r.StoreHits, r.DedupJoins,
-		100*r.DedupRate, r.WarmRerunSimulations, r.WarmQueryMS, r.ElapsedMS)
+		r.WarmRerunSimulations, r.WarmQueryMS, r.ElapsedMS)
+	return s
 }

@@ -23,6 +23,18 @@
 //	GET  /v1/sweeps/{id}/optimum     OptimumResponse
 //	GET  /v1/stats                    ServerStats
 //	GET  /healthz                     liveness
+//	GET  /readyz                      readiness (503 + Retry-After while draining)
+//
+// The daemon is built to degrade, never corrupt: an admission controller
+// sheds whole sweeps with 429 + Retry-After when the unfinished-point
+// backlog would exceed its bound, per-request deadlines bound every
+// non-streaming handler, failed grid points surface as typed retryable
+// errors (PointError / OverloadError) that internal/serve/client backs off
+// and retries on, and the store opens with a crash-recovery sweep that
+// quarantines torn entries instead of serving or tripping on them. The
+// internal/fault layer (Config.Faults, `wmx serve -fault-spec`) injects
+// I/O and HTTP failures at every one of those seams to prove the contract:
+// under any fault, completed results are bit-identical to a fault-free run.
 //
 // `wmx serve` wraps a Server in an http.Server; internal/serve/client is
 // the typed client and tools/loadgen the load harness that proves N
@@ -32,14 +44,18 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"waymemo/internal/explore"
+	"waymemo/internal/fault"
 	"waymemo/internal/pool"
 	"waymemo/internal/suite"
 )
@@ -57,6 +73,22 @@ type Config struct {
 	// MaxJobs caps how many finished jobs are kept queryable (0 = 4096);
 	// the oldest finished jobs are forgotten first.
 	MaxJobs int
+	// MaxBacklog caps the unfinished admitted grid points across all
+	// running sweeps (0 = 4096, negative = unlimited). A sweep that would
+	// push the backlog past the cap is shed with an OverloadError (HTTP
+	// 429 + Retry-After) before any work happens — except when the backlog
+	// is empty, where any sweep is admitted so grids larger than the cap
+	// remain possible.
+	MaxBacklog int
+	// RequestTimeout bounds each non-streaming HTTP request's context
+	// (0 = 60s, negative = no deadline). SSE streams and the probes are
+	// exempt.
+	RequestTimeout time.Duration
+	// Faults, when non-nil, routes store I/O, trace spills and HTTP
+	// handling through the fault-injection layer. Nil — the default — is
+	// completely off: the file shims pass straight through to the os
+	// package and no HTTP wrapper is installed.
+	Faults *fault.Injector
 }
 
 // Server executes sweeps and serves the HTTP API. Create with New, attach
@@ -71,6 +103,7 @@ type Server struct {
 	stop    context.CancelFunc
 	simSem  chan struct{}
 	mux     *http.ServeMux
+	handler http.Handler // mux + deadline middleware + fault middleware
 
 	jobsMu sync.Mutex
 	jobs   map[string]*Job
@@ -78,15 +111,23 @@ type Server struct {
 	nextID int64
 
 	sweeps, points, storeHits, dedupJoins, sims atomic.Int64
+
+	// backlog is the admission controller's gauge: grid points admitted
+	// but not yet finished, across all running sweeps. shed counts sweeps
+	// rejected over it. draining flips when BeginDrain starts shutdown.
+	backlog, shed atomic.Int64
+	draining      atomic.Bool
 }
 
-// New opens the store and builds a ready-to-serve Server.
+// New opens the store (running its crash-recovery sweep) and builds a
+// ready-to-serve Server.
 func New(cfg Config) (*Server, error) {
-	store, err := OpenStore(cfg.StoreDir, cfg.StoreBudget)
+	fs := fault.FS{Inj: cfg.Faults}
+	store, err := OpenStoreFS(cfg.StoreDir, cfg.StoreBudget, fs)
 	if err != nil {
 		return nil, err
 	}
-	traces, err := suite.NewDirTraceCache(store.TraceDir())
+	traces, err := suite.NewDirTraceCacheFS(store.TraceDir(), fs)
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +149,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
@@ -128,11 +170,48 @@ func New(cfg Config) (*Server, error) {
 		return OptimumResponse{Optimum: best, PaperTags: tags, PaperSets: sets}
 	}))
 	s.mux = mux
+	// Request pipeline, outermost first: fault injection (absent entirely
+	// when off), then per-request deadlines, then the mux.
+	s.handler = fault.Middleware(cfg.Faults, s.deadlineMiddleware(mux))
 	return s, nil
 }
 
-// ServeHTTP dispatches to the API mux.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// deadlineMiddleware bounds every non-streaming request's context with
+// Config.RequestTimeout, so a handler stuck behind a slow disk or a packed
+// simulation queue returns an error instead of holding the connection
+// forever. SSE streams are exempt (they are long-lived by design) and so
+// are the probes (they must stay cheap and honest).
+func (s *Server) deadlineMiddleware(next http.Handler) http.Handler {
+	d := s.cfg.RequestTimeout
+	if d == 0 {
+		d = 60 * time.Second
+	}
+	if d < 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		p := r.URL.Path
+		if strings.HasSuffix(p, "/events") || p == "/healthz" || p == "/readyz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// ServeHTTP dispatches through the middleware pipeline to the API mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// BeginDrain starts shutdown from the traffic side: /readyz flips to 503 so
+// orchestrators stop routing here, and Submit sheds every new sweep with a
+// draining OverloadError while already-admitted sweeps run to completion.
+// Call it before http.Server.Shutdown; Close then cancels whatever is left.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Close cancels every running sweep. In-flight HTTP requests fail with the
 // cancellation; callers shut the http.Server down first.
@@ -150,19 +229,56 @@ func (s *Server) Stats() ServerStats {
 		DedupJoins:     s.dedupJoins.Load(),
 		Simulations:    s.sims.Load(),
 		InFlightPoints: s.flights.inFlight(),
+		BacklogPoints:  s.backlog.Load(),
+		ShedSweeps:     s.shed.Load(),
+		Faults:         s.cfg.Faults.Counts(),
 		Store:          s.store.Stats(),
 		Traces:         s.traces.Stats(),
 	}
 }
 
-// Submit validates and starts a sweep without going through HTTP — the
-// handler's core, also convenient for in-process embedding and tests.
+// admit is the admission controller: it reserves n grid points of backlog
+// or sheds the sweep with an OverloadError. The cap applies to the sum of
+// unfinished points across every running sweep — the quantity that actually
+// measures queued work, since sweeps are just bags of points behind one
+// simulation semaphore. A sweep larger than the whole cap is still admitted
+// when the backlog is empty (otherwise big grids could never run); anything
+// else that would overflow is shed before any work starts, so a stampede
+// degrades to fast 429s instead of an unbounded queue.
+func (s *Server) admit(n int) error {
+	if s.draining.Load() {
+		s.shed.Add(1)
+		return &OverloadError{Draining: true, RetryAfter: time.Second}
+	}
+	max := int64(s.cfg.MaxBacklog)
+	if max == 0 {
+		max = 4096
+	}
+	for {
+		cur := s.backlog.Load()
+		if max > 0 && cur > 0 && cur+int64(n) > max {
+			s.shed.Add(1)
+			return &OverloadError{Backlog: cur, RetryAfter: time.Second}
+		}
+		if s.backlog.CompareAndSwap(cur, cur+int64(n)) {
+			return nil
+		}
+	}
+}
+
+// Submit validates, admits and starts a sweep without going through HTTP —
+// the handler's core, also convenient for in-process embedding and tests.
+// An *OverloadError means the sweep was shed (or the daemon is draining)
+// and a retry after backoff is expected to succeed.
 func (s *Server) Submit(req SweepRequest) (*Job, error) {
 	space, err := req.Space()
 	if err != nil {
 		return nil, err
 	}
 	pts := space.Points()
+	if err := s.admit(len(pts)); err != nil {
+		return nil, err
+	}
 	s.jobsMu.Lock()
 	s.nextID++
 	id := fmt.Sprintf("sw-%06d", s.nextID)
@@ -213,7 +329,11 @@ func (s *Server) runJob(job *Job) {
 	techs := sp.Techniques()
 	mabs := sp.MABs()
 	results := make([]explore.PointResult, len(pts))
-	var hits, misses atomic.Int64
+	var hits, misses, finished atomic.Int64
+	// Submit reserved len(pts) of backlog; release it point by point as
+	// they finish so admission tracks live queue depth, and release
+	// whatever an aborted sweep left over on the way out.
+	defer func() { s.backlog.Add(-(int64(len(pts)) - finished.Load())) }()
 
 	err := pool.Run(s.baseCtx, len(pts), len(s.simSem), func(ctx context.Context, i int) error {
 		pt := pts[i]
@@ -233,6 +353,8 @@ func (s *Server) runJob(job *Job) {
 			pr.Cached = true
 		}
 		results[pt.Index] = *pr
+		s.backlog.Add(-1)
+		finished.Add(1)
 		job.emit(Event{Index: pt.Index, Total: len(pts), Workload: pt.Workload.Name,
 			Sets: pt.Geometry.Sets, Ways: pt.Geometry.Ways, Line: pt.Geometry.LineBytes,
 			Status: "done", Source: source})
@@ -294,6 +416,14 @@ func (s *Server) point(ctx context.Context, sp explore.Space, pt explore.Point,
 		return pr, true, nil
 	})
 	if err != nil {
+		// Surface every point failure typed: joiners got their PointError
+		// from the flight group, a leader's own failure (or a ctx expiry
+		// while queued for the semaphore) is wrapped here. Retryability
+		// rides along to the job status and the HTTP layer.
+		var pe *PointError
+		if !errors.As(err, &pe) {
+			err = &PointError{Key: key, Err: err}
+		}
 		return nil, "", err
 	}
 	switch {
@@ -339,10 +469,45 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	job, err := s.Submit(req)
 	if err != nil {
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			// Load shedding is not the client's fault and not permanent:
+			// 429 (or 503 while draining) plus Retry-After says exactly
+			// that, and internal/serve/client honors it.
+			w.Header().Set("Retry-After", retryAfterSeconds(oe.RetryAfter))
+			code := http.StatusTooManyRequests
+			if oe.Draining {
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, "%v", err)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: job.id, Points: job.metrics.Points})
+}
+
+// retryAfterSeconds renders a backoff hint as a Retry-After header value
+// (whole seconds, minimum 1 — the header has no finer grain).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// handleReady is the readiness probe: "ready" while accepting sweeps, 503 +
+// Retry-After once draining for shutdown. Liveness (/healthz) stays green
+// through a drain — the process is healthy, just leaving.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Write([]byte("ready\n"))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

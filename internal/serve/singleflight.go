@@ -43,6 +43,12 @@ type flight struct {
 // without affecting the flight; the leader's fn should run under the
 // server's lifetime context, not a request's, so one client disconnecting
 // cannot kill a simulation other clients are waiting on.
+//
+// A leader failure reaches every joiner as a *PointError with Joined set —
+// typed and (for anything but daemon shutdown) retryable, because the failed
+// flight is forgotten and a resubmitted sweep leads a fresh one. A joiner's
+// own ctx expiry stays unwrapped: that failure is the joiner's, not the
+// flight's.
 func (g *flightGroup) do(ctx context.Context, key string, fn func() (*explore.PointResult, bool, error)) (pr *explore.PointResult, simulated, led bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
@@ -52,7 +58,11 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*explore.Po
 		g.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.val, f.simulated, false, f.err
+			err := f.err
+			if err != nil {
+				err = &PointError{Key: key, Joined: true, Err: err}
+			}
+			return f.val, f.simulated, false, err
 		case <-ctx.Done():
 			return nil, false, false, ctx.Err()
 		}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,6 +12,8 @@ import (
 	"time"
 
 	"waymemo/internal/explore"
+	"waymemo/internal/fault"
+	"waymemo/internal/trace"
 )
 
 // Store is the daemon's shared content-addressed result + trace store: an
@@ -28,6 +31,7 @@ type Store struct {
 	results  *explore.DirCache
 	traceDir string // "" when the store keeps no traces
 	budget   int64  // bytes across results + traces; 0 = unlimited
+	fs       fault.FS
 
 	mu          sync.Mutex
 	ll          *list.List               // LRU: front = most recent
@@ -36,6 +40,10 @@ type Store struct {
 
 	hits, misses, puts              int64
 	resultEvictions, traceEvictions int64
+
+	// Startup-recovery counters (see recoverDir): what the boot sweep
+	// removed or quarantined.
+	recoveredResults, recoveredTraces, recoveredTemps int64
 }
 
 // storeEntry is one result's LRU bookkeeping.
@@ -57,21 +65,46 @@ type StoreStats struct {
 	Puts            int64 `json:"puts"`
 	ResultEvictions int64 `json:"result_evictions"`
 	TraceEvictions  int64 `json:"trace_evictions"`
+
+	// The startup recovery sweep's findings: corrupt result entries and
+	// trace pairs quarantined (renamed *.bad) and leftover atomic-write temp
+	// files removed. Nonzero numbers after a crash are the store working as
+	// designed — every quarantined item re-simulates or re-captures on next
+	// use.
+	RecoveredResults int64 `json:"recovered_results"`
+	RecoveredTraces  int64 `json:"recovered_traces"`
+	RecoveredTemps   int64 `json:"recovered_temps"`
 }
 
 // OpenStore opens (creating as needed, parents included) a store rooted at
 // dir: results under dir/results, trace spills under dir/traces. budget is
-// the combined byte budget, 0 for unlimited. Existing entries are adopted
-// with their file times as initial recency, so a restarted daemon resumes
-// warm.
+// the combined byte budget, 0 for unlimited.
+//
+// Opening begins with a crash-recovery sweep: leftover atomic-write temp
+// files (a writer killed before its rename) are removed, and result entries
+// or trace pairs that do not read back intact — torn by a crash that beat
+// the fsync, bit-flipped, or half a pair — are quarantined by renaming them
+// *.bad rather than adopted or silently served. A quarantined item only
+// costs a re-simulation or re-capture; it can never be replayed as a
+// result. The surviving entries are adopted with their file times as
+// initial recency, so a restarted daemon resumes warm.
 func OpenStore(dir string, budget int64) (*Store, error) {
+	return OpenStoreFS(dir, budget, fault.FS{})
+}
+
+// OpenStoreFS is OpenStore with the store's file I/O — including the
+// recovery sweep's reads — routed through a fault-injection shim; the zero
+// FS is a passthrough. Under an injected-read chaos boot the sweep may
+// quarantine healthy entries; that only costs re-simulation, which is the
+// degradation the layer exists to prove safe.
+func OpenStoreFS(dir string, budget int64, fs fault.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("serve: empty store directory")
 	}
 	if budget < 0 {
 		return nil, fmt.Errorf("serve: negative store budget %d", budget)
 	}
-	results, err := explore.NewDirCache(filepath.Join(dir, "results"))
+	results, err := explore.NewDirCacheFS(filepath.Join(dir, "results"), fs)
 	if err != nil {
 		return nil, err
 	}
@@ -83,10 +116,12 @@ func OpenStore(dir string, budget int64) (*Store, error) {
 		results:  results,
 		traceDir: traceDir,
 		budget:   budget,
+		fs:       fs,
 		ll:       list.New(),
 		ent:      map[string]*list.Element{},
 	}
-	ents, err := results.Entries() // oldest first
+	st.recoverBoot()
+	ents, err := results.Entries() // oldest first; recovery already ran, so all intact
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +131,121 @@ func OpenStore(dir string, budget int64) (*Store, error) {
 		st.ent[e.Key] = el
 	}
 	return st, nil
+}
+
+// recoverBoot is the startup crash-recovery sweep: temp files out, corrupt
+// entries quarantined. It never fails the open — an entry it cannot fix is
+// left for Get to treat as a miss, which is already safe.
+func (st *Store) recoverBoot() {
+	// 1. Leftover atomic-write temps (named *.tmp<rand> by CreateTemp): a
+	// writer died between create and rename. They were never visible to
+	// readers; just remove them.
+	for _, dir := range []string{st.results.Dir(), st.traceDir} {
+		des, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, de := range des {
+			if !de.IsDir() && strings.Contains(de.Name(), ".tmp") {
+				if os.Remove(filepath.Join(dir, de.Name())) == nil {
+					st.recoveredTemps++
+				}
+			}
+		}
+	}
+	// 2. Result entries that do not decode back to a plausible PointResult
+	// (torn write that beat the fsync, truncation, bit rot). Get already
+	// treats them as misses; quarantining at boot makes the damage visible
+	// in stats and keeps the LRU accounting from indexing dead weight.
+	if ents, err := st.results.Entries(); err == nil {
+		for _, e := range ents {
+			if _, ok := st.results.Get(e.Key); !ok {
+				p := filepath.Join(st.results.Dir(), e.Key+".json")
+				if os.Rename(p, p+".bad") == nil {
+					st.recoveredResults++
+				}
+			}
+		}
+	}
+	// 3. Trace spill pairs: a pair must have both halves, a sidecar that
+	// parses, and a trace file whose checksummed decode matches the
+	// sidecar's event counts. Anything less is quarantined whole —
+	// suite.TraceCache would already treat it as a miss, but a half-read
+	// torn file wastes every future load attempt until someone cleans it.
+	des, err := os.ReadDir(st.traceDir)
+	if err != nil {
+		return
+	}
+	type halves struct{ trace, sidecar bool }
+	pairs := map[string]*halves{}
+	for _, de := range des {
+		if base, ok := strings.CutSuffix(de.Name(), ".wmtrace"); ok {
+			h := pairs[base]
+			if h == nil {
+				h = &halves{}
+				pairs[base] = h
+			}
+			h.trace = true
+		} else if base, ok := strings.CutSuffix(de.Name(), ".json"); ok {
+			h := pairs[base]
+			if h == nil {
+				h = &halves{}
+				pairs[base] = h
+			}
+			h.sidecar = true
+		}
+	}
+	for base, h := range pairs {
+		basePath := filepath.Join(st.traceDir, base)
+		if st.tracePairIntact(basePath, *h) {
+			continue
+		}
+		quarantined := false
+		if h.trace && os.Rename(basePath+".wmtrace", basePath+".wmtrace.bad") == nil {
+			quarantined = true
+		}
+		if h.sidecar && os.Rename(basePath+".json", basePath+".json.bad") == nil {
+			quarantined = true
+		}
+		if quarantined {
+			st.recoveredTraces++
+		}
+	}
+}
+
+// tracePairIntact validates one spill pair end to end: both halves present,
+// sidecar parses and self-identifies, trace file decodes (its formats are
+// checksummed) and — when the sidecar carries event counts; minimal legacy
+// sidecars do not — agrees with them.
+func (st *Store) tracePairIntact(basePath string, h struct{ trace, sidecar bool }) bool {
+	if !h.trace || !h.sidecar {
+		return false
+	}
+	mb, err := st.fs.ReadFile(fault.SiteTraceRead, basePath+".json")
+	if err != nil {
+		return false
+	}
+	var m struct {
+		Version int  `json:"version"`
+		Fetches *int `json:"fetches"`
+		Datas   *int `json:"datas"`
+	}
+	if json.Unmarshal(mb, &m) != nil || m.Version == 0 {
+		return false
+	}
+	f, err := st.fs.Open(fault.SiteTraceRead, basePath+".wmtrace")
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	buf, err := trace.ReadBuffer(f)
+	if err != nil {
+		return false
+	}
+	if m.Fetches != nil && buf.NumFetches() != *m.Fetches {
+		return false
+	}
+	return m.Datas == nil || buf.NumDatas() == *m.Datas
 }
 
 // ResultDir and TraceDir return the store's component directories; the
@@ -272,5 +422,9 @@ func (st *Store) Stats() StoreStats {
 		Puts:            st.puts,
 		ResultEvictions: st.resultEvictions,
 		TraceEvictions:  st.traceEvictions,
+
+		RecoveredResults: st.recoveredResults,
+		RecoveredTraces:  st.recoveredTraces,
+		RecoveredTemps:   st.recoveredTemps,
 	}
 }

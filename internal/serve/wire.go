@@ -76,11 +76,18 @@ type JobMetrics struct {
 
 // JobStatus reports one sweep job.
 type JobStatus struct {
-	ID      string       `json:"id"`
-	State   string       `json:"state"` // "running", "done" or "failed"
-	Error   string       `json:"error,omitempty"`
-	Request SweepRequest `json:"request"`
-	Metrics JobMetrics   `json:"metrics"`
+	ID    string `json:"id"`
+	State string `json:"state"` // "running", "done" or "failed"
+	Error string `json:"error,omitempty"`
+	// Retryable (failed jobs only) reports whether resubmitting the same
+	// request can succeed: true for transient failures (I/O faults, a dead
+	// singleflight leader, shedding), false for the daemon's own shutdown.
+	// Grid points are content-keyed, so a retried sweep redoes only what
+	// never completed. RetryAfterMS, when nonzero, is the suggested wait.
+	Retryable    bool         `json:"retryable,omitempty"`
+	RetryAfterMS int64        `json:"retry_after_ms,omitempty"`
+	Request      SweepRequest `json:"request"`
+	Metrics      JobMetrics   `json:"metrics"`
 }
 
 // Event is one progress report on a sweep's SSE stream: a grid point
@@ -115,6 +122,17 @@ type ServerStats struct {
 	DedupJoins     int64 `json:"dedup_joins"`
 	Simulations    int64 `json:"simulations"`
 	InFlightPoints int   `json:"inflight_points"`
+
+	// BacklogPoints is the admission controller's live gauge (admitted,
+	// unfinished grid points) and ShedSweeps how many sweeps it rejected
+	// with 429/503.
+	BacklogPoints int64 `json:"backlog_points"`
+	ShedSweeps    int64 `json:"shed_sweeps"`
+
+	// Faults counts injected faults by "site:kind", present only when the
+	// daemon runs with -fault-spec — a chaos run is observable, a normal
+	// run omits the field entirely.
+	Faults map[string]int64 `json:"faults,omitempty"`
 
 	Store  StoreStats            `json:"store"`
 	Traces suite.TraceCacheStats `json:"traces"`

@@ -6,11 +6,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
+	"waymemo/internal/fault"
 	"waymemo/internal/isa"
 	"waymemo/internal/trace"
 	"waymemo/internal/workloads"
@@ -39,6 +41,7 @@ import (
 // single capture.
 type TraceCache struct {
 	dir string
+	fs  fault.FS
 
 	mu      sync.Mutex
 	entries map[traceKey]*traceEntry
@@ -116,6 +119,14 @@ func NewTraceCache() *TraceCache {
 // WMTRACE2 files (plus JSON sidecars) and reloads them — or legacy WMTRACE1
 // files — in later processes. The directory is created if needed.
 func NewDirTraceCache(dir string) (*TraceCache, error) {
+	return NewDirTraceCacheFS(dir, fault.FS{})
+}
+
+// NewDirTraceCacheFS is NewDirTraceCache with the spill I/O routed through
+// a fault-injection shim (sites io.trace.*); the zero FS is a passthrough.
+// Injected spill faults can only cost re-captures or spill errors, never
+// wrong replays — the same contract corrupt files already get.
+func NewDirTraceCacheFS(dir string, fs fault.FS) (*TraceCache, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("suite: empty trace directory")
 	}
@@ -124,6 +135,7 @@ func NewDirTraceCache(dir string) (*TraceCache, error) {
 	}
 	tc := NewTraceCache()
 	tc.dir = dir
+	tc.fs = fs
 	return tc, nil
 }
 
@@ -330,7 +342,7 @@ func (tc *TraceCache) spillBase(k traceKey) string {
 // re-executed and re-stored — a corrupt file must never poison results.
 func (tc *TraceCache) load(e *traceEntry, k traceKey, w workloads.Workload) bool {
 	base := tc.spillBase(k)
-	mb, err := os.ReadFile(base + ".json")
+	mb, err := tc.fs.ReadFile(fault.SiteTraceRead, base+".json")
 	if err != nil {
 		return false
 	}
@@ -344,7 +356,7 @@ func (tc *TraceCache) load(e *traceEntry, k traceKey, w workloads.Workload) bool
 		m.MaxInstrs != k.maxInstrs {
 		return false
 	}
-	f, err := os.Open(base + ".wmtrace")
+	f, err := tc.fs.Open(fault.SiteTraceRead, base+".wmtrace")
 	if err != nil {
 		return false
 	}
@@ -358,10 +370,10 @@ func (tc *TraceCache) load(e *traceEntry, k traceKey, w workloads.Workload) bool
 }
 
 // store writes the capture as a WMTRACE2 file plus sidecar, each through a
-// temp file and rename so readers never observe a torn spill.
+// temp file, fsync and rename so readers never observe a torn spill.
 func (tc *TraceCache) store(e *traceEntry, k traceKey, w workloads.Workload) error {
 	base := tc.spillBase(k)
-	if err := writeFileAtomic(base+".wmtrace", func(f *os.File) error {
+	if err := tc.fs.WriteFileAtomic(fault.SiteTraceWrite, base+".wmtrace", func(f io.Writer) error {
 		_, err := e.buf.WriteTo(f)
 		return err
 	}); err != nil {
@@ -384,34 +396,11 @@ func (tc *TraceCache) store(e *traceEntry, k traceKey, w workloads.Workload) err
 	if err != nil {
 		return err
 	}
-	if err := writeFileAtomic(base+".json", func(f *os.File) error {
+	if err := tc.fs.WriteFileAtomic(fault.SiteTraceWrite, base+".json", func(f io.Writer) error {
 		_, err := f.Write(mb)
 		return err
 	}); err != nil {
 		return fmt.Errorf("suite: spilling trace sidecar: %w", err)
-	}
-	return nil
-}
-
-// writeFileAtomic writes path via a same-directory temp file and rename.
-func writeFileAtomic(path string, fill func(*os.File) error) error {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	if err := fill(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
 	}
 	return nil
 }

@@ -32,11 +32,18 @@
 //     scaling_replay_ratio — the best ≥2-core replay rate over the 1-core
 //     rate. On a single-core machine the matrix degenerates to its 1-proc
 //     point: the run prints a loud note, records single_core: true, and
-//     omits the ratio.
+//     omits the ratio;
+//   - serve_chaos: the same service under seeded fault injection (I/O
+//     errors, short reads, latency spikes, connection drops) with a
+//     deliberately tiny admission cap, driven by retrying clients —
+//     recording chaos_success_rate, shed_rate and faults_injected. These
+//     are informational, never gated (they are stochastic by construction);
+//     the phase's hard invariant — every completed grid bit-identical
+//     across clients — is asserted in-line and fails the run on violation.
 //
 // Usage:
 //
-//	go run ./tools/benchrec [-o BENCH_7.json] [-j N]
+//	go run ./tools/benchrec [-o BENCH_8.json] [-j N]
 //	go run ./tools/benchrec -o /tmp/bench.json -compare BENCH_7.json -tolerance 20%
 //	go run ./tools/benchrec -scale-procs 1,2 -min-scaling 1.15
 //
@@ -74,6 +81,7 @@ import (
 	"unsafe"
 
 	"waymemo/internal/explore"
+	"waymemo/internal/fault"
 	"waymemo/internal/serve"
 	"waymemo/internal/serve/client"
 	"waymemo/internal/serve/load"
@@ -107,6 +115,11 @@ type record struct {
 	// Serve is the service layer's load figure (nil in pre-serve
 	// baselines): the standard load harness against an in-process daemon.
 	Serve *serveRecord `json:"serve_load,omitempty"`
+	// Chaos is the fault-injection load figure (nil in pre-fault
+	// baselines). Its rates are stochastic and informational — the compare
+	// gate never reads them; correctness under faults is asserted by the
+	// phase itself.
+	Chaos *chaosRecord `json:"serve_chaos,omitempty"`
 	// TraceColumns is the WMTRACE2 compressed-column footprint over the
 	// paper workloads' captures (nil in pre-column baselines).
 	TraceColumns *traceColumnsRecord `json:"trace_columns,omitempty"`
@@ -166,6 +179,21 @@ type serveRecord struct {
 	DedupRate    float64 `json:"serve_dedup_rate"`
 	WarmQueryMS  float64 `json:"serve_warm_query_ms"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+// chaosRecord captures the chaos phase: retrying clients against a daemon
+// injecting seeded faults behind a tiny admission cap. Completed grids were
+// verified bit-identical across clients before this record was written.
+type chaosRecord struct {
+	FaultSpec   string  `json:"fault_spec"`
+	Clients     int     `json:"clients"`
+	Succeeded   int     `json:"succeeded"`
+	SuccessRate float64 `json:"chaos_success_rate"`
+	ShedSweeps  int64   `json:"shed_sweeps"`
+	ShedRate    float64 `json:"shed_rate"`
+	Faults      int64   `json:"faults_injected"`
+	Verified    int     `json:"verified_clients"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
 }
 
 // serveDedup is the gateable serve ratio, 0 when the baseline predates the
@@ -352,7 +380,7 @@ func compareBaseline(cur *record, baselinePath string, tol float64) error {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_7.json", "output file")
+	out := flag.String("o", "BENCH_8.json", "output file")
 	par := flag.Int("j", 0, "parallelism passed to the runners (0 = GOMAXPROCS)")
 	compare := flag.String("compare", "", "baseline BENCH_<n>.json `file`; exit nonzero if a ratio metric regresses beyond -tolerance")
 	tolerance := flag.String("tolerance", "20%", "allowed ratio-metric regression for -compare (\"20%\" or \"0.2\")")
@@ -527,6 +555,57 @@ func main() {
 		WarmQueryMS:  rep.WarmQueryMS,
 		ElapsedMS:    rep.ElapsedMS,
 	}
+
+	// Chaos: the same variants against a fresh daemon injecting seeded
+	// faults (I/O errors, short reads, latency spikes, connection drops)
+	// behind a deliberately tiny admission cap, driven by retrying
+	// clients. Verify makes the hard invariant inline — any two clients
+	// holding different grids for the same variant fails this run — while
+	// the recorded rates stay informational: a different seed or machine
+	// legitimately shifts them.
+	const chaosSpec = "seed=7;io:err:0.05;io:shortread:0.03;io:latency:0.05:2ms;http:drop:0.01"
+	inj, err := fault.NewFromString(chaosSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	chaosDir, err := os.MkdirTemp("", "benchrec-chaos-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(chaosDir)
+	csrv, err := serve.New(serve.Config{
+		StoreDir: chaosDir, Parallelism: *par, MaxBacklog: 8, Faults: inj,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrec:", err)
+		os.Exit(1)
+	}
+	cts := httptest.NewServer(csrv)
+	var crep *load.Report
+	timeIt("serve chaos (32 clients, faults on)", func() error {
+		var err error
+		crep, err = load.Run(ctx, client.New(cts.URL, client.WithRetry(client.DefaultRetryPolicy(8))),
+			load.Options{Clients: 32, Variants: variants, SkipWarm: true,
+				AllowFailures: true, Verify: true})
+		return err
+	})
+	cts.Close()
+	csrv.Close()
+	r.Chaos = &chaosRecord{
+		FaultSpec:   chaosSpec,
+		Clients:     crep.Clients,
+		Succeeded:   crep.Succeeded,
+		SuccessRate: crep.SuccessRate,
+		ShedSweeps:  crep.ShedSweeps,
+		ShedRate:    crep.ShedRate,
+		Faults:      crep.FaultsInjected,
+		Verified:    crep.VerifiedClients,
+		ElapsedMS:   crep.ElapsedMS,
+	}
+	fmt.Fprintf(os.Stderr, "benchrec: chaos: %.0f%% success, %.0f%% shed, %d faults injected, %d grids verified\n",
+		100*crep.SuccessRate, 100*crep.ShedRate, crep.FaultsInjected, crep.VerifiedClients)
 
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

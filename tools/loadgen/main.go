@@ -18,18 +18,38 @@
 // variants (shared grid points). Workload lists are comma-separated names
 // or synthetic specs; a spec's own commas are understood.
 //
+// With -retries N the clients ride the typed retry loop (capped exponential
+// backoff + jitter, Retry-After honored), which is how loadgen doubles as
+// the chaos harness: point it at a daemon running -fault-spec, allow
+// partial failure with -min-success, and assert what must still hold —
+// -verify proves every completed grid bit-identical across clients, faults
+// or not.
+//
 // Assertions (any failure exits nonzero):
 //
 //	-min-dedup R       overall dedup rate (points served without a
 //	                   simulation / points requested) must be >= R
 //	-expect-unique     simulations must equal the variant set's unique
-//	                   grid points exactly (requires a cold store)
+//	                   grid points exactly (requires a cold store; do not
+//	                   combine with a fault spec — injected faults cause
+//	                   legitimate re-simulations)
 //	-max-warm-sims N   warm rerun may cost at most N simulations (default 0)
+//	-min-success R     fraction of clients whose sweep completed must be
+//	                   >= R (negative disables; >= 0 also tolerates the
+//	                   failures instead of aborting on the first)
+//	-max-shed R        shed submissions / all submissions must be <= R
+//	                   (negative disables)
+//	-verify            every successful client's grid must be bit-identical
+//	                   to its variant's other clients
+//
+// Exit codes: 0 success, 1 assertion failed (wrong results included),
+// 2 bad flags, 3 daemon unreachable, 4 run error.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,44 +63,62 @@ import (
 	"waymemo/internal/workloads"
 )
 
+// Exit codes, so CI and scripts can tell an assertion failure from an
+// environment problem.
+const (
+	exitAssertion   = 1
+	exitUsage       = 2
+	exitUnreachable = 3
+	exitRunError    = 4
+)
+
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:8077", "daemon base URL")
-		clients  = flag.Int("clients", 100, "concurrent sweep clients")
-		domain   = flag.String("domain", "data", "cache domain: data or fetch")
-		sets     = flag.String("sets", "64,128", "sets axis variants ('|'-separated)")
-		ways     = flag.String("ways", "", "ways axis variants")
-		lines    = flag.String("lines", "", "line-bytes axis variants")
-		mabTags  = flag.String("mab-tags", "1", "MAB tag-entry axis variants")
-		mabSets  = flag.String("mab-sets", "4", "MAB set-entry axis variants")
-		wls      = flag.String("workloads", "synth:hotloop,fp=1KiB,n=2048", "workload list variants ('|'-separated)")
-		timeout  = flag.Duration("timeout", 10*time.Minute, "overall deadline")
-		minDedup = flag.Float64("min-dedup", -1, "fail unless dedup rate >= this (-1 disables)")
-		expectUq = flag.Bool("expect-unique", false, "fail unless simulations == unique points (cold store)")
-		maxWarm  = flag.Int64("max-warm-sims", 0, "fail if the warm rerun simulates more than this")
-		skipWarm = flag.Bool("skip-warm", false, "skip the warm rerun and warm query phases")
-		asJSON   = flag.Bool("json", false, "emit the report as JSON")
+		addr       = flag.String("addr", "http://127.0.0.1:8077", "daemon base URL")
+		clients    = flag.Int("clients", 100, "concurrent sweep clients")
+		domain     = flag.String("domain", "data", "cache domain: data or fetch")
+		sets       = flag.String("sets", "64,128", "sets axis variants ('|'-separated)")
+		ways       = flag.String("ways", "", "ways axis variants")
+		lines      = flag.String("lines", "", "line-bytes axis variants")
+		mabTags    = flag.String("mab-tags", "1", "MAB tag-entry axis variants")
+		mabSets    = flag.String("mab-sets", "4", "MAB set-entry axis variants")
+		wls        = flag.String("workloads", "synth:hotloop,fp=1KiB,n=2048", "workload list variants ('|'-separated)")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "overall deadline")
+		retries    = flag.Int("retries", 1, "total attempts per client operation (1 = no retrying)")
+		minDedup   = flag.Float64("min-dedup", -1, "fail unless dedup rate >= this (-1 disables)")
+		expectUq   = flag.Bool("expect-unique", false, "fail unless simulations == unique points (cold store)")
+		maxWarm    = flag.Int64("max-warm-sims", 0, "fail if the warm rerun simulates more than this")
+		minSuccess = flag.Float64("min-success", -1, "fail unless client success rate >= this; >= 0 also tolerates failures (-1 disables)")
+		maxShed    = flag.Float64("max-shed", -1, "fail unless shed rate <= this (-1 disables)")
+		verify     = flag.Bool("verify", false, "fail unless same-variant client grids are bit-identical")
+		skipWarm   = flag.Bool("skip-warm", false, "skip the warm rerun and warm query phases")
+		asJSON     = flag.Bool("json", false, "emit the report as JSON")
 	)
 	flag.Parse()
 
 	variants, err := buildVariants(*domain, *sets, *ways, *lines, *mabTags, *mabSets, *wls)
 	if err != nil {
-		fatal("%v", err)
+		fatal(exitUsage, "%v", err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	c := client.New(*addr)
+	c := client.New(*addr, client.WithRetry(client.DefaultRetryPolicy(*retries)))
 	if err := c.Health(ctx); err != nil {
-		fatal("daemon not reachable at %s: %v", *addr, err)
+		fatal(exitUnreachable, "daemon not reachable at %s: %v", *addr, err)
 	}
 	rep, err := load.Run(ctx, c, load.Options{
-		Clients:  *clients,
-		Variants: variants,
-		SkipWarm: *skipWarm,
+		Clients:       *clients,
+		Variants:      variants,
+		SkipWarm:      *skipWarm,
+		AllowFailures: *minSuccess >= 0,
+		Verify:        *verify,
 	})
 	if err != nil {
-		fatal("%v", err)
+		if errors.Is(err, load.ErrWrongResult) {
+			fatal(exitAssertion, "%v", err)
+		}
+		fatal(exitRunError, "%v", err)
 	}
 
 	if *asJSON {
@@ -110,14 +148,22 @@ func main() {
 		check(rep.WarmRerunSimulations <= *maxWarm,
 			"warm rerun simulated %d points (allowed %d)", rep.WarmRerunSimulations, *maxWarm)
 	}
+	if *minSuccess >= 0 {
+		check(rep.SuccessRate >= *minSuccess,
+			"success rate %.3f < required %.3f", rep.SuccessRate, *minSuccess)
+	}
+	if *maxShed >= 0 {
+		check(rep.ShedRate <= *maxShed,
+			"shed rate %.3f > allowed %.3f", rep.ShedRate, *maxShed)
+	}
 	if failed {
-		os.Exit(1)
+		os.Exit(exitAssertion)
 	}
 }
 
-func fatal(format string, args ...any) {
+func fatal(code int, format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
 }
 
 // buildVariants expands the '|'-separated axis flags into sweep requests:
