@@ -1,0 +1,44 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"waymemo/internal/experiments"
+	"waymemo/internal/suite"
+)
+
+// runCrossISA implements `wmx crossisa`: the instruction-cache technique
+// zoo on one kernel under both frontends, FRVL vs RV32I, side by side.
+func runCrossISA(args []string) {
+	fs := flag.NewFlagSet("wmx crossisa", flag.ExitOnError)
+	kernel := fs.String("kernel", "DCT",
+		"shared kernel to compare (a benchmark name or a single synthetic spec; resolved as KERNEL and rv32:KERNEL)")
+	par := fs.Int("j", 0, "workloads to simulate concurrently (0 = GOMAXPROCS)")
+	csv := fs.Bool("csv", false, "emit CSV instead of an aligned table")
+	md := fs.Bool("md", false, "emit a markdown pipe table")
+	traceDir := fs.String("trace-dir", "",
+		"spill captured event traces to this directory; reruns replay instead of simulating")
+	fs.Parse(args)
+	validateJ(fs, *par, "wmx crossisa")
+
+	opts := []suite.Option{suite.WithParallelism(*par)}
+	if *traceDir != "" {
+		tc, err := suite.NewDirTraceCache(*traceDir)
+		exitOn(err)
+		opts = append(opts, suite.WithTraceCache(tc))
+	}
+	t, err := experiments.CrossISA(context.Background(), *kernel, opts...)
+	exitOn(err)
+	switch {
+	case *csv:
+		t.RenderCSV(os.Stdout)
+	case *md:
+		t.RenderMarkdown(os.Stdout)
+	default:
+		t.Render(os.Stdout)
+	}
+	fmt.Println()
+}

@@ -12,6 +12,7 @@
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //	wmx serve   [-listen ADDR] [-store-dir DIR] [-store-budget SIZE] [-j N]
 //	            [-max-jobs N]
+//	wmx crossisa [-kernel NAME] [-j N] [-csv] [-md] [-trace-dir DIR]
 //
 // NAME is one of: all, table1, table2, table3, fig4, fig5, fig6, fig7,
 // fig8, ablation-d, ablation-i, consistency, packet, report.
@@ -38,6 +39,16 @@
 // sweeps the workload axis:
 //
 //	wmx explore -workloads 'synth:pchase,fp=4KiB..64KiB,seed=7'
+//
+// The crossisa mode runs the I-cache technique zoo on one kernel under both
+// frontends — the FRVL rendering and its RV32I port (see internal/isa/rv32)
+// — and prints per-technique power and MAB hit rate side by side:
+//
+//	wmx crossisa -kernel DCT
+//	wmx crossisa -kernel 'synth:pchase,fp=4KiB,seed=7'
+//
+// The explore -workloads list mixes frontends freely; an "rv32:" prefix
+// selects the RV32I rendering of a kernel or spec ("DCT,rv32:DCT").
 //
 // The serve mode (default address 127.0.0.1:8077) runs the sweep daemon
 // (internal/serve): clients POST explore sweeps to /v1/sweeps, follow
@@ -85,6 +96,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		runServe(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "crossisa" {
+		runCrossISA(os.Args[2:])
 		return
 	}
 	exp := flag.String("exp", "all",

@@ -1,4 +1,8 @@
-// Package asm implements a two-pass assembler for the FRVL instruction set.
+// Package asm implements a two-pass assembler for the FRVL instruction set
+// (Assemble) and for RV32IM (AssembleRV32). The two dialects share
+// everything except the mnemonic tables, register names and displacement
+// ranges: one parser, one expression language, one directive set, one image
+// writer.
 //
 // Source syntax is classic RISC assembly:
 //
@@ -44,10 +48,24 @@ type stmt struct {
 	operands []string // raw operand texts
 }
 
+// dialect selects the ISA a source is assembled for: the mnemonic table,
+// the register namespace and the load/store displacement range. Everything
+// else — parsing, symbols, expressions, directives, the two-pass sizing
+// protocol and the image writer — is shared between dialects.
+type dialect struct {
+	name     string
+	ops      map[string]opSpec
+	parseReg func(string) (uint8, error)
+	// dispMin/dispMax bound load/store displacements (FRVL: 16-bit signed;
+	// RV32: 12-bit signed).
+	dispMin, dispMax int64
+}
+
 type assembler struct {
 	stmts  []stmt
 	syms   map[string]int64
 	liWide map[int]bool
+	dia    *dialect
 
 	pass int
 	pc   uint32
@@ -68,10 +86,22 @@ type assembler struct {
 // fragments are concatenated in order, which lets callers compose a shared
 // runtime with benchmark-specific code.
 func Assemble(sources ...string) (*Program, error) {
+	return assemble(&frvlDialect, sources)
+}
+
+// AssembleRV32 assembles RV32IM source text into a Program, with the same
+// directive set, expression language and pseudo-instruction conventions as
+// the FRVL assembler.
+func AssembleRV32(sources ...string) (*Program, error) {
+	return assemble(&rv32Dialect, sources)
+}
+
+func assemble(dia *dialect, sources []string) (*Program, error) {
 	src := strings.Join(sources, "\n")
 	a := &assembler{
 		syms:   make(map[string]int64),
 		liWide: make(map[int]bool),
+		dia:    dia,
 	}
 	if err := a.parse(src); err != nil {
 		return nil, err
@@ -262,7 +292,7 @@ func (a *assembler) exec(st *stmt) error {
 	case kindDirective:
 		return a.directive(st)
 	default:
-		spec, ok := ops[st.name]
+		spec, ok := a.dia.ops[st.name]
 		if !ok {
 			return fmt.Errorf("unknown mnemonic %q", st.name)
 		}
@@ -299,7 +329,7 @@ func (a *assembler) memOperand(text string) (off int32, rs uint8, err error) {
 		return 0, 0, fmt.Errorf("memory operand %q must have the form off(reg)", text)
 	}
 	reg := text[open+1 : len(text)-1]
-	rs, err = parseGPR(reg)
+	rs, err = a.dia.parseReg(reg)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -311,14 +341,18 @@ func (a *assembler) memOperand(text string) (off int32, rs uint8, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	if v < -32768 || v > 32767 {
-		return 0, 0, fmt.Errorf("displacement %d out of 16-bit range", v)
+	if v < a.dia.dispMin || v > a.dia.dispMax {
+		return 0, 0, fmt.Errorf("displacement %d out of range [%d, %d]", v, a.dia.dispMin, a.dia.dispMax)
 	}
 	return int32(v), rs, nil
 }
 
 func (a *assembler) emitInstr(in isa.Instr) error {
-	w := in.Encode()
+	return a.emitWord(in.Encode())
+}
+
+// emitWord places one little-endian instruction word, whatever the dialect.
+func (a *assembler) emitWord(w uint32) error {
 	if !a.textActive {
 		a.textActive = true
 		a.textStart = a.pc

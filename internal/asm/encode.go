@@ -291,10 +291,19 @@ func fcmp(funct uint8) opSpec {
 	}}
 }
 
-// ops is the full mnemonic table.
+// ops is the full FRVL mnemonic table.
 var ops map[string]opSpec
 
+// frvlDialect is the default dialect Assemble uses.
+var frvlDialect = dialect{
+	name:     "frvl",
+	parseReg: parseGPR,
+	dispMin:  -32768,
+	dispMax:  32767,
+}
+
 func init() {
+	defer func() { frvlDialect.ops = ops }()
 	ops = map[string]opSpec{
 		// Integer register-register.
 		"add": r3(isa.FnADD), "sub": r3(isa.FnSUB), "and": r3(isa.FnAND),

@@ -1,0 +1,524 @@
+package asm
+
+// The RV32IM dialect: mnemonic table and encoders behind AssembleRV32.
+// Directives, labels, expressions and the two-pass li sizing protocol are
+// the shared machinery in asm.go; only instruction encoding differs.
+
+import (
+	"fmt"
+
+	"waymemo/internal/isa/rv32"
+)
+
+// rv32Dialect is the dialect AssembleRV32 uses.
+var rv32Dialect = dialect{
+	name:     "rv32",
+	parseReg: rv32.ParseReg,
+	dispMin:  -2048,
+	dispMax:  2047,
+}
+
+func (a *assembler) emitRV(in rv32.Instr) error { return a.emitWord(in.Encode()) }
+
+// emitRVBranch emits one conditional branch with PC-relative target expr.
+func (a *assembler) emitRVBranch(f3, rs1, rs2 uint8, targetExpr string) error {
+	t, err := a.exprVal(targetExpr)
+	if err != nil {
+		return err
+	}
+	off := int64(int32(uint32(t) - a.pc))
+	if off%2 != 0 {
+		return fmt.Errorf("branch target 0x%x not halfword aligned", t)
+	}
+	if off < -4096 || off > 4094 {
+		return fmt.Errorf("branch target out of range (offset %d)", off)
+	}
+	return a.emitRV(rv32.Instr{Op: rv32.OpBranch, F3: f3, Rs1: rs1, Rs2: rs2, Imm: int32(off)})
+}
+
+// emitRVJump emits jal rd, target.
+func (a *assembler) emitRVJump(rd uint8, targetExpr string) error {
+	t, err := a.exprVal(targetExpr)
+	if err != nil {
+		return err
+	}
+	off := int64(int32(uint32(t) - a.pc))
+	if off%2 != 0 {
+		return fmt.Errorf("jump target 0x%x not halfword aligned", t)
+	}
+	if off < -(1<<20) || off >= 1<<20 {
+		return fmt.Errorf("jump target out of range (offset %d)", off)
+	}
+	return a.emitRV(rv32.Instr{Op: rv32.OpJAL, Rd: rd, Imm: int32(off)})
+}
+
+// rvR builds a three-register handler (rd, rs1, rs2).
+func rvR(f3, f7 uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rd, err := rv32.ParseReg(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := rv32.ParseReg(st.operands[1])
+		if err != nil {
+			return err
+		}
+		rs2, err := rv32.ParseReg(st.operands[2])
+		if err != nil {
+			return err
+		}
+		return a.emitRV(rv32.Instr{Op: rv32.OpOp, F3: f3, F7: f7, Rd: rd, Rs1: rs1, Rs2: rs2})
+	}}
+}
+
+// rvI builds an immediate-arithmetic handler (rd, rs1, imm).
+func rvI(f3 uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rd, err := rv32.ParseReg(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := rv32.ParseReg(st.operands[1])
+		if err != nil {
+			return err
+		}
+		v, err := a.exprVal(st.operands[2])
+		if err != nil {
+			return err
+		}
+		if v < -2048 || v > 2047 {
+			return fmt.Errorf("immediate %d out of signed 12-bit range", v)
+		}
+		return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: f3, Rd: rd, Rs1: rs1, Imm: int32(v)})
+	}}
+}
+
+// rvShift builds an immediate-shift handler (rd, rs1, shamt).
+func rvShift(f3, f7 uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rd, err := rv32.ParseReg(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rs1, err := rv32.ParseReg(st.operands[1])
+		if err != nil {
+			return err
+		}
+		sh, err := a.exprVal(st.operands[2])
+		if err != nil {
+			return err
+		}
+		if sh < 0 || sh > 31 {
+			return fmt.Errorf("shift amount %d out of range", sh)
+		}
+		return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: f3, F7: f7, Rd: rd, Rs1: rs1, Imm: int32(sh)})
+	}}
+}
+
+// rvLoad builds a load handler (rd, off(rs1)).
+func rvLoad(f3 uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 2); err != nil {
+			return err
+		}
+		rd, err := rv32.ParseReg(st.operands[0])
+		if err != nil {
+			return err
+		}
+		off, rs1, err := a.memOperand(st.operands[1])
+		if err != nil {
+			return err
+		}
+		return a.emitRV(rv32.Instr{Op: rv32.OpLoad, F3: f3, Rd: rd, Rs1: rs1, Imm: off})
+	}}
+}
+
+// rvStore builds a store handler (rs2, off(rs1)).
+func rvStore(f3 uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 2); err != nil {
+			return err
+		}
+		rs2, err := rv32.ParseReg(st.operands[0])
+		if err != nil {
+			return err
+		}
+		off, rs1, err := a.memOperand(st.operands[1])
+		if err != nil {
+			return err
+		}
+		return a.emitRV(rv32.Instr{Op: rv32.OpStore, F3: f3, Rs1: rs1, Rs2: rs2, Imm: off})
+	}}
+}
+
+// rvBranch builds a conditional-branch handler (rs1, rs2, target); swap
+// exchanges the registers for the bgt/ble synonyms.
+func rvBranch(f3 uint8, swap bool) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 3); err != nil {
+			return err
+		}
+		rs1, err := rv32.ParseReg(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rs2, err := rv32.ParseReg(st.operands[1])
+		if err != nil {
+			return err
+		}
+		if swap {
+			rs1, rs2 = rs2, rs1
+		}
+		return a.emitRVBranch(f3, rs1, rs2, st.operands[2])
+	}}
+}
+
+// rvBranchZero builds a branch-against-zero pseudo; zeroFirst puts the
+// hard-wired zero in the rs1 slot.
+func rvBranchZero(f3 uint8, zeroFirst bool) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 2); err != nil {
+			return err
+		}
+		r, err := rv32.ParseReg(st.operands[0])
+		if err != nil {
+			return err
+		}
+		rs1, rs2 := r, uint8(rv32.RegZero)
+		if zeroFirst {
+			rs1, rs2 = uint8(rv32.RegZero), r
+		}
+		return a.emitRVBranch(f3, rs1, rs2, st.operands[1])
+	}}
+}
+
+// rvUpper builds lui/auipc (rd, upper20).
+func rvUpper(op uint8) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 2); err != nil {
+			return err
+		}
+		rd, err := rv32.ParseReg(st.operands[0])
+		if err != nil {
+			return err
+		}
+		v, err := a.exprVal(st.operands[1])
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > 0xFFFFF {
+			return fmt.Errorf("upper immediate %d out of 20-bit range", v)
+		}
+		return a.emitRV(rv32.Instr{Op: op, Rd: rd, Imm: int32(uint32(v) << 12)})
+	}}
+}
+
+// rvSystem builds ecall/ebreak (and the halt alias).
+func rvSystem(imm int32) opSpec {
+	return opSpec{size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+		if err := need(st, 0); err != nil {
+			return err
+		}
+		return a.emitRV(rv32.Instr{Op: rv32.OpSystem, Imm: imm})
+	}}
+}
+
+// rvHiLo splits a 32-bit value for a lui+addi pair: lo is the sign-extended
+// low 12 bits and hi the remainder (low 12 bits zero), so hi + lo == v.
+func rvHiLo(u uint32) (hi uint32, lo int32) {
+	lo = int32(u<<20) >> 20
+	return u - uint32(lo), lo
+}
+
+// rvLISize sizes li during pass 1: one instruction when the value fits addi
+// or a bare lui, two otherwise; undefined forward symbols pin the wide form.
+func rvLISize(a *assembler, st *stmt) (int, error) {
+	if err := need(st, 2); err != nil {
+		return 0, err
+	}
+	v, err := evalExpr(st.operands[1], a.symsInt64(), a.pc)
+	if err != nil {
+		if _, undef := err.(errUndefined); undef {
+			a.liWide[st.index] = true
+			return 8, nil
+		}
+		return 0, err
+	}
+	if (v >= -2048 && v <= 2047) || (v&0xFFF) == 0 && v >= -(1<<31) && v <= 0xFFFFFFFF {
+		return 4, nil
+	}
+	a.liWide[st.index] = true
+	return 8, nil
+}
+
+func rvEmitLI(a *assembler, st *stmt) error {
+	rd, err := rv32.ParseReg(st.operands[0])
+	if err != nil {
+		return err
+	}
+	v, err := a.exprVal(st.operands[1])
+	if err != nil {
+		return err
+	}
+	u := uint32(v)
+	if int64(int32(u)) != v && v>>32 != 0 && v>>32 != -1 {
+		return fmt.Errorf("li value %d does not fit in 32 bits", v)
+	}
+	if a.liWide[st.index] {
+		hi, lo := rvHiLo(u)
+		if err := a.emitRV(rv32.Instr{Op: rv32.OpLUI, Rd: rd, Imm: int32(hi)}); err != nil {
+			return err
+		}
+		return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: rv32.F3ADD, Rd: rd, Rs1: rd, Imm: lo})
+	}
+	if v >= -2048 && v <= 2047 {
+		return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: rv32.F3ADD, Rd: rd, Rs1: rv32.RegZero, Imm: int32(v)})
+	}
+	return a.emitRV(rv32.Instr{Op: rv32.OpLUI, Rd: rd, Imm: int32(u)})
+}
+
+func rvEmitLA(a *assembler, st *stmt) error {
+	if err := need(st, 2); err != nil {
+		return err
+	}
+	rd, err := rv32.ParseReg(st.operands[0])
+	if err != nil {
+		return err
+	}
+	v, err := a.exprVal(st.operands[1])
+	if err != nil {
+		return err
+	}
+	hi, lo := rvHiLo(uint32(v))
+	if err := a.emitRV(rv32.Instr{Op: rv32.OpLUI, Rd: rd, Imm: int32(hi)}); err != nil {
+		return err
+	}
+	return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: rv32.F3ADD, Rd: rd, Rs1: rd, Imm: lo})
+}
+
+func rvEmitMove(a *assembler, st *stmt) error {
+	if err := need(st, 2); err != nil {
+		return err
+	}
+	rd, err := rv32.ParseReg(st.operands[0])
+	if err != nil {
+		return err
+	}
+	rs1, err := rv32.ParseReg(st.operands[1])
+	if err != nil {
+		return err
+	}
+	return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: rv32.F3ADD, Rd: rd, Rs1: rs1})
+}
+
+func init() {
+	rv32Dialect.ops = map[string]opSpec{
+		// Register-register (RV32I + M).
+		"add": rvR(rv32.F3ADD, rv32.F7Base), "sub": rvR(rv32.F3ADD, rv32.F7Sub),
+		"sll": rvR(rv32.F3SLL, rv32.F7Base), "slt": rvR(rv32.F3SLT, rv32.F7Base),
+		"sltu": rvR(rv32.F3SLTU, rv32.F7Base), "xor": rvR(rv32.F3XOR, rv32.F7Base),
+		"srl": rvR(rv32.F3SR, rv32.F7Base), "sra": rvR(rv32.F3SR, rv32.F7Sub),
+		"or": rvR(rv32.F3OR, rv32.F7Base), "and": rvR(rv32.F3AND, rv32.F7Base),
+		"mul": rvR(rv32.F3MUL, rv32.F7Mul), "mulh": rvR(rv32.F3MULH, rv32.F7Mul),
+		"mulhsu": rvR(rv32.F3MULHSU, rv32.F7Mul), "mulhu": rvR(rv32.F3MULHU, rv32.F7Mul),
+		"div": rvR(rv32.F3DIV, rv32.F7Mul), "divu": rvR(rv32.F3DIVU, rv32.F7Mul),
+		"rem": rvR(rv32.F3REM, rv32.F7Mul), "remu": rvR(rv32.F3REMU, rv32.F7Mul),
+
+		// Immediate arithmetic and shifts.
+		"addi": rvI(rv32.F3ADD), "slti": rvI(rv32.F3SLT), "sltiu": rvI(rv32.F3SLTU),
+		"xori": rvI(rv32.F3XOR), "ori": rvI(rv32.F3OR), "andi": rvI(rv32.F3AND),
+		"slli": rvShift(rv32.F3SLL, rv32.F7Base),
+		"srli": rvShift(rv32.F3SR, rv32.F7Base),
+		"srai": rvShift(rv32.F3SR, rv32.F7Sub),
+
+		// Loads and stores.
+		"lb": rvLoad(rv32.F3LB), "lh": rvLoad(rv32.F3LH), "lw": rvLoad(rv32.F3LW),
+		"lbu": rvLoad(rv32.F3LBU), "lhu": rvLoad(rv32.F3LHU),
+		"sb": rvStore(0), "sh": rvStore(1), "sw": rvStore(2),
+
+		// Branches and their synonyms.
+		"beq": rvBranch(rv32.F3BEQ, false), "bne": rvBranch(rv32.F3BNE, false),
+		"blt": rvBranch(rv32.F3BLT, false), "bge": rvBranch(rv32.F3BGE, false),
+		"bltu": rvBranch(rv32.F3BLTU, false), "bgeu": rvBranch(rv32.F3BGEU, false),
+		"bgt": rvBranch(rv32.F3BLT, true), "ble": rvBranch(rv32.F3BGE, true),
+		"bgtu": rvBranch(rv32.F3BLTU, true), "bleu": rvBranch(rv32.F3BGEU, true),
+		"beqz": rvBranchZero(rv32.F3BEQ, false), "bnez": rvBranchZero(rv32.F3BNE, false),
+		"bltz": rvBranchZero(rv32.F3BLT, false), "bgez": rvBranchZero(rv32.F3BGE, false),
+		"bgtz": rvBranchZero(rv32.F3BLT, true), "blez": rvBranchZero(rv32.F3BGE, true),
+
+		// Upper immediates.
+		"lui": rvUpper(rv32.OpLUI), "auipc": rvUpper(rv32.OpAUIPC),
+
+		// Jumps. jal takes an optional link register (default ra); jalr
+		// takes one or two register operands like the FRVL dialect.
+		"jal": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			switch len(st.operands) {
+			case 1:
+				return a.emitRVJump(rv32.RegRA, st.operands[0])
+			case 2:
+				rd, err := rv32.ParseReg(st.operands[0])
+				if err != nil {
+					return err
+				}
+				return a.emitRVJump(rd, st.operands[1])
+			}
+			return fmt.Errorf("jal expects 1 or 2 operands")
+		}},
+		"j": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			return a.emitRVJump(rv32.RegZero, st.operands[0])
+		}},
+		"b": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			return a.emitRVJump(rv32.RegZero, st.operands[0])
+		}},
+		"call": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			return a.emitRVJump(rv32.RegRA, st.operands[0])
+		}},
+		"jalr": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			var rd, rs1 uint8
+			var err error
+			switch len(st.operands) {
+			case 1:
+				rd = rv32.RegRA
+				rs1, err = rv32.ParseReg(st.operands[0])
+			case 2:
+				rd, err = rv32.ParseReg(st.operands[0])
+				if err == nil {
+					rs1, err = rv32.ParseReg(st.operands[1])
+				}
+			default:
+				return fmt.Errorf("jalr expects 1 or 2 operands")
+			}
+			if err != nil {
+				return err
+			}
+			return a.emitRV(rv32.Instr{Op: rv32.OpJALR, Rd: rd, Rs1: rs1})
+		}},
+		"jr": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			rs1, err := rv32.ParseReg(st.operands[0])
+			if err != nil {
+				return err
+			}
+			return a.emitRV(rv32.Instr{Op: rv32.OpJALR, Rd: rv32.RegZero, Rs1: rs1})
+		}},
+		"ret": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 0); err != nil {
+				return err
+			}
+			return a.emitRV(rv32.Instr{Op: rv32.OpJALR, Rd: rv32.RegZero, Rs1: rv32.RegRA})
+		}},
+
+		// System. halt is an alias for ebreak so shared kernel sources port
+		// with minimal edits; the interpreter halts on either.
+		"ecall":  rvSystem(rv32.SysECall),
+		"ebreak": rvSystem(rv32.SysEBreak),
+		"halt":   rvSystem(rv32.SysEBreak),
+		"nop": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 0); err != nil {
+				return err
+			}
+			return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: rv32.F3ADD})
+		}},
+
+		// Pseudo-instructions, mirroring the FRVL dialect's set.
+		"li":   {size: rvLISize, emit: rvEmitLI},
+		"la":   {size: fixedSize(8), emit: rvEmitLA},
+		"mv":   {size: fixedSize(4), emit: rvEmitMove},
+		"move": {size: fixedSize(4), emit: rvEmitMove},
+		"not": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 2); err != nil {
+				return err
+			}
+			rd, err := rv32.ParseReg(st.operands[0])
+			if err != nil {
+				return err
+			}
+			rs1, err := rv32.ParseReg(st.operands[1])
+			if err != nil {
+				return err
+			}
+			return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: rv32.F3XOR, Rd: rd, Rs1: rs1, Imm: -1})
+		}},
+		"neg": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 2); err != nil {
+				return err
+			}
+			rd, err := rv32.ParseReg(st.operands[0])
+			if err != nil {
+				return err
+			}
+			rs2, err := rv32.ParseReg(st.operands[1])
+			if err != nil {
+				return err
+			}
+			return a.emitRV(rv32.Instr{Op: rv32.OpOp, F3: rv32.F3ADD, F7: rv32.F7Sub, Rd: rd, Rs1: rv32.RegZero, Rs2: rs2})
+		}},
+		"subi": {size: fixedSize(4), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 3); err != nil {
+				return err
+			}
+			rd, err := rv32.ParseReg(st.operands[0])
+			if err != nil {
+				return err
+			}
+			rs1, err := rv32.ParseReg(st.operands[1])
+			if err != nil {
+				return err
+			}
+			v, err := a.exprVal(st.operands[2])
+			if err != nil {
+				return err
+			}
+			if -v < -2048 || -v > 2047 {
+				return fmt.Errorf("immediate %d out of range", v)
+			}
+			return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: rv32.F3ADD, Rd: rd, Rs1: rs1, Imm: int32(-v)})
+		}},
+		"push": {size: fixedSize(8), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			rs2, err := rv32.ParseReg(st.operands[0])
+			if err != nil {
+				return err
+			}
+			if err := a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: rv32.F3ADD, Rd: rv32.RegSP, Rs1: rv32.RegSP, Imm: -4}); err != nil {
+				return err
+			}
+			return a.emitRV(rv32.Instr{Op: rv32.OpStore, F3: 2, Rs1: rv32.RegSP, Rs2: rs2})
+		}},
+		"pop": {size: fixedSize(8), emit: func(a *assembler, st *stmt) error {
+			if err := need(st, 1); err != nil {
+				return err
+			}
+			rd, err := rv32.ParseReg(st.operands[0])
+			if err != nil {
+				return err
+			}
+			if err := a.emitRV(rv32.Instr{Op: rv32.OpLoad, F3: rv32.F3LW, Rd: rd, Rs1: rv32.RegSP}); err != nil {
+				return err
+			}
+			return a.emitRV(rv32.Instr{Op: rv32.OpOpImm, F3: rv32.F3ADD, Rd: rv32.RegSP, Rs1: rv32.RegSP, Imm: 4})
+		}},
+	}
+}

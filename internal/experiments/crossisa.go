@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"waymemo/internal/report"
+	"waymemo/internal/suite"
+	"waymemo/internal/workloads"
+)
+
+// CrossISA runs the instruction-cache technique zoo on one kernel under
+// both frontends — the FRVL rendering and its RV32I port — and tabulates
+// per-technique I-cache power and MAB hit rate side by side. Both ports
+// validate against the same Go reference before their traces are priced, so
+// a row disagreement is an ISA effect (packet width, instruction count,
+// branch shape), never a wrong program.
+//
+// kernel names the shared kernel ("DCT", or a synthetic spec like
+// "synth:pchase,fp=4KiB"); CrossISA resolves kernel and "rv32:"+kernel and
+// runs both in one suite pass, so extra suite options (parallelism, trace
+// cache, progress) apply to both. Each frontend runs at its own native
+// fetch-packet width (8 bytes for FRVL's VLIW pairs, 4 for RV32).
+func CrossISA(ctx context.Context, kernel string, opts ...suite.Option) (*report.Table, error) {
+	frvl, err := resolveOne(kernel)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := resolveOne(workloads.RV32Prefix + kernel)
+	if err != nil {
+		return nil, err
+	}
+	runOpts := append([]suite.Option{
+		suite.WithGeometry(Geometry),
+		suite.WithWorkloads(frvl, rv),
+	}, opts...)
+	res, err := suite.Run(ctx, runOpts...)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Benchmarks) != 2 {
+		return nil, fmt.Errorf("experiments: crossisa: got %d benchmark results, want 2", len(res.Benchmarks))
+	}
+	bf, br := res.Benchmarks[0], res.Benchmarks[1]
+
+	t := &report.Table{
+		Title: fmt.Sprintf("Cross-ISA I-cache comparison: %s (FRVL, 8B packets) vs %s (RV32I, 4B packets)",
+			frvl.Name, rv.Name),
+		Columns: []string{"technique",
+			"frvl mW", "frvl MAB hit", "rv32 mW", "rv32 MAB hit"},
+	}
+	for _, tech := range append([]suite.ID{IOrig}, ITechs...) {
+		t.AddRow(string(tech),
+			report.F(bf.IPower(tech).TotalMW(), 3), mabHitCell(bf, tech),
+			report.F(br.IPower(tech).TotalMW(), 3), mabHitCell(br, tech))
+	}
+	return t, nil
+}
+
+// resolveOne resolves a workload name that must denote exactly one
+// workload — CrossISA compares single kernels, not sweeps.
+func resolveOne(name string) (workloads.Workload, error) {
+	ws, err := workloads.ExpandByName(name)
+	if err != nil {
+		return workloads.Workload{}, err
+	}
+	if len(ws) != 1 {
+		return workloads.Workload{}, fmt.Errorf("experiments: crossisa: %q expands to %d workloads, want a single kernel", name, len(ws))
+	}
+	return ws[0], nil
+}
+
+// mabHitCell formats a technique's MAB hit rate, "-" for techniques without
+// a MAB (the baseline and approach [4] never look one up).
+func mabHitCell(b suite.BenchResult, tech suite.ID) string {
+	s := b.I[tech].Stats
+	if s == nil || s.MABLookups == 0 {
+		return "-"
+	}
+	return report.Pct(s.MABHitRate())
+}

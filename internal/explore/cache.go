@@ -42,7 +42,14 @@ type keyMaterial struct {
 	// inputs; the fingerprint covers its output, so a generator change
 	// (GenVersion bump) retires stale synthetic entries instead of
 	// replaying them.
-	WorkloadFP  string   `json:"workload_fp,omitempty"`
+	WorkloadFP string `json:"workload_fp,omitempty"`
+	// ISA names the frontend the workload executes under (empty for the
+	// default FRVL frontend, so pre-existing keys are unchanged). Workload
+	// names already carry an "rv32:" prefix, but the explicit field keeps
+	// the keyspace partitioned even for embedder-supplied names that don't
+	// follow the prefix convention — a cross-ISA key collision would
+	// silently serve one ISA's energy numbers as the other's.
+	ISA         string   `json:"isa,omitempty"`
 	PacketBytes uint32   `json:"packet_bytes"`
 	MABs        [][2]int `json:"mabs"` // [tag entries, set entries] per technique
 }
@@ -58,21 +65,26 @@ type keyMaterial struct {
 // content fingerprint. Embedders sweeping other ad hoc workloads must
 // either name them uniquely or use distinct cache directories.
 func Key(domain suite.Domain, geo cache.Config, workload string, packetBytes uint32, mabs []core.Config) string {
-	return key(domain, geo, workload, "", packetBytes, mabs)
+	return key(domain, geo, workload, "", "", packetBytes, mabs)
 }
 
 // KeyWorkload is Key for a Workload value: synthetic workloads (non-empty
-// Spec) are additionally keyed by their content fingerprint, everything
-// else reduces to Key on the name.
+// Spec) are additionally keyed by their content fingerprint, non-default
+// frontends (non-empty ISA) by the ISA name, and the packet-size default is
+// resolved per frontend (0 means 4 bytes under rv32, 8 under FRVL),
+// everything else reduces to Key on the name.
 func KeyWorkload(domain suite.Domain, geo cache.Config, w workloads.Workload, packetBytes uint32, mabs []core.Config) string {
 	fp := ""
 	if w.Spec != "" {
 		fp = fmt.Sprintf("%016x", w.Fingerprint())
 	}
-	return key(domain, geo, w.Name, fp, packetBytes, mabs)
+	if packetBytes == 0 {
+		packetBytes = w.DefaultPacketBytes()
+	}
+	return key(domain, geo, w.Name, fp, w.ISA, packetBytes, mabs)
 }
 
-func key(domain suite.Domain, geo cache.Config, workload, workloadFP string, packetBytes uint32, mabs []core.Config) string {
+func key(domain suite.Domain, geo cache.Config, workload, workloadFP, isaName string, packetBytes uint32, mabs []core.Config) string {
 	if packetBytes == 0 {
 		// The simulator treats 0 as the 8-byte VLIW packet; normalize so
 		// explicit-8 and defaulted sweeps share cache entries.
@@ -86,6 +98,7 @@ func key(domain suite.Domain, geo cache.Config, workload, workloadFP string, pac
 		LineBytes:   geo.LineBytes,
 		Workload:    workload,
 		WorkloadFP:  workloadFP,
+		ISA:         isaName,
 		PacketBytes: packetBytes,
 		MABs:        make([][2]int, 0, len(mabs)),
 	}

@@ -310,3 +310,49 @@ func TestNewDirCacheErrors(t *testing.T) {
 		t.Error("file-as-dir accepted")
 	}
 }
+
+// Cross-ISA key partitioning: the FRVL and RV32 renderings of one kernel
+// must never share a result-cache entry — a collision would silently serve
+// one ISA's energy numbers as the other's — while each frontend's default
+// packet spelling (0) must share the entry with its explicit native width.
+func TestKeyWorkloadCrossISA(t *testing.T) {
+	geo := cache.FRV32K
+	mabs := []core.Config{{TagEntries: 2, SetEntries: 8}}
+	frvl, err := workloads.ByName("DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, err := workloads.ByName("rv32:DCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kf := KeyWorkload(suite.Fetch, geo, frvl, 0, mabs)
+	kr := KeyWorkload(suite.Fetch, geo, rv, 0, mabs)
+	if kf == kr {
+		t.Fatal("FRVL and RV32 DCT share a result-cache key")
+	}
+	// Even a workload whose name lacks the rv32: prefix is partitioned by
+	// the ISA field itself.
+	evil := rv
+	evil.Name = frvl.Name
+	if KeyWorkload(suite.Fetch, geo, evil, 0, mabs) == kf {
+		t.Fatal("ISA field alone does not partition the keyspace")
+	}
+	// Per-frontend packet defaults: 0 ≡ 8 under FRVL, 0 ≡ 4 under RV32,
+	// and the two resolved defaults stay distinct entries.
+	if KeyWorkload(suite.Fetch, geo, frvl, 8, mabs) != kf {
+		t.Error("FRVL packet 0 and packet 8 produce different keys")
+	}
+	if KeyWorkload(suite.Fetch, geo, rv, 4, mabs) != kr {
+		t.Error("RV32 packet 0 and packet 4 produce different keys")
+	}
+	if KeyWorkload(suite.Fetch, geo, rv, 8, mabs) == kr {
+		t.Error("RV32 packet 8 shares the packet-4 key")
+	}
+	// The string-name Key path (FRVL, empty ISA) must agree with
+	// KeyWorkload on a non-synthetic FRVL workload, keeping pre-existing
+	// cache entries reachable.
+	if Key(suite.Fetch, geo, "DCT", 0, mabs) != kf {
+		t.Error("Key and KeyWorkload disagree on a plain FRVL benchmark")
+	}
+}

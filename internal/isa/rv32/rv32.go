@@ -1,0 +1,361 @@
+// Package rv32 defines the RV32IM instruction encoding: the six base
+// formats (R/I/S/B/U/J), the ABI register names, and a total decoder.
+//
+// This is the second ISA frontend behind the trace interface. Where FRVL
+// (internal/isa) is an 8-byte-packet VLIW in the FR-V mold, RV32 is a plain
+// 4-byte-fetch RISC: same kernels, different instruction encodings and fetch
+// granularity, which is exactly the cross-ISA axis the explore engine
+// sweeps. The M-extension multiply/divide group is included because the
+// paper kernels (DCT, synthetic fills) multiply.
+//
+// Decode is total: it returns ok=false for any 32-bit word that is not a
+// valid instruction instead of panicking, and Encode∘Decode is the identity
+// on every valid word (pinned by FuzzRV32Decode).
+package rv32
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Word is the instruction size in bytes.
+const Word = 4
+
+// PacketBytes is the natural fetch-packet size: RV32 fetches one 4-byte
+// instruction per cycle, unlike FRVL's 8-byte VLIW packet.
+const PacketBytes = 4
+
+// NumRegs is the size of the integer register file.
+const NumRegs = 32
+
+// Major opcodes (bits 0..6 of the instruction word).
+const (
+	OpLoad   = 0x03
+	OpOpImm  = 0x13
+	OpAUIPC  = 0x17
+	OpStore  = 0x23
+	OpOp     = 0x33
+	OpLUI    = 0x37
+	OpBranch = 0x63
+	OpJALR   = 0x67
+	OpJAL    = 0x6F
+	OpSystem = 0x73
+)
+
+// funct3 values, grouped by major opcode.
+const (
+	F3ADD  = 0 // OpOp/OpOpImm: add/sub, addi
+	F3SLL  = 1
+	F3SLT  = 2
+	F3SLTU = 3
+	F3XOR  = 4
+	F3SR   = 5 // srl/sra selected by funct7
+	F3OR   = 6
+	F3AND  = 7
+
+	F3BEQ  = 0
+	F3BNE  = 1
+	F3BLT  = 4
+	F3BGE  = 5
+	F3BLTU = 6
+	F3BGEU = 7
+
+	F3LB  = 0
+	F3LH  = 1
+	F3LW  = 2
+	F3LBU = 4
+	F3LHU = 5
+
+	F3MUL    = 0 // OpOp with F7Mul
+	F3MULH   = 1
+	F3MULHSU = 2
+	F3MULHU  = 3
+	F3DIV    = 4
+	F3DIVU   = 5
+	F3REM    = 6
+	F3REMU   = 7
+)
+
+// funct7 values.
+const (
+	F7Base = 0x00
+	F7Sub  = 0x20 // sub, sra/srai
+	F7Mul  = 0x01 // M extension
+)
+
+// ABI register numbers the toolchain needs by name.
+const (
+	RegZero = 0
+	RegRA   = 1
+	RegSP   = 2
+	RegA0   = 10
+	RegA7   = 17
+)
+
+// System immediates (Instr.Imm for OpSystem).
+const (
+	SysECall  = 0
+	SysEBreak = 1
+)
+
+// regNames is the ABI name table, indexed by register number.
+var regNames = [NumRegs]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// RegName returns the ABI name of a register number.
+func RegName(r uint8) string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+// ParseReg parses an ABI register name, an xN numeric name, or the fp alias
+// for s0/x8.
+func ParseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if s == "fp" {
+		return 8, nil
+	}
+	for i, n := range regNames {
+		if s == n {
+			return uint8(i), nil
+		}
+	}
+	if len(s) >= 2 && s[0] == 'x' {
+		if v, err := strconv.Atoi(s[1:]); err == nil && v >= 0 && v < NumRegs {
+			return uint8(v), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+// Instr is one decoded instruction. Imm is the fully assembled,
+// sign-extended immediate: the byte offset for branches and jumps, the
+// pre-shifted upper-20 value for LUI/AUIPC, the shift amount for
+// slli/srli/srai (with F7 distinguishing srli from srai), and SysECall or
+// SysEBreak for OpSystem.
+type Instr struct {
+	Op  uint8
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	F3  uint8
+	F7  uint8
+	Imm int32
+}
+
+// immI extracts the sign-extended I-type immediate.
+func immI(w uint32) int32 { return int32(w) >> 20 }
+
+// immS extracts the sign-extended S-type immediate.
+func immS(w uint32) int32 {
+	return int32(w)>>25<<5 | int32(w>>7&0x1F)
+}
+
+// immB extracts the sign-extended B-type immediate (always even).
+func immB(w uint32) int32 {
+	return int32(w)>>31<<12 | int32(w>>7&1)<<11 | int32(w>>25&0x3F)<<5 | int32(w>>8&0xF)<<1
+}
+
+// immJ extracts the sign-extended J-type immediate (always even).
+func immJ(w uint32) int32 {
+	return int32(w)>>31<<20 | int32(w>>12&0xFF)<<12 | int32(w>>20&1)<<11 | int32(w>>21&0x3FF)<<1
+}
+
+func encodeI(imm int32) uint32 { return uint32(imm&0xFFF) << 20 }
+
+func encodeS(imm int32) uint32 {
+	u := uint32(imm)
+	return (u>>5&0x7F)<<25 | (u&0x1F)<<7
+}
+
+func encodeB(imm int32) uint32 {
+	u := uint32(imm)
+	return (u>>12&1)<<31 | (u>>5&0x3F)<<25 | (u>>1&0xF)<<8 | (u>>11&1)<<7
+}
+
+func encodeJ(imm int32) uint32 {
+	u := uint32(imm)
+	return (u>>20&1)<<31 | (u>>1&0x3FF)<<21 | (u>>11&1)<<20 | (u>>12&0xFF)<<12
+}
+
+// Decode decodes a 32-bit word. It is total: ok is false for any word that
+// is not a valid RV32IM instruction, and every ok decode round-trips
+// through Encode bit-exactly.
+func Decode(w uint32) (Instr, bool) {
+	if w&3 != 3 {
+		return Instr{}, false // 16-bit compressed space: not supported
+	}
+	op := uint8(w & 0x7F)
+	rd := uint8(w >> 7 & 0x1F)
+	f3 := uint8(w >> 12 & 0x7)
+	rs1 := uint8(w >> 15 & 0x1F)
+	rs2 := uint8(w >> 20 & 0x1F)
+	f7 := uint8(w >> 25 & 0x7F)
+	switch op {
+	case OpLUI, OpAUIPC:
+		return Instr{Op: op, Rd: rd, Imm: int32(w & 0xFFFFF000)}, true
+	case OpJAL:
+		return Instr{Op: op, Rd: rd, Imm: immJ(w)}, true
+	case OpJALR:
+		if f3 != 0 {
+			return Instr{}, false
+		}
+		return Instr{Op: op, Rd: rd, Rs1: rs1, Imm: immI(w)}, true
+	case OpBranch:
+		if f3 == 2 || f3 == 3 {
+			return Instr{}, false
+		}
+		return Instr{Op: op, Rs1: rs1, Rs2: rs2, F3: f3, Imm: immB(w)}, true
+	case OpLoad:
+		if f3 == 3 || f3 > F3LHU {
+			return Instr{}, false
+		}
+		return Instr{Op: op, Rd: rd, Rs1: rs1, F3: f3, Imm: immI(w)}, true
+	case OpStore:
+		if f3 > 2 {
+			return Instr{}, false
+		}
+		return Instr{Op: op, Rs1: rs1, Rs2: rs2, F3: f3, Imm: immS(w)}, true
+	case OpOpImm:
+		switch f3 {
+		case F3SLL:
+			if f7 != F7Base {
+				return Instr{}, false
+			}
+			return Instr{Op: op, Rd: rd, Rs1: rs1, F3: f3, F7: f7, Imm: int32(rs2)}, true
+		case F3SR:
+			if f7 != F7Base && f7 != F7Sub {
+				return Instr{}, false
+			}
+			return Instr{Op: op, Rd: rd, Rs1: rs1, F3: f3, F7: f7, Imm: int32(rs2)}, true
+		}
+		return Instr{Op: op, Rd: rd, Rs1: rs1, F3: f3, Imm: immI(w)}, true
+	case OpOp:
+		switch f7 {
+		case F7Base, F7Mul:
+		case F7Sub:
+			if f3 != F3ADD && f3 != F3SR {
+				return Instr{}, false
+			}
+		default:
+			return Instr{}, false
+		}
+		return Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2, F3: f3, F7: f7}, true
+	case OpSystem:
+		switch w {
+		case 0x00000073:
+			return Instr{Op: op, Imm: SysECall}, true
+		case 0x00100073:
+			return Instr{Op: op, Imm: SysEBreak}, true
+		}
+		return Instr{}, false
+	}
+	return Instr{}, false
+}
+
+// Encode packs the instruction back into its 32-bit word.
+func (in Instr) Encode() uint32 {
+	op := uint32(in.Op)
+	rd := uint32(in.Rd) << 7
+	f3 := uint32(in.F3) << 12
+	rs1 := uint32(in.Rs1) << 15
+	rs2 := uint32(in.Rs2) << 20
+	f7 := uint32(in.F7) << 25
+	switch in.Op {
+	case OpLUI, OpAUIPC:
+		return uint32(in.Imm)&0xFFFFF000 | rd | op
+	case OpJAL:
+		return encodeJ(in.Imm) | rd | op
+	case OpJALR, OpLoad:
+		return encodeI(in.Imm) | rs1 | f3 | rd | op
+	case OpBranch:
+		return encodeB(in.Imm) | rs2 | rs1 | f3 | op
+	case OpStore:
+		return encodeS(in.Imm) | rs2 | rs1 | f3 | op
+	case OpOpImm:
+		if in.F3 == F3SLL || in.F3 == F3SR {
+			return f7 | uint32(in.Imm&0x1F)<<20 | rs1 | f3 | rd | op
+		}
+		return encodeI(in.Imm) | rs1 | f3 | rd | op
+	case OpOp:
+		return f7 | rs2 | rs1 | f3 | rd | op
+	case OpSystem:
+		if in.Imm == SysEBreak {
+			return 0x00100073
+		}
+		return 0x00000073
+	}
+	return 0
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (in Instr) IsLoad() bool { return in.Op == OpLoad }
+
+// IsStore reports whether the instruction writes data memory.
+func (in Instr) IsStore() bool { return in.Op == OpStore }
+
+// MemBytes returns the access width of a load or store.
+func (in Instr) MemBytes() uint32 { return 1 << (in.F3 & 3) }
+
+// Disassemble renders the instruction for diagnostics; pc resolves
+// PC-relative targets.
+func Disassemble(in Instr, pc uint32) string {
+	rd, rs1, rs2 := RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2)
+	switch in.Op {
+	case OpLUI:
+		return fmt.Sprintf("lui %s, 0x%x", rd, uint32(in.Imm)>>12)
+	case OpAUIPC:
+		return fmt.Sprintf("auipc %s, 0x%x", rd, uint32(in.Imm)>>12)
+	case OpJAL:
+		return fmt.Sprintf("jal %s, 0x%x", rd, pc+uint32(in.Imm))
+	case OpJALR:
+		return fmt.Sprintf("jalr %s, %d(%s)", rd, in.Imm, rs1)
+	case OpBranch:
+		names := map[uint8]string{F3BEQ: "beq", F3BNE: "bne", F3BLT: "blt", F3BGE: "bge", F3BLTU: "bltu", F3BGEU: "bgeu"}
+		return fmt.Sprintf("%s %s, %s, 0x%x", names[in.F3], rs1, rs2, pc+uint32(in.Imm))
+	case OpLoad:
+		names := map[uint8]string{F3LB: "lb", F3LH: "lh", F3LW: "lw", F3LBU: "lbu", F3LHU: "lhu"}
+		return fmt.Sprintf("%s %s, %d(%s)", names[in.F3], rd, in.Imm, rs1)
+	case OpStore:
+		names := map[uint8]string{0: "sb", 1: "sh", 2: "sw"}
+		return fmt.Sprintf("%s %s, %d(%s)", names[in.F3], rs2, in.Imm, rs1)
+	case OpOpImm:
+		switch in.F3 {
+		case F3SLL:
+			return fmt.Sprintf("slli %s, %s, %d", rd, rs1, in.Imm)
+		case F3SR:
+			if in.F7 == F7Sub {
+				return fmt.Sprintf("srai %s, %s, %d", rd, rs1, in.Imm)
+			}
+			return fmt.Sprintf("srli %s, %s, %d", rd, rs1, in.Imm)
+		}
+		names := map[uint8]string{F3ADD: "addi", F3SLT: "slti", F3SLTU: "sltiu", F3XOR: "xori", F3OR: "ori", F3AND: "andi"}
+		return fmt.Sprintf("%s %s, %s, %d", names[in.F3], rd, rs1, in.Imm)
+	case OpOp:
+		var name string
+		switch in.F7 {
+		case F7Mul:
+			name = map[uint8]string{F3MUL: "mul", F3MULH: "mulh", F3MULHSU: "mulhsu", F3MULHU: "mulhu",
+				F3DIV: "div", F3DIVU: "divu", F3REM: "rem", F3REMU: "remu"}[in.F3]
+		case F7Sub:
+			name = map[uint8]string{F3ADD: "sub", F3SR: "sra"}[in.F3]
+		default:
+			name = map[uint8]string{F3ADD: "add", F3SLL: "sll", F3SLT: "slt", F3SLTU: "sltu",
+				F3XOR: "xor", F3SR: "srl", F3OR: "or", F3AND: "and"}[in.F3]
+		}
+		return fmt.Sprintf("%s %s, %s, %s", name, rd, rs1, rs2)
+	case OpSystem:
+		if in.Imm == SysEBreak {
+			return "ebreak"
+		}
+		return "ecall"
+	}
+	return fmt.Sprintf(".word 0x%08x", in.Encode())
+}

@@ -405,7 +405,14 @@ func TestFanOutReplayEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ws := []workloads.Workload{w1, w2}
+	// The RV32 rendering of w1's spec widens the wall across the ISA axis:
+	// its 4-byte-packet capture must satisfy the same live ≡ batched ≡
+	// per-sink ≡ spilled equivalence as the FRVL streams.
+	w3, err := workloads.ByName("rv32:synth:pchase,fp=8KiB,stride=64,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []workloads.Workload{w1, w2, w3}
 	geos := []cache.Config{
 		{Sets: 128, Ways: 1, LineBytes: 16},
 		{Sets: 256, Ways: 2, LineBytes: 32},
@@ -568,5 +575,81 @@ func TestFanOutCancellationMidReplay(t *testing.T) {
 		WithTechniques(canceller, orig))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled fan-out run: err = %v", err)
+	}
+}
+
+// TestCrossISADifferentialCapture runs the same kernel under both frontends
+// through the trace cache — each execution validates against the identical
+// Go reference, so both streams describe a provably-correct run of the same
+// algorithm — then demands that each ISA's capture replays bit-identically
+// through repeated ReplayAll passes, and that the two ISAs' streams really
+// are different programs to the cache hierarchy (4- vs 8-byte packets).
+func TestCrossISADifferentialCapture(t *testing.T) {
+	ctx := context.Background()
+	tc := NewTraceCache()
+	type recording struct {
+		fetch []trace.FetchEvent
+		data  []trace.DataEvent
+	}
+	record := func(buf *trace.Buffer) recording {
+		var r recording
+		pairs := []trace.SinkPair{{
+			Fetch: trace.FetchFunc(func(ev trace.FetchEvent) { r.fetch = append(r.fetch, ev) }),
+			Data:  trace.DataFunc(func(ev trace.DataEvent) { r.data = append(r.data, ev) }),
+		}}
+		if err := buf.ReplayAll(ctx, pairs); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	spec := "synth:pchase,fp=4KiB,seed=7"
+	recs := map[string]recording{}
+	for _, name := range []string{spec, "rv32:" + spec} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := tc.Capture(ctx, w, 0) // 0 = the frontend's native packet
+		if err != nil {
+			t.Fatal(err)
+		}
+		first := record(c.Buf)
+		again := record(c.Buf)
+		if len(first.fetch) != len(again.fetch) || len(first.data) != len(again.data) {
+			t.Fatalf("%s: replay lengths diverge: %d/%d fetches, %d/%d datas",
+				name, len(first.fetch), len(again.fetch), len(first.data), len(again.data))
+		}
+		for i := range first.fetch {
+			if first.fetch[i] != again.fetch[i] {
+				t.Fatalf("%s: fetch %d differs between replays: %+v vs %+v",
+					name, i, first.fetch[i], again.fetch[i])
+			}
+		}
+		for i := range first.data {
+			if first.data[i] != again.data[i] {
+				t.Fatalf("%s: data %d differs between replays: %+v vs %+v",
+					name, i, first.data[i], again.data[i])
+			}
+		}
+		recs[name] = first
+	}
+	frvl, rv := recs[spec], recs["rv32:"+spec]
+	// Same algorithm, same data accesses in spirit — but genuinely
+	// different fetch streams: RV32's 4-byte packets and denser RISC
+	// encoding must not produce the FRVL packet sequence.
+	if len(frvl.fetch) == len(rv.fetch) {
+		t.Fatalf("FRVL and RV32 captures have identical fetch counts (%d) — suspicious cross-ISA aliasing", len(frvl.fetch))
+	}
+	for _, r := range recs {
+		if len(r.fetch) == 0 || len(r.data) == 0 {
+			t.Fatal("empty capture")
+		}
+		if !r.fetch[0].First {
+			t.Fatal("capture does not start with the reset fetch")
+		}
+	}
+	// Both executed once; nothing replayed from the wrong ISA's entry.
+	if st := tc.Stats(); st.Captures != 2 {
+		t.Fatalf("trace cache stats = %+v, want 2 distinct captures", st)
 	}
 }

@@ -13,7 +13,6 @@ import (
 	"sync/atomic"
 
 	"waymemo/internal/fault"
-	"waymemo/internal/isa"
 	"waymemo/internal/trace"
 	"waymemo/internal/workloads"
 )
@@ -231,12 +230,12 @@ func (tc *TraceCache) FanOut(ctx context.Context, w workloads.Workload, packet u
 // attempt. A failed capture is not memoized, so a cancelled sweep does not
 // poison the cache for the next one, and a waiter whose filler failed
 // retries under its own ctx instead of inheriting the filler's error.
-// Packet 0 (the default) and the explicit 8-byte VLIW packet produce the
-// same stream and share one capture.
+// Packet 0 (the default) and the workload's own default packet — 8 bytes
+// for FRVL, 4 for rv32 — produce the same stream and share one capture.
 func (tc *TraceCache) get(ctx context.Context, w workloads.Workload, packet uint32) (*traceEntry, error) {
 	keyPacket := packet
 	if keyPacket == 0 {
-		keyPacket = isa.PacketBytes
+		keyPacket = w.DefaultPacketBytes()
 	}
 	maxInstrs := w.MaxInstrs
 	if maxInstrs == 0 {
@@ -319,7 +318,11 @@ type traceMeta struct {
 	// program that produced the trace. Identity-wise it is redundant with
 	// Workload (a synthetic workload's name is its spec), but a mismatch
 	// still reads as a miss.
-	Spec        string `json:"spec,omitempty"`
+	Spec string `json:"spec,omitempty"`
+	// ISA names the frontend the trace was captured under (empty for
+	// FRVL). A mismatch reads as a miss, so an rv32 spill can never be
+	// replayed as an FRVL capture of the same kernel or vice versa.
+	ISA         string `json:"isa,omitempty"`
 	Fingerprint string `json:"fingerprint"`
 	PacketBytes uint32 `json:"packet_bytes"`
 	MaxInstrs   uint64 `json:"max_instrs"`
@@ -351,6 +354,7 @@ func (tc *TraceCache) load(e *traceEntry, k traceKey, w workloads.Workload) bool
 		m.Version != traceMetaVersion ||
 		m.Workload != k.name ||
 		m.Spec != w.Spec ||
+		m.ISA != w.ISA ||
 		m.Fingerprint != fmt.Sprintf("%016x", k.fingerprint) ||
 		m.PacketBytes != k.packet ||
 		m.MaxInstrs != k.maxInstrs {
@@ -384,6 +388,7 @@ func (tc *TraceCache) store(e *traceEntry, k traceKey, w workloads.Workload) err
 		Workload:    k.name,
 		Format:      "WMTRACE2",
 		Spec:        w.Spec,
+		ISA:         w.ISA,
 		Fingerprint: fmt.Sprintf("%016x", k.fingerprint),
 		PacketBytes: k.packet,
 		MaxInstrs:   k.maxInstrs,

@@ -54,8 +54,36 @@ type Program struct {
 // generator.
 func (s Spec) seedMix() uint32 { return s.Seed*2654435761 | 1 }
 
-// Generate compiles the spec (normalizing it first) into a Program.
+// genDialect captures the tiny surface where generated FRVL and RV32
+// assembly differ: the shift-left-immediate mnemonic (padded so operand
+// columns align identically) and the scratch register holding loop bounds
+// (FRVL's t9 does not exist on RV32; t6 plays its role). Everything else —
+// labels, data sections, checksum arithmetic — is shared verbatim, which is
+// what makes Reference() a single ground truth for both frontends.
+type genDialect struct {
+	name string // "" for FRVL; stamped into the header comment otherwise
+	slli string // shift-left-immediate mnemonic, column-padded
+	t9   string // scratch bound register
+}
+
+var (
+	frvlDial = genDialect{slli: "sll ", t9: "t9"}
+	rv32Dial = genDialect{name: "rv32", slli: "slli", t9: "t6"}
+)
+
+// Generate compiles the spec (normalizing it first) into a Program of FRVL
+// assembly. Output is byte-stable (pinned by the wmsynth golden test).
 func (s Spec) Generate() (Program, error) {
+	return s.generate(frvlDial)
+}
+
+// GenerateRV32 compiles the spec into RV32 assembly: the identical access
+// pattern and checksum contract, validated against the same Reference().
+func (s Spec) GenerateRV32() (Program, error) {
+	return s.generate(rv32Dial)
+}
+
+func (s Spec) generate(d genDialect) (Program, error) {
 	n, err := s.Normalized()
 	if err != nil {
 		return Program{}, err
@@ -66,11 +94,14 @@ func (s Spec) Generate() (Program, error) {
 		code = n.genPointerChase()
 		data = n.pchaseData()
 	default:
-		code = n.genLoop()
+		code = n.genLoop(d)
 		data = fmt.Sprintf("\t.org DATA\n%s:\n\t.space %d\n%s:\n\t.space 4\n",
 			dataSymbol, n.Footprint, SumSymbol)
 	}
 	header := fmt.Sprintf("; synth v%d %s\n", GenVersion, n.String())
+	if d.name != "" {
+		header = fmt.Sprintf("; synth v%d %s %s\n", GenVersion, d.name, n.String())
+	}
 	return Program{
 		Spec:    n,
 		Sources: []string{header + code, data},
@@ -106,7 +137,7 @@ func epilogueAsm() string {
 }
 
 // genLoop emits the main loop of every LCG-filled pattern.
-func (s Spec) genLoop() string {
+func (s Spec) genLoop(d genDialect) string {
 	var b strings.Builder
 	b.WriteString(s.prologueAsm(true))
 	switch s.Pattern {
@@ -156,17 +187,17 @@ func (s Spec) genLoop() string {
 		b.WriteString("\tmul  t0, t0, s7\n")
 		b.WriteString("\tadd  t0, t0, s2\n")
 		b.WriteString("\tadd  t0, t0, s4\n")
-		b.WriteString("\tsll  t0, t0, 2\n")
+		fmt.Fprintf(&b, "\t%s t0, t0, 2\n", d.slli)
 		b.WriteString("\tadd  t0, s0, t0\n")
 		b.WriteString("\tlw   t1, 0(t0)\n")
 		b.WriteString("\tadd  s5, s5, t1\n")
 		b.WriteString("\taddi s6, s6, -1\n")
 		b.WriteString("\tbeqz s6, syndn\n")
 		b.WriteString("\taddi s4, s4, 1\n")
-		b.WriteString("\tli   t9, 8\n")
-		b.WriteString("\tblt  s4, t9, synj\n")
+		fmt.Fprintf(&b, "\tli   %s, 8\n", d.t9)
+		fmt.Fprintf(&b, "\tblt  s4, %s, synj\n", d.t9)
 		b.WriteString("\taddi s3, s3, 1\n")
-		b.WriteString("\tblt  s3, t9, syni\n")
+		fmt.Fprintf(&b, "\tblt  s3, %s, syni\n", d.t9)
 		b.WriteString("\taddi s2, s2, 8\n")
 		b.WriteString("\tblt  s2, s7, synbj\n")
 		b.WriteString("\taddi s1, s1, 8\n")
@@ -183,8 +214,8 @@ func (s Spec) genLoop() string {
 		b.WriteString("\tlw   t1, 0(t0)\n")
 		b.WriteString("\tadd  s5, s5, t1\n")
 		b.WriteString("\taddi s4, s4, 4\n")
-		fmt.Fprintf(&b, "\tli   t9, %d\n", hot)
-		b.WriteString("\tblt  s4, t9, synh2\n")
+		fmt.Fprintf(&b, "\tli   %s, %d\n", d.t9, hot)
+		fmt.Fprintf(&b, "\tblt  s4, %s, synh2\n", d.t9)
 		b.WriteString("\tli   s4, 0\n")
 		b.WriteString("synh2:\taddi s6, s6, -1\n")
 		b.WriteString("\tbeqz s6, syndn\n")
@@ -195,8 +226,8 @@ func (s Spec) genLoop() string {
 		b.WriteString("\tlw   t1, 0(t0)\n")
 		b.WriteString("\tadd  s5, s5, t1\n")
 		fmt.Fprintf(&b, "\taddi s1, s1, %d\n", s.Stride)
-		fmt.Fprintf(&b, "\tli   t9, %d\n", s.Footprint)
-		b.WriteString("\tblt  s1, t9, syns2\n")
+		fmt.Fprintf(&b, "\tli   %s, %d\n", d.t9, s.Footprint)
+		fmt.Fprintf(&b, "\tblt  s1, %s, syns2\n", d.t9)
 		b.WriteString("\tli   s1, 0\n")
 		b.WriteString("syns2:\taddi s6, s6, -1\n")
 		b.WriteString("\tbeqz s6, syndn\n")

@@ -171,28 +171,38 @@ p2_k:	lw   t6, 0(t4)
 	ret
 `
 
-// DCT builds the benchmark.
-func DCT() Workload {
+// dctParts builds what both ISA renderings of the kernel share: the data
+// section (image, coefficient table, scratch and output buffers — directive
+// syntax is dialect-independent) and the Check closure comparing the output
+// block against the bit-exact Go reference.
+func dctParts() (data string, check func(c *sim.CPU, p *asm.Program) error) {
 	img := dctImage()
 	coeffs := dctCoeffs()
-	data := "\t.org DATA\n" +
+	data = "\t.org DATA\n" +
 		dirBytes("dctImage", img) +
 		"\t.align 4\n" + dirHalves("dctC", coeffs) +
 		"\t.align 4\ndctTmp:\t.space 256\n" +
 		"\t.align 4\ndctOut:\t.space 8192\n"
 	want := dctRef(img, coeffs)
+	check = func(c *sim.CPU, p *asm.Program) error {
+		got := c.Mem.ReadRange(p.Symbols["dctOut"], len(want)*2)
+		for i, w := range want {
+			g := int16(binary.LittleEndian.Uint16(got[2*i:]))
+			if g != w {
+				return fmt.Errorf("dctOut[%d] = %d, want %d", i, g, w)
+			}
+		}
+		return nil
+	}
+	return data, check
+}
+
+// DCT builds the benchmark.
+func DCT() Workload {
+	data, check := dctParts()
 	return Workload{
 		Name:    "DCT",
 		Sources: []string{dctCode, data},
-		Check: func(c *sim.CPU, p *asm.Program) error {
-			got := c.Mem.ReadRange(p.Symbols["dctOut"], len(want)*2)
-			for i, w := range want {
-				g := int16(binary.LittleEndian.Uint16(got[2*i:]))
-				if g != w {
-					return fmt.Errorf("dctOut[%d] = %d, want %d", i, g, w)
-				}
-			}
-			return nil
-		},
+		Check:   check,
 	}
 }

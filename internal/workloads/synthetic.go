@@ -25,9 +25,30 @@ func FromSpec(sp synth.Spec) (Workload, error) {
 	if err != nil {
 		return Workload{}, err
 	}
+	return fromGenerated(g, ""), nil
+}
+
+// FromSpecRV32 is FromSpec for the RV32 frontend: the same access pattern,
+// checksum arithmetic and Go reference, generated as RV32 assembly. The
+// workload's name (and Spec) carries the "rv32:" prefix, keeping its build
+// memo, trace spills and explore cache keys disjoint from the FRVL
+// rendering of the identical spec.
+func FromSpecRV32(sp synth.Spec) (Workload, error) {
+	g, err := sp.GenerateRV32()
+	if err != nil {
+		return Workload{}, err
+	}
+	return fromGenerated(g, ISARV32), nil
+}
+
+func fromGenerated(g synth.Program, isaName string) Workload {
 	name := g.Spec.String()
+	if isaName != "" {
+		name = isaName + ":" + name
+	}
 	return Workload{
 		Name:    name,
+		ISA:     isaName,
 		Spec:    name,
 		Sources: g.Sources,
 		// Generous per-spec bound: the main loop costs well under 24
@@ -40,7 +61,7 @@ func FromSpec(sp synth.Spec) (Workload, error) {
 			}
 			return nil
 		},
-	}, nil
+	}
 }
 
 // ExpandByName resolves one workload name into one or more workloads: a
@@ -48,20 +69,29 @@ func FromSpec(sp synth.Spec) (Workload, error) {
 // workload per swept knob value ("synth:pchase,fp=4KiB..64KiB" doubles the
 // footprint from 4KiB to 64KiB).
 func ExpandByName(name string) ([]Workload, error) {
-	if !synth.IsSpec(name) {
+	spec, rv := name, false
+	if rest, ok := strings.CutPrefix(name, RV32Prefix); ok && synth.IsSpec(rest) {
+		spec, rv = rest, true
+	}
+	if !synth.IsSpec(spec) {
 		w, err := ByName(name)
 		if err != nil {
 			return nil, err
 		}
 		return []Workload{w}, nil
 	}
-	specs, err := synth.ExpandSpec(name)
+	specs, err := synth.ExpandSpec(spec)
 	if err != nil {
 		return nil, err
 	}
 	out := make([]Workload, 0, len(specs))
 	for _, sp := range specs {
-		w, err := FromSpec(sp)
+		var w Workload
+		if rv {
+			w, err = FromSpecRV32(sp)
+		} else {
+			w, err = FromSpec(sp)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -82,13 +112,21 @@ func SplitList(list string) []string {
 		if f == "" {
 			continue
 		}
-		if strings.Contains(f, "=") && len(names) > 0 && synth.IsSpec(names[len(names)-1]) {
+		if strings.Contains(f, "=") && len(names) > 0 && isSpecName(names[len(names)-1]) {
 			names[len(names)-1] += "," + f
 			continue
 		}
 		names = append(names, f)
 	}
 	return names
+}
+
+// isSpecName reports whether a list fragment is a synthetic spec under
+// either frontend ("synth:..." or "rv32:synth:..."), i.e. whether later
+// "knob=value" fragments re-attach to it.
+func isSpecName(name string) bool {
+	name = strings.TrimPrefix(name, RV32Prefix)
+	return synth.IsSpec(name)
 }
 
 // ParseList resolves a comma-separated workload list as CLIs accept it.

@@ -27,6 +27,8 @@ import (
 	"sync"
 
 	"waymemo/internal/asm"
+	"waymemo/internal/isa"
+	"waymemo/internal/isa/rv32"
 	"waymemo/internal/sim"
 	"waymemo/internal/synth"
 	"waymemo/internal/trace"
@@ -46,21 +48,48 @@ const (
 // DefaultMaxInstrs bounds runaway programs.
 const DefaultMaxInstrs = 200_000_000
 
+// ISARV32 is the Workload.ISA value selecting the RV32IM frontend.
+const ISARV32 = "rv32"
+
+// RV32Prefix prefixes the names of RV32 workloads ("rv32:DCT",
+// "rv32:synth:pchase,..."). The prefix is part of the name everywhere — the
+// build memo, trace spill sidecars, explore cache keys — so a kernel and
+// its cross-ISA port can never share a cached artifact.
+const RV32Prefix = "rv32:"
+
 // Workload is one benchmark program.
 type Workload struct {
 	// Name as used in the paper's figures (e.g. "DCT", "mpeg2enc"). For
-	// synthetic workloads it is the canonical spec string.
+	// synthetic workloads it is the canonical spec string. RV32 workloads
+	// carry the "rv32:" prefix.
 	Name string
+	// ISA selects the frontend the sources assemble and execute under:
+	// empty for FRVL, ISARV32 for RV32IM.
+	ISA string
 	// Spec is the canonical synthetic spec this workload was generated
 	// from (see FromSpec), empty for the paper benchmarks. It is carried
 	// into trace spill sidecars so persisted captures are self-describing.
 	Spec string
 	// Sources are assembled in order after the shared prologue.
 	Sources []string
-	// Check validates the halted machine against the Go reference.
+	// Check validates the halted machine against the Go reference. RV32
+	// runs are checked through the same signature: the RV32 machine's
+	// memory/console view is presented as a *sim.CPU, so one Check
+	// validates a kernel under both ISAs.
 	Check func(c *sim.CPU, p *asm.Program) error
 	// MaxInstrs overrides DefaultMaxInstrs when non-zero.
 	MaxInstrs uint64
+}
+
+// DefaultPacketBytes is the packet size a zero PacketBytes resolves to for
+// this workload's ISA: FRVL's 8-byte VLIW packet, RV32's 4-byte fetch.
+// Cache layers (suite.TraceCache, explore keys) normalize through this so
+// "default" never aliases across ISAs.
+func (w Workload) DefaultPacketBytes() uint32 {
+	if w.ISA == ISARV32 {
+		return rv32.PacketBytes
+	}
+	return isa.PacketBytes
 }
 
 // prologue is the shared runtime: entry stub and layout constants.
@@ -72,10 +101,31 @@ _start:	jal  main
 	halt
 `
 
+// rv32Prologue is the RV32 runtime stub: same layout constants and entry
+// protocol, but the exit is ebreak (the RV32 halt) instead of FRVL's halt.
+const rv32Prologue = `
+	.equ TEXT,  0x10000
+	.equ DATA,  0x100000
+	.org TEXT
+_start:	jal  main
+	ebreak
+`
+
 // Prologue returns the shared runtime stub every workload is assembled
 // behind (entry jump + layout constants). CLIs that emit a standalone
 // program (wmsynth -spec) prepend it so the output assembles as-is.
 func Prologue() string { return prologue }
+
+// PrologueRV32 is Prologue for the RV32 frontend.
+func PrologueRV32() string { return rv32Prologue }
+
+// prologueSrc is the runtime stub matching the workload's ISA.
+func (w Workload) prologueSrc() string {
+	if w.ISA == ISARV32 {
+		return rv32Prologue
+	}
+	return prologue
+}
 
 // Fingerprint identifies the workload's program content: a hash of the
 // name, the shared runtime prologue and every source in assembly order.
@@ -92,7 +142,12 @@ func (w Workload) Fingerprint() uint64 {
 		h.Write([]byte(s))
 	}
 	write(w.Name)
-	write(prologue)
+	write(w.prologueSrc())
+	// The ISA tag participates only when set, so every FRVL fingerprint —
+	// and with it every persisted spill file and cache key — is unchanged.
+	if w.ISA != "" {
+		write("isa:" + w.ISA)
+	}
 	for _, s := range w.Sources {
 		write(s)
 	}
@@ -128,8 +183,14 @@ func (w Workload) Build() (*asm.Program, error) {
 	}
 	buildMu.Unlock()
 	e.once.Do(func() {
-		srcs := append([]string{prologue}, w.Sources...)
-		p, err := asm.Assemble(srcs...)
+		srcs := append([]string{w.prologueSrc()}, w.Sources...)
+		var p *asm.Program
+		var err error
+		if w.ISA == ISARV32 {
+			p, err = asm.AssembleRV32(srcs...)
+		} else {
+			p, err = asm.Assemble(srcs...)
+		}
 		if err != nil {
 			e.err = fmt.Errorf("workload %s: %w", w.Name, err)
 			return
@@ -158,14 +219,30 @@ func RunPacketContext(ctx context.Context, w Workload, fetch trace.FetchSink, da
 	if err != nil {
 		return nil, err
 	}
-	c := sim.New()
-	c.Fetch, c.Data = fetch, data
-	c.PacketBytes = packetBytes
-	c.LoadProgram(p, StackTop)
 	max := w.MaxInstrs
 	if max == 0 {
 		max = DefaultMaxInstrs
 	}
+	if w.ISA == ISARV32 {
+		c := sim.NewRV32()
+		c.Fetch, c.Data = fetch, data
+		c.PacketBytes = packetBytes
+		c.LoadProgram(p, StackTop)
+		if err := c.RunContext(ctx, max); err != nil {
+			return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+		}
+		view := c.AsCPU()
+		if w.Check != nil {
+			if err := w.Check(view, p); err != nil {
+				return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+			}
+		}
+		return view, nil
+	}
+	c := sim.New()
+	c.Fetch, c.Data = fetch, data
+	c.PacketBytes = packetBytes
+	c.LoadProgram(p, StackTop)
 	if err := c.RunContext(ctx, max); err != nil {
 		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
 	}
@@ -184,8 +261,10 @@ func All() []Workload {
 	}
 }
 
-// ByName finds a workload by its figure label, or compiles a synthetic
-// spec ("synth:pchase,fp=64KiB,seed=7"; see internal/synth) into one.
+// ByName finds a workload by its figure label, compiles a synthetic
+// spec ("synth:pchase,fp=64KiB,seed=7"; see internal/synth) into one, or
+// resolves an "rv32:" prefixed name ("rv32:DCT", "rv32:synth:...") to the
+// RV32 port of the kernel.
 func ByName(name string) (Workload, error) {
 	if synth.IsSpec(name) {
 		sp, err := synth.ParseSpec(name)
@@ -193,6 +272,25 @@ func ByName(name string) (Workload, error) {
 			return Workload{}, fmt.Errorf("workloads: %w", err)
 		}
 		return FromSpec(sp)
+	}
+	if rest, ok := strings.CutPrefix(name, RV32Prefix); ok {
+		if synth.IsSpec(rest) {
+			sp, err := synth.ParseSpec(rest)
+			if err != nil {
+				return Workload{}, fmt.Errorf("workloads: %w", err)
+			}
+			return FromSpecRV32(sp)
+		}
+		names := make([]string, 0, len(RV32All()))
+		for _, w := range RV32All() {
+			if strings.EqualFold(w.Name, name) {
+				return w, nil
+			}
+			names = append(names, w.Name)
+		}
+		sort.Strings(names)
+		return Workload{}, fmt.Errorf("workloads: unknown RV32 benchmark %q (valid: %s; or %ssynth:...)",
+			name, strings.Join(names, ", "), RV32Prefix)
 	}
 	names := make([]string, 0, 7)
 	for _, w := range All() {

@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Shared boot/drain shell for the CI jobs that exercise a real `wmx serve`
+# daemon (serve-smoke, chaos-smoke). Expects the daemon binary at /tmp/wmx.
+#
+#   daemon.sh boot <name> <port> [extra `wmx serve` flags...]
+#       Starts the daemon on 127.0.0.1:<port> with a /tmp/wmx-<name>-store
+#       store, logs to /tmp/<name>.log, records the pid in /tmp/<name>.pid
+#       and waits up to 10s for /healthz to come up.
+#
+#   daemon.sh drain <name> <signal>
+#       Signals the daemon (INT or TERM), asserts it exits within 10s and
+#       prints its log (the shutdown stats) either way. A never-booted
+#       daemon is not an error, so drain can run in an `if: always()` step.
+set -euo pipefail
+
+cmd=${1:?usage: daemon.sh boot|drain ...}
+shift
+case "$cmd" in
+boot)
+  name=${1:?boot: missing daemon name}
+  port=${2:?boot: missing port}
+  shift 2
+  /tmp/wmx serve -listen "127.0.0.1:$port" -store-dir "/tmp/wmx-$name-store" \
+    -store-budget 256MiB "$@" 2>"/tmp/$name.log" &
+  echo $! >"/tmp/$name.pid"
+  for _ in $(seq 1 50); do
+    if curl -sf "http://127.0.0.1:$port/healthz" >/dev/null; then
+      exit 0
+    fi
+    sleep 0.2
+  done
+  echo "daemon '$name' never came up" >&2
+  cat "/tmp/$name.log" >&2
+  exit 1
+  ;;
+drain)
+  name=${1:?drain: missing daemon name}
+  sig=${2:?drain: missing signal}
+  if [ ! -f "/tmp/$name.pid" ]; then
+    echo "daemon '$name' was never booted; nothing to drain" >&2
+    exit 0
+  fi
+  pid=$(cat "/tmp/$name.pid")
+  kill "-$sig" "$pid" 2>/dev/null || true
+  for _ in $(seq 1 50); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      cat "/tmp/$name.log"
+      exit 0
+    fi
+    sleep 0.2
+  done
+  echo "daemon '$name' did not drain within 10s of SIG$sig" >&2
+  cat "/tmp/$name.log" >&2
+  exit 1
+  ;;
+*)
+  echo "daemon.sh: unknown command '$cmd' (want boot or drain)" >&2
+  exit 2
+  ;;
+esac
