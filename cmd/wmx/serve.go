@@ -41,6 +41,7 @@ func runServe(args []string) {
 	maxJobs := fs.Int("max-jobs", 0, "finished sweeps kept queryable (0 = 4096)")
 	maxBacklog := fs.Int("max-backlog", 0, "unfinished grid points admitted before shedding sweeps with 429 (0 = 4096, -1 = unlimited)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline for non-streaming endpoints (0 = 60s)")
+	pointDeadline := fs.Duration("point-deadline", 0, "watchdog per grid-point simulation: a point stuck past this fails retryable (0 = 5m, -1ns = off)")
 	faultSpec := fs.String("fault-spec", "", "fault-injection spec, e.g. 'seed=7;io:err:0.05;http:drop:0.01' (empty = off)")
 	fs.Parse(args)
 	if fs.NArg() != 0 {
@@ -67,6 +68,7 @@ func runServe(args []string) {
 		MaxJobs:        *maxJobs,
 		MaxBacklog:     *maxBacklog,
 		RequestTimeout: *reqTimeout,
+		PointDeadline:  *pointDeadline,
 		Faults:         inj,
 	})
 	exitOn(err)
@@ -117,13 +119,16 @@ func runServe(args []string) {
 
 	st := srv.Stats()
 	fmt.Fprintf(os.Stderr,
-		"wmx serve: served %d sweeps, %d points (%d simulated, %d store hits, %d dedup joins), %d shed; "+
+		"wmx serve: served %d sweeps (%d deduped), %d points (%d simulated, %d store hits, %d dedup joins), %d shed; "+
 			"store: %d results (%d B), %d trace files (%d B), %d+%d evictions, "+
 			"%d+%d+%d recovered at boot\n",
-		st.Sweeps, st.Points, st.Simulations, st.StoreHits, st.DedupJoins, st.ShedSweeps,
+		st.Sweeps, st.DedupSweeps, st.Points, st.Simulations, st.StoreHits, st.DedupJoins, st.ShedSweeps,
 		st.Store.ResultEntries, st.Store.ResultBytes, st.Store.TraceFiles, st.Store.TraceBytes,
 		st.Store.ResultEvictions, st.Store.TraceEvictions,
 		st.Store.RecoveredResults, st.Store.RecoveredTraces, st.Store.RecoveredTemps)
+	fmt.Fprintf(os.Stderr,
+		"wmx serve: journal: %d records (%d append errors), resumed %d sweeps (%d points skipped), %d panics recovered\n",
+		st.JournalRecords, st.JournalAppendErrors, st.ResumedSweeps, st.ResumedPointsSkipped, st.PanicsRecovered)
 	if inj != nil {
 		fmt.Fprintf(os.Stderr, "wmx serve: faults: %s\n", inj.Describe())
 	}

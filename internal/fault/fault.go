@@ -12,11 +12,14 @@
 //	io.result.delete   result-store evictions
 //	io.trace.read      trace-spill sidecar + trace-file reads (suite.TraceCache)
 //	io.trace.write     trace-spill atomic writes
+//	io.journal.read    sweep-journal boot replay read (serve)
+//	io.journal.append  sweep-journal fsynced record appends
+//	io.journal.compact sweep-journal atomic compaction rewrites
 //	http               every API request (latency, drop); /healthz and /readyz
 //	                   are exempt so probes always tell the truth
 //
 // so a rule site of "io" covers every file operation, "io.trace" both trace
-// sites, and "*" everything.
+// sites, "io.journal" the whole journal, and "*" everything.
 //
 // The layer is opt-in and free when off: a nil *Injector disables every
 // check (the FS zero value is a direct passthrough to the os package), so

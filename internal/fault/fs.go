@@ -11,12 +11,15 @@ import (
 // them to FS calls; they are declared here so spec writers have one table
 // to target and docs one place to point at.
 const (
-	SiteResultRead   = "io.result.read"
-	SiteResultWrite  = "io.result.write"
-	SiteResultDelete = "io.result.delete"
-	SiteTraceRead    = "io.trace.read"
-	SiteTraceWrite   = "io.trace.write"
-	SiteHTTP         = "http"
+	SiteResultRead     = "io.result.read"
+	SiteResultWrite    = "io.result.write"
+	SiteResultDelete   = "io.result.delete"
+	SiteTraceRead      = "io.trace.read"
+	SiteTraceWrite     = "io.trace.write"
+	SiteJournalRead    = "io.journal.read"
+	SiteJournalAppend  = "io.journal.append"
+	SiteJournalCompact = "io.journal.compact"
+	SiteHTTP           = "http"
 )
 
 // FS is the file-op shim the store and trace-spill layers route their I/O
@@ -163,6 +166,44 @@ func (f FS) WriteFileAtomic(site, path string, fill func(io.Writer) error) error
 		return err
 	}
 	return nil
+}
+
+// AppendSync appends b to the already-open file and fsyncs it — the
+// append discipline of the sweep journal, where each record must be on the
+// platter before the operation it logs is acknowledged.
+//
+// The injectable seams mirror an appender's real failure modes:
+// KindErr/KindENOSPC fail before writing a byte; KindShortWrite writes half
+// the record and errors (appender killed mid-write); KindTornWrite writes
+// half and reports success — the lying-disk case the journal's CRC framing
+// must catch at replay; KindFsync writes everything but fails the sync, so
+// the bytes may or may not be durable and the caller must treat the record
+// as unjournaled.
+func (f FS) AppendSync(site string, file *os.File, b []byte) error {
+	if f.Inj != nil {
+		kind, delay := f.Inj.roll(site, KindLatency, KindErr, KindENOSPC,
+			KindShortWrite, KindTornWrite, KindFsync)
+		sleep(delay)
+		switch kind {
+		case KindErr, KindENOSPC:
+			return &Error{Site: site, Kind: kind}
+		case KindShortWrite:
+			file.Write(b[:len(b)/2])
+			return &Error{Site: site, Kind: kind}
+		case KindTornWrite:
+			_, err := file.Write(b[:len(b)/2])
+			return err
+		case KindFsync:
+			if _, err := file.Write(b); err != nil {
+				return err
+			}
+			return &Error{Site: site, Kind: kind}
+		}
+	}
+	if _, err := file.Write(b); err != nil {
+		return err
+	}
+	return file.Sync()
 }
 
 // truncateHalf cuts the file to half its current size — the canonical torn

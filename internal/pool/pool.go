@@ -8,9 +8,35 @@ package pool
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
+
+// PanicError is a job that panicked: Run recovers it inside the worker,
+// cancels the remaining jobs and returns this typed error instead of
+// letting one bad job take down the whole process — a daemon serving many
+// sweeps must survive a single poisoned grid point.
+type PanicError struct {
+	Index int    // the job index that panicked
+	Value any    // the recovered panic value
+	Stack []byte // the panicking goroutine's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: job %d panicked: %v", e.Index, e.Value)
+}
+
+// call runs one job invocation with panic containment.
+func call(ctx context.Context, idx int, fn func(ctx context.Context, idx int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Index: idx, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, idx)
+}
 
 // Split partitions n items into at most k contiguous, non-empty ranges
 // whose sizes differ by at most one, returned as [start, end) pairs in
@@ -46,7 +72,8 @@ func Split(n, k int) [][2]int {
 // error or the caller's context ends; indices not yet started are then
 // skipped. Run blocks until all started invocations return, then reports
 // the first error encountered, or ctx.Err() when the caller's context
-// ended first.
+// ended first. A panicking invocation is recovered and surfaces as a
+// *PanicError for that index; it cancels the rest like any other failure.
 func Run(ctx context.Context, n, par int, fn func(ctx context.Context, idx int) error) error {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -82,7 +109,7 @@ func Run(ctx context.Context, n, par int, fn func(ctx context.Context, idx int) 
 				if runCtx.Err() != nil {
 					continue // drain: a job failed or the caller cancelled
 				}
-				if err := fn(runCtx, idx); err != nil {
+				if err := call(runCtx, idx, fn); err != nil {
 					fail(err)
 				}
 			}

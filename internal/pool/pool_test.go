@@ -128,3 +128,26 @@ func TestSplit(t *testing.T) {
 		}
 	}
 }
+
+// TestRunPanicContained: a panicking job must surface as a typed PanicError
+// carrying the job index and a stack, cancel the remaining jobs like any
+// other failure, and never escape Run — one poisoned work item cannot take
+// the process down.
+func TestRunPanicContained(t *testing.T) {
+	err := Run(context.Background(), 100, 2, func(ctx context.Context, idx int) error {
+		if idx == 0 {
+			panic("poisoned item")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run returned %v, want a *PanicError", err)
+	}
+	if pe.Index != 0 || pe.Value != "poisoned item" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {Index: %d, Value: %v, stack %d bytes}", pe.Index, pe.Value, len(pe.Stack))
+	}
+	if want := "pool: job 0 panicked: poisoned item"; err.Error() != want {
+		t.Fatalf("error text %q, want %q", err.Error(), want)
+	}
+}

@@ -176,26 +176,57 @@ func (c *Client) Status(ctx context.Context, id string) (serve.JobStatus, error)
 	return st, err
 }
 
+// followState is the SSE follower's cursor across reconnects: the epoch of
+// the event log it is reading and the last sequence delivered within it.
+// The daemon rebuilds a job's event log — under the same content-derived
+// sweep ID — when a crashed daemon resumes the sweep from its journal or a
+// failed run is replaced by a resubmission; each rebuild carries a higher
+// epoch. A follower that reconnects into a higher epoch must reset its
+// sequence cursor (the new log replays from seq 0 and is NOT a replay of
+// what it already consumed), and events from an older epoch than the
+// cursor's are stragglers to drop.
+type followState struct {
+	epoch, seq int
+}
+
+func newFollowState() followState { return followState{seq: -1} }
+
+// skip reports whether ev was already delivered, advancing the cursor for
+// fresh events.
+func (st *followState) skip(ev serve.Event) bool {
+	if ev.Epoch > st.epoch {
+		st.epoch, st.seq = ev.Epoch, -1
+	}
+	if ev.Epoch < st.epoch || ev.Seq <= st.seq {
+		return true
+	}
+	st.seq = ev.Seq
+	return false
+}
+
 // Events follows the sweep's SSE stream, invoking fn (if non-nil) for every
 // point event, and returns the terminal status carried by the stream's
 // "done" event. It blocks until the sweep finishes or ctx ends. Under a
 // retry policy a dropped stream reconnects with backoff; the daemon replays
 // the job's full event log on reattach, and events already delivered are
-// skipped by sequence number, so fn sees each event at most once.
+// skipped by (epoch, sequence), so fn sees each event of a given epoch at
+// most once — including across a daemon restart that rebuilt the log from
+// the sweep journal at a higher epoch.
 func (c *Client) Events(ctx context.Context, id string, fn func(serve.Event)) (serve.JobStatus, error) {
 	var final serve.JobStatus
-	lastSeq := -1
+	st := newFollowState()
 	err := c.retry(ctx, func() error {
 		var err error
-		final, err = c.eventsOnce(ctx, id, &lastSeq, fn)
+		final, err = c.eventsOnce(ctx, id, &st, fn)
 		return err
 	})
 	return final, err
 }
 
-// eventsOnce is one SSE attach: it streams events with Seq > *lastSeq to fn
-// (advancing *lastSeq), so reconnects deliver each event exactly once.
-func (c *Client) eventsOnce(ctx context.Context, id string, lastSeq *int, fn func(serve.Event)) (serve.JobStatus, error) {
+// eventsOnce is one SSE attach: it streams events the cursor has not seen
+// to fn (advancing the cursor), so reconnects deliver each event at most
+// once per epoch.
+func (c *Client) eventsOnce(ctx context.Context, id string, st *followState, fn func(serve.Event)) (serve.JobStatus, error) {
 	var final serve.JobStatus
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/sweeps/"+id+"/events", nil)
 	if err != nil {
@@ -225,10 +256,9 @@ func (c *Client) eventsOnce(ctx context.Context, id string, lastSeq *int, fn fun
 				if err := json.Unmarshal(data, &ev); err != nil {
 					return final, fmt.Errorf("serve: bad point event: %w", err)
 				}
-				if ev.Seq <= *lastSeq {
+				if st.skip(ev) {
 					continue // replayed on reconnect; already delivered
 				}
-				*lastSeq = ev.Seq
 				if fn != nil {
 					fn(ev)
 				}
@@ -267,11 +297,17 @@ func (c *Client) Wait(ctx context.Context, id string) (serve.JobStatus, error) {
 // MaxAttempts bounds the total tries rather than multiplying through
 // nested loops. The returned status is "done" on success; otherwise the
 // last attempt's failure comes back as the error.
+//
+// Run also survives a daemon restart mid-sweep: sweep IDs are content
+// hashes, so after a reconnect the follower reattaches to the journal-
+// resumed job under the same ID (its rebuilt event log arrives at a higher
+// epoch and the cursor resets), and if the restarted daemon did not resume
+// the sweep, the 404 path resubmits — idempotently landing on the same ID.
 func (c *Client) Run(ctx context.Context, sr serve.SweepRequest, fn func(serve.Event)) (serve.JobStatus, error) {
 	var st serve.JobStatus
 	var err error
 	var hint time.Duration
-	id, lastSeq := "", -1
+	id, cur := "", newFollowState()
 	for attempt := 0; attempt < c.policy.attempts(); attempt++ {
 		if attempt > 0 {
 			if sleepCtx(ctx, c.policy.delay(attempt-1, hint)) != nil {
@@ -289,14 +325,16 @@ func (c *Client) Run(ctx context.Context, sr serve.SweepRequest, fn func(serve.E
 				}
 				return st, err
 			}
-			id, lastSeq = sub.ID, -1
+			id = sub.ID
 		}
-		st, err = c.eventsOnce(ctx, id, &lastSeq, fn)
+		st, err = c.eventsOnce(ctx, id, &cur, fn)
 		if err != nil {
 			var ae *APIError
 			if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
-				// The daemon forgot (or lost) the job; start over.
-				id, lastSeq = "", -1
+				// The daemon forgot (or lost) the job; start over. The
+				// epoch cursor carries across, so a resubmission that lands
+				// on the same ID (idempotency) replays nothing stale.
+				id = ""
 			}
 			if retryable(err) && ctx.Err() == nil {
 				hint = retryAfterHint(err)
@@ -309,9 +347,10 @@ func (c *Client) Run(ctx context.Context, sr serve.SweepRequest, fn func(serve.E
 		}
 		err = fmt.Errorf("serve: sweep %s %s: %s", id, st.State, st.Error)
 		if st.Retryable && ctx.Err() == nil {
-			// A failed sweep is resubmitted fresh — its flights were
-			// forgotten, its completed points are in the store.
-			id, lastSeq = "", -1
+			// A failed sweep is resubmitted — the replacement runs under
+			// the same content-derived ID at a higher epoch; its flights
+			// were forgotten, its completed points are in the store.
+			id = ""
 			hint = time.Duration(st.RetryAfterMS) * time.Millisecond
 			continue
 		}

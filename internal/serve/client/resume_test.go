@@ -1,0 +1,148 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waymemo/internal/serve"
+)
+
+// TestBackoffSleepHonorsCancel: a backoff in progress must end the moment
+// the caller's context does — a client told to stop cannot sit out a 30s
+// Retry-After first.
+func TestBackoffSleepHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := sleepCtx(ctx, 30*time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sleepCtx = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("sleepCtx held the backoff %v past cancellation", elapsed)
+	}
+
+	// End to end: the retry loop parked on a long Retry-After hint returns
+	// promptly when cancelled mid-backoff, with the last attempt's error.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"shed"}`)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	rctx, rcancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		rcancel()
+	}()
+	start = time.Now()
+	_, err := c.Stats(rctx)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("cancelled retry loop returned %v, want the last 429", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry loop kept backing off %v past cancellation", elapsed)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("daemon called %d times during one 30s backoff window, want 1", calls.Load())
+	}
+}
+
+// sseEvent writes one SSE frame.
+func sseEvent(w http.ResponseWriter, event string, v any) {
+	blob, _ := json.Marshal(v)
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, blob)
+}
+
+// TestEventsEpochResetAfterRestart: the follower's reconnect-after-restart
+// contract. The first attach streams a pre-crash daemon's epoch-1 log and
+// dies mid-stream; the reattach lands on a restarted daemon whose journal-
+// resumed job rebuilt its event log at epoch 2. The higher epoch must reset
+// the sequence cursor: every epoch-2 event is delivered — including the low
+// sequence numbers the cursor had already consumed at epoch 1 — and nothing
+// is delivered twice within an epoch.
+func TestEventsEpochResetAfterRestart(t *testing.T) {
+	var attempts atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		if attempts.Add(1) == 1 {
+			// Pre-crash daemon: two epoch-1 events, then the connection dies
+			// (the daemon was SIGKILLed mid-sweep).
+			for seq := 0; seq < 2; seq++ {
+				sseEvent(w, "point", serve.Event{Seq: seq, Epoch: 1, Index: seq, Total: 4, Status: "start"})
+			}
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		// Restarted daemon: the resumed job's rebuilt log at epoch 2 replays
+		// from sequence 0 and runs to completion.
+		for seq := 0; seq < 4; seq++ {
+			sseEvent(w, "point", serve.Event{Seq: seq, Epoch: 2, Index: seq, Total: 4, Status: "done"})
+		}
+		sseEvent(w, "done", serve.JobStatus{ID: "sw-x", State: "done", Epoch: 2})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := New(ts.URL, WithRetry(RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}))
+	var got []string
+	st, err := c.Events(ctx, "sw-x", func(ev serve.Event) {
+		got = append(got, fmt.Sprintf("e%d/s%d", ev.Epoch, ev.Seq))
+	})
+	if err != nil {
+		t.Fatalf("Events across the restart: %v", err)
+	}
+	if st.State != "done" || st.Epoch != 2 {
+		t.Fatalf("terminal status = %+v, want done at epoch 2", st)
+	}
+	want := []string{"e1/s0", "e1/s1", "e2/s0", "e2/s1", "e2/s2", "e2/s3"}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery %d = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	if attempts.Load() != 2 {
+		t.Fatalf("follower attached %d times, want 2", attempts.Load())
+	}
+}
+
+// TestFollowStateCursor pins the cursor algebra directly: in-epoch dedupe,
+// higher-epoch reset, older-epoch stragglers dropped.
+func TestFollowStateCursor(t *testing.T) {
+	st := newFollowState()
+	steps := []struct {
+		epoch, seq int
+		skip       bool
+	}{
+		{0, 0, false}, // legacy daemon without epochs: plain sequence dedupe
+		{0, 0, true},
+		{0, 1, false},
+		{1, 0, false}, // restart: higher epoch resets the cursor
+		{1, 1, false},
+		{1, 1, true},  // replayed within the epoch
+		{0, 5, true},  // straggler from the dead epoch
+		{2, 0, false}, // second restart
+	}
+	for i, s := range steps {
+		if got := st.skip(serve.Event{Epoch: s.epoch, Seq: s.seq}); got != s.skip {
+			t.Fatalf("step %d (epoch %d seq %d): skip = %v, want %v", i, s.epoch, s.seq, got, s.skip)
+		}
+	}
+}

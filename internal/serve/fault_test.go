@@ -411,7 +411,7 @@ func TestEventsDisconnectCleanup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	job := newJob("sw-test-sse", tinyReq(64), sp, 1)
+	job := newJob("sw-test-sse", tinyReq(64), sp, 1, 1)
 	s.jobsMu.Lock()
 	s.jobs[job.id] = job
 	s.jobsMu.Unlock()

@@ -13,7 +13,13 @@ import (
 // start, so no client misses events), and, once finished, the grid the
 // warm analytics endpoints answer from.
 type Job struct {
-	id      string
+	id string
+	// epoch is the generation of this event log under the (content-derived,
+	// stable) id: 1 for a fresh submission, +1 each time the sweep is
+	// resumed from the journal or a failed run is replaced by a resubmit.
+	// Every emitted Event carries it so followers can tell a rebuilt log
+	// from a replay of one they already consumed.
+	epoch   int
 	req     SweepRequest
 	space   explore.Space
 	started time.Time
@@ -29,9 +35,10 @@ type Job struct {
 	metrics    JobMetrics
 }
 
-func newJob(id string, req SweepRequest, space explore.Space, points int) *Job {
+func newJob(id string, req SweepRequest, space explore.Space, points, epoch int) *Job {
 	return &Job{
 		id:      id,
+		epoch:   epoch,
 		req:     req,
 		space:   space,
 		started: time.Now(),
@@ -46,6 +53,7 @@ func newJob(id string, req SweepRequest, space explore.Space, points int) *Job {
 func (j *Job) emit(ev Event) {
 	j.mu.Lock()
 	ev.Seq = len(j.events)
+	ev.Epoch = j.epoch
 	j.events = append(j.events, ev)
 	if ev.Status == "done" {
 		j.metrics.Done++
@@ -125,7 +133,7 @@ func (j *Job) status() JobStatus {
 	}
 	return JobStatus{ID: j.id, State: j.state, Error: j.errMsg,
 		Retryable: j.retryable, RetryAfterMS: j.retryAfter.Milliseconds(),
-		Request: j.req, Metrics: m}
+		Epoch: j.epoch, Request: j.req, Metrics: m}
 }
 
 // ID returns the job's identifier, as handed out by Submit.

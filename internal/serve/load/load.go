@@ -50,6 +50,10 @@ type Options struct {
 	// an ErrWrongResult — correctness is never probabilistic, even under
 	// fault injection.
 	Verify bool
+	// CaptureGrid stores variant 0's full grid into Report.Grid, so a
+	// kill-resume harness can compare the resumed run's grid bit-for-bit
+	// against an uninterrupted reference run.
+	CaptureGrid bool
 }
 
 // Report is one load run's outcome.
@@ -71,6 +75,13 @@ type Report struct {
 	Simulations int64 `json:"simulations"`
 	StoreHits   int64 `json:"store_hits"`
 	DedupJoins  int64 `json:"dedup_joins"`
+	// DedupSweeps counts submissions the daemon absorbed into an existing
+	// identical job (idempotent sweep IDs); ResumedSweeps counts sweeps the
+	// daemon resurrected from its journal — nonzero only when the daemon
+	// (re)booted during the run, which is exactly what a kill-resume
+	// harness asserts on.
+	DedupSweeps   int64 `json:"dedup_sweeps"`
+	ResumedSweeps int64 `json:"resumed_sweeps"`
 
 	// ShedSweeps is how many submissions the daemon's admission controller
 	// rejected during the run (each typically retried by the client), and
@@ -96,6 +107,11 @@ type Report struct {
 	WarmQueryMS float64 `json:"warm_query_ms"`
 
 	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// Grid is variant 0's full result grid, captured when
+	// Options.CaptureGrid is set; excluded from the report's JSON (it can
+	// be large) — tools/loadgen writes it to its own file.
+	Grid []explore.PointResult `json:"-"`
 }
 
 // UniquePoints computes the union of content-addressed grid-point keys the
@@ -179,20 +195,28 @@ func Run(ctx context.Context, c *client.Client, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	points := after.Points - before.Points
+	// Demand is measured by RequestedPoints: with idempotent sweep IDs, N
+	// identical submissions collapse into one job, so the per-point serving
+	// counters no longer see each client's grid — but every accepted
+	// submission still contributes its grid size to RequestedPoints, which
+	// keeps DedupRate meaning "fraction of what clients asked for that
+	// needed no simulation".
+	points := after.RequestedPoints - before.RequestedPoints
 	rep := &Report{
-		Clients:      clients,
-		Variants:     len(opts.Variants),
-		Points:       int(points),
-		UniquePoints: unique,
-		Succeeded:    succeeded,
-		Failed:       clients - succeeded,
-		SuccessRate:  float64(succeeded) / float64(clients),
-		Simulations:  after.Simulations - before.Simulations,
-		StoreHits:    after.StoreHits - before.StoreHits,
-		DedupJoins:   after.DedupJoins - before.DedupJoins,
-		ShedSweeps:   after.ShedSweeps - before.ShedSweeps,
-		ElapsedMS:    elapsed.Seconds() * 1000,
+		Clients:       clients,
+		Variants:      len(opts.Variants),
+		Points:        int(points),
+		UniquePoints:  unique,
+		Succeeded:     succeeded,
+		Failed:        clients - succeeded,
+		SuccessRate:   float64(succeeded) / float64(clients),
+		Simulations:   after.Simulations - before.Simulations,
+		StoreHits:     after.StoreHits - before.StoreHits,
+		DedupJoins:    after.DedupJoins - before.DedupJoins,
+		DedupSweeps:   after.DedupSweeps - before.DedupSweeps,
+		ResumedSweeps: after.ResumedSweeps - before.ResumedSweeps,
+		ShedSweeps:    after.ShedSweeps - before.ShedSweeps,
+		ElapsedMS:     elapsed.Seconds() * 1000,
 	}
 	if points > 0 {
 		rep.DedupRate = 1 - float64(rep.Simulations)/float64(points)
@@ -230,6 +254,22 @@ func Run(ctx context.Context, c *client.Client, opts Options) (*Report, error) {
 					ErrWrongResult, owner[v], i, v)
 			}
 			rep.VerifiedClients++
+		}
+	}
+	if opts.CaptureGrid {
+		for i, id := range ids {
+			if id == "" || i%len(opts.Variants) != 0 {
+				continue
+			}
+			res, err := c.Result(ctx, id)
+			if err != nil {
+				return nil, fmt.Errorf("load: grid capture client %d: %w", i, err)
+			}
+			rep.Grid = res.Points
+			break
+		}
+		if rep.Grid == nil {
+			return nil, fmt.Errorf("load: grid capture: no variant-0 client succeeded")
 		}
 	}
 	if opts.SkipWarm {
@@ -302,6 +342,12 @@ func (r *Report) String() string {
 		r.Points, r.UniquePoints,
 		r.Simulations, r.StoreHits, r.DedupJoins,
 		100*r.DedupRate, r.ShedSweeps, 100*r.ShedRate)
+	if r.DedupSweeps > 0 {
+		s += fmt.Sprintf("\nsweep dedup     %d submissions absorbed by identical jobs", r.DedupSweeps)
+	}
+	if r.ResumedSweeps > 0 {
+		s += fmt.Sprintf("\nresumed         %d sweeps resurrected from the journal", r.ResumedSweeps)
+	}
 	if r.FaultsInjected > 0 {
 		s += fmt.Sprintf("\nfaults          %d injected", r.FaultsInjected)
 	}

@@ -50,8 +50,10 @@ func TestLoadRunAgainstServer(t *testing.T) {
 	if rep.Simulations != 3 {
 		t.Errorf("simulations = %d, want 3 (one per unique point)", rep.Simulations)
 	}
-	if got := rep.StoreHits + rep.DedupJoins; got != int64(rep.Points)-3 {
-		t.Errorf("served without simulation = %d, want %d", got, rep.Points-3)
+	// 10 submissions over 2 distinct variants: 2 create jobs, the other 8
+	// are absorbed by the idempotent content-hashed sweep IDs.
+	if rep.DedupSweeps != int64(clients)-2 {
+		t.Errorf("dedup sweeps = %d, want %d", rep.DedupSweeps, clients-2)
 	}
 	if want := 1 - 3.0/float64(rep.Points); rep.DedupRate < want-1e-9 {
 		t.Errorf("dedup rate = %.3f, want >= %.3f", rep.DedupRate, want)

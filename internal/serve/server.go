@@ -36,6 +36,15 @@
 // I/O and HTTP failures at every one of those seams to prove the contract:
 // under any fault, completed results are bit-identical to a fault-free run.
 //
+// Sweeps themselves are crash-durable: IDs are content hashes of the
+// normalized request (resubmission is idempotent), every acceptance and
+// per-point completion is logged to a CRC-framed write-ahead journal under
+// the store dir, and boot replays the journal to resurrect non-terminal
+// sweeps — completed points come back as store hits, only the remainder
+// simulates (see journal.go). A panicking simulation is recovered into a
+// retryable point failure, and Config.PointDeadline fails-retryable any
+// point stuck past its watchdog instead of pinning a semaphore slot.
+//
 // `wmx serve` wraps a Server in an http.Server; internal/serve/client is
 // the typed client and tools/loadgen the load harness that proves N
 // overlapping sweeps cost one simulation per unique grid point.
@@ -43,9 +52,12 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -84,6 +96,10 @@ type Config struct {
 	// (0 = 60s, negative = no deadline). SSE streams and the probes are
 	// exempt.
 	RequestTimeout time.Duration
+	// PointDeadline is the flight watchdog: a single grid-point simulation
+	// running longer than this fails with a retryable PointError instead of
+	// holding its semaphore slot forever (0 = 5m, negative = no watchdog).
+	PointDeadline time.Duration
 	// Faults, when non-nil, routes store I/O, trace spills and HTTP
 	// handling through the fault-injection layer. Nil — the default — is
 	// completely off: the file shims pass straight through to the os
@@ -105,12 +121,15 @@ type Server struct {
 	mux     *http.ServeMux
 	handler http.Handler // mux + deadline middleware + fault middleware
 
+	journal *journal
+
 	jobsMu sync.Mutex
 	jobs   map[string]*Job
 	order  []string // creation order, for MaxJobs forgetting
-	nextID int64
 
-	sweeps, points, storeHits, dedupJoins, sims atomic.Int64
+	sweeps, dedupSweeps, requestedPoints           atomic.Int64
+	points, storeHits, dedupJoins, sims            atomic.Int64
+	resumedSweeps, resumedSkipped, panicsRecovered atomic.Int64
 
 	// backlog is the admission controller's gauge: grid points admitted
 	// but not yet finished, across all running sweeps. shed counts sweeps
@@ -119,8 +138,10 @@ type Server struct {
 	draining      atomic.Bool
 }
 
-// New opens the store (running its crash-recovery sweep) and builds a
-// ready-to-serve Server.
+// New opens the store (running its crash-recovery sweep first, so the
+// journal replay that follows probes an already-sane store), replays the
+// sweep journal, and builds a ready-to-serve Server with every
+// non-terminal journaled sweep already running again.
 func New(cfg Config) (*Server, error) {
 	fs := fault.FS{Inj: cfg.Faults}
 	store, err := OpenStoreFS(cfg.StoreDir, cfg.StoreBudget, fs)
@@ -128,6 +149,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	traces, err := suite.NewDirTraceCacheFS(store.TraceDir(), fs)
+	if err != nil {
+		return nil, err
+	}
+	jn, err := openJournal(cfg.StoreDir, fs)
 	if err != nil {
 		return nil, err
 	}
@@ -140,6 +165,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		store:   store,
 		traces:  traces,
+		journal: jn,
 		baseCtx: ctx,
 		stop:    cancel,
 		simSem:  make(chan struct{}, par),
@@ -173,7 +199,35 @@ func New(cfg Config) (*Server, error) {
 	// Request pipeline, outermost first: fault injection (absent entirely
 	// when off), then per-request deadlines, then the mux.
 	s.handler = fault.Middleware(cfg.Faults, s.deadlineMiddleware(mux))
+	for _, js := range jn.resumableSweeps() {
+		s.resumeJob(js)
+	}
 	return s, nil
+}
+
+// resumeJob resurrects one non-terminal journaled sweep at boot: the job
+// restarts under its original ID at the journal's bumped epoch, bypassing
+// admission (the points were admitted before the crash). Points whose
+// results reached the store before the crash come straight back as store
+// hits, so a resumed sweep re-simulates only what it never finished. A
+// request that no longer validates (a journal written by an older binary)
+// is marked failed in the journal and dropped rather than failing boot.
+func (s *Server) resumeJob(js *journalSweep) {
+	space, err := js.Req.Space()
+	if err != nil {
+		s.journal.terminal(js.ID, "failed")
+		return
+	}
+	pts := space.Points()
+	job := newJob(js.ID, js.Req, space, len(pts), js.Epoch)
+	s.jobsMu.Lock()
+	s.jobs[js.ID] = job
+	s.order = append(s.order, js.ID)
+	s.jobsMu.Unlock()
+	s.backlog.Add(int64(len(pts)))
+	s.resumedSweeps.Add(1)
+	s.resumedSkipped.Add(int64(len(js.Done)))
+	go s.runJob(job)
 }
 
 // deadlineMiddleware bounds every non-streaming request's context with
@@ -213,27 +267,41 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // Draining reports whether BeginDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close cancels every running sweep. In-flight HTTP requests fail with the
-// cancellation; callers shut the http.Server down first.
-func (s *Server) Close() { s.stop() }
+// Close cancels every running sweep and closes the journal's append
+// handle. In-flight HTTP requests fail with the cancellation; callers shut
+// the http.Server down first. Sweeps cut off here are NOT marked terminal
+// in the journal — a daemon killed or closed mid-sweep resumes them on the
+// next boot over the same store dir.
+func (s *Server) Close() {
+	s.stop()
+	s.journal.close()
+}
 
 // Store exposes the shared store (the CLI prints its stats on shutdown).
 func (s *Server) Store() *Store { return s.store }
 
 // Stats snapshots the daemon-wide counters.
 func (s *Server) Stats() ServerStats {
+	records, appendErrs := s.journal.stats()
 	return ServerStats{
-		Sweeps:         s.sweeps.Load(),
-		Points:         s.points.Load(),
-		StoreHits:      s.storeHits.Load(),
-		DedupJoins:     s.dedupJoins.Load(),
-		Simulations:    s.sims.Load(),
-		InFlightPoints: s.flights.inFlight(),
-		BacklogPoints:  s.backlog.Load(),
-		ShedSweeps:     s.shed.Load(),
-		Faults:         s.cfg.Faults.Counts(),
-		Store:          s.store.Stats(),
-		Traces:         s.traces.Stats(),
+		Sweeps:               s.sweeps.Load(),
+		DedupSweeps:          s.dedupSweeps.Load(),
+		RequestedPoints:      s.requestedPoints.Load(),
+		Points:               s.points.Load(),
+		StoreHits:            s.storeHits.Load(),
+		DedupJoins:           s.dedupJoins.Load(),
+		Simulations:          s.sims.Load(),
+		InFlightPoints:       s.flights.inFlight(),
+		JournalRecords:       records,
+		JournalAppendErrors:  appendErrs,
+		ResumedSweeps:        s.resumedSweeps.Load(),
+		ResumedPointsSkipped: s.resumedSkipped.Load(),
+		PanicsRecovered:      s.panicsRecovered.Load(),
+		BacklogPoints:        s.backlog.Load(),
+		ShedSweeps:           s.shed.Load(),
+		Faults:               s.cfg.Faults.Counts(),
+		Store:                s.store.Stats(),
+		Traces:               s.traces.Stats(),
 	}
 }
 
@@ -266,30 +334,94 @@ func (s *Server) admit(n int) error {
 	}
 }
 
+// sweepID derives the deterministic sweep ID from the normalized space:
+// the content hash over the ordered grid-point keys (the same
+// explore.KeyWorkload machinery that keys the result store), so two
+// clients — or the same client before and after a daemon restart —
+// submitting equivalent sweeps name the same job.
+func sweepID(space explore.Space) string {
+	mabs := space.MABs()
+	h := sha256.New()
+	io.WriteString(h, "sweep-v1\n")
+	for _, pt := range space.Points() {
+		io.WriteString(h, explore.KeyWorkload(space.Domain, pt.Geometry, pt.Workload, space.PacketBytes, mabs))
+		io.WriteString(h, "\n")
+	}
+	return "sw-" + hex.EncodeToString(h.Sum(nil))[:16]
+}
+
 // Submit validates, admits and starts a sweep without going through HTTP —
 // the handler's core, also convenient for in-process embedding and tests.
 // An *OverloadError means the sweep was shed (or the daemon is draining)
 // and a retry after backoff is expected to succeed.
+//
+// Submission is idempotent: the sweep's ID is the content hash of its
+// normalized request, and resubmitting while an identical sweep is running
+// or completed returns that job — no admission, no new work. Only a FAILED
+// previous run is replaced: the new job reuses the ID at the next epoch
+// and re-executes (content-keyed points redo only what never stored).
 func (s *Server) Submit(req SweepRequest) (*Job, error) {
 	space, err := req.Space()
 	if err != nil {
 		return nil, err
 	}
 	pts := space.Points()
+	id := sweepID(space)
+
+	if j, ok := s.absorb(id, len(pts)); ok {
+		return j, nil
+	}
 	if err := s.admit(len(pts)); err != nil {
 		return nil, err
 	}
 	s.jobsMu.Lock()
-	s.nextID++
-	id := fmt.Sprintf("sw-%06d", s.nextID)
-	job := newJob(id, req, space, len(pts))
+	if j, ok := s.jobs[id]; ok && j.status().State != "failed" {
+		// Lost the creation race to a concurrent identical submit: return
+		// the winner and hand back the backlog we reserved.
+		s.jobsMu.Unlock()
+		s.backlog.Add(-int64(len(pts)))
+		s.noteSubmission(len(pts), true)
+		return j, nil
+	}
+	epoch := 1
+	if old, ok := s.jobs[id]; ok {
+		epoch = old.epoch + 1 // replacing a failed run under the same ID
+	} else {
+		s.order = append(s.order, id)
+	}
+	job := newJob(id, req, space, len(pts), epoch)
 	s.jobs[id] = job
-	s.order = append(s.order, id)
 	s.forgetOldLocked()
 	s.jobsMu.Unlock()
-	s.sweeps.Add(1)
+	s.noteSubmission(len(pts), false)
+	s.journal.submitted(id, epoch, req)
 	go s.runJob(job)
 	return job, nil
+}
+
+// absorb resolves an idempotent resubmission: if a live or completed job
+// already carries id, count the submission and return it. Failed jobs do
+// not absorb — the caller replaces them.
+func (s *Server) absorb(id string, n int) (*Job, bool) {
+	s.jobsMu.Lock()
+	j, ok := s.jobs[id]
+	s.jobsMu.Unlock()
+	if !ok || j.status().State == "failed" {
+		return nil, false
+	}
+	s.noteSubmission(n, true)
+	return j, true
+}
+
+// noteSubmission updates the demand-side counters for one accepted
+// submission: every accept counts as a sweep and contributes its grid size
+// to RequestedPoints, whether it started a job or joined an existing one.
+func (s *Server) noteSubmission(n int, dedup bool) {
+	s.sweeps.Add(1)
+	s.requestedPoints.Add(int64(n))
+	if dedup {
+		s.dedupSweeps.Add(1)
+	}
 }
 
 // forgetOldLocked drops the oldest finished jobs beyond MaxJobs, so a
@@ -355,6 +487,7 @@ func (s *Server) runJob(job *Job) {
 		results[pt.Index] = *pr
 		s.backlog.Add(-1)
 		finished.Add(1)
+		s.journal.point(job.id, pt.Index)
 		job.emit(Event{Index: pt.Index, Total: len(pts), Workload: pt.Workload.Name,
 			Sets: pt.Geometry.Sets, Ways: pt.Geometry.Ways, Line: pt.Geometry.LineBytes,
 			Status: "done", Source: source})
@@ -362,6 +495,13 @@ func (s *Server) runJob(job *Job) {
 	})
 	if err != nil {
 		job.finish(nil, err)
+		// The daemon's own shutdown (baseCtx cancelled) is the one failure
+		// that must NOT reach the journal as terminal: those sweeps are
+		// exactly what the next boot should resume. Every other failure is
+		// final for this epoch — a resubmit replaces it at the next one.
+		if !errors.Is(err, context.Canceled) {
+			s.journal.terminal(job.id, "failed")
+		}
 		return
 	}
 	grid := &explore.Grid{
@@ -378,6 +518,7 @@ func (s *Server) runJob(job *Job) {
 		s.traces.Flush()
 	}
 	job.finish(grid, nil)
+	s.journal.terminal(job.id, "done")
 }
 
 // point serves one grid point. The order of preference: the shared store
@@ -405,8 +546,12 @@ func (s *Server) point(ctx context.Context, sp explore.Space, pt explore.Point,
 		defer func() { <-s.simSem }()
 		// Simulate under the server's lifetime context, not the job's:
 		// joiners from other sweeps may be waiting on this flight, and a
-		// cancelled leader must not take their result with it.
-		pr, err := explore.SimulatePoint(s.baseCtx, sp, pt, s.traces)
+		// cancelled leader must not take their result with it. The flight
+		// watchdog bounds it so a wedged point fails retryable rather than
+		// pinning this semaphore slot forever.
+		simCtx, cancel := s.watchdogCtx()
+		defer cancel()
+		pr, err := s.simulate(simCtx, sp, pt)
 		if err != nil {
 			return nil, false, err
 		}
@@ -437,6 +582,36 @@ func (s *Server) point(ctx context.Context, sp explore.Space, pt explore.Point,
 		s.dedupJoins.Add(1)
 		return pr, SourceDedup, nil
 	}
+}
+
+// simulatePoint is explore.SimulatePoint behind a seam the crash/panic
+// tests can stub.
+var simulatePoint = explore.SimulatePoint
+
+// simulate runs one grid-point simulation with panic containment: a panic
+// anywhere in the engine is recovered into an error for that point (which
+// point() wraps into a retryable PointError), so one poisoned point cannot
+// take down a daemon serving every other client.
+func (s *Server) simulate(ctx context.Context, sp explore.Space, pt explore.Point) (pr *explore.PointResult, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			s.panicsRecovered.Add(1)
+			pr, err = nil, fmt.Errorf("serve: simulation panic: %v", v)
+		}
+	}()
+	return simulatePoint(ctx, sp, pt, s.traces)
+}
+
+// watchdogCtx derives the per-simulation context from Config.PointDeadline.
+func (s *Server) watchdogCtx() (context.Context, context.CancelFunc) {
+	d := s.cfg.PointDeadline
+	if d == 0 {
+		d = 5 * time.Minute
+	}
+	if d < 0 {
+		return context.WithCancel(s.baseCtx)
+	}
+	return context.WithTimeout(s.baseCtx, d)
 }
 
 // clonePoint deep-copies a result before the per-job Cached flag is set:

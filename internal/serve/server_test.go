@@ -55,9 +55,11 @@ func waitJob(t *testing.T, job *Job) JobStatus {
 }
 
 // TestServerSingleflightDedup is the satellite's contract: K concurrent
-// identical single-point sweeps cost exactly one simulation — and exactly
-// one suite execution — however they interleave; everyone else is served by
-// the store or by joining the in-flight simulation.
+// overlapping sweeps cost exactly one simulation per unique grid point —
+// and exactly one suite execution — however they interleave. Identical
+// submissions collapse onto one job (idempotent content-hashed IDs); the
+// distinct-but-overlapping pair shares its common point through the store
+// or by joining the in-flight simulation.
 func TestServerSingleflightDedup(t *testing.T) {
 	s := newTestServer(t, 0, 2)
 	const K = 12
@@ -68,7 +70,11 @@ func TestServerSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			job, err := s.Submit(tinyReq(64))
+			req := tinyReq(64)
+			if i%2 == 1 {
+				req = tinyReq(64, 128)
+			}
+			job, err := s.Submit(req)
 			if err != nil {
 				t.Errorf("submit %d: %v", i, err)
 				return
@@ -78,31 +84,34 @@ func TestServerSingleflightDedup(t *testing.T) {
 	}
 	wg.Wait()
 
-	var simulated, served int
-	for _, job := range jobs {
+	ids := map[string]bool{}
+	for i, job := range jobs {
 		if job == nil {
 			t.FailNow()
 		}
+		ids[job.ID()] = true
 		st := waitJob(t, job)
 		m := st.Metrics
-		if m.Done != 1 || m.StoreHits+m.DedupJoins+m.Simulated != 1 {
-			t.Errorf("job %s metrics don't add up: %+v", st.ID, m)
+		want := 1 + i%2
+		if m.Done != want || m.StoreHits+m.DedupJoins+m.Simulated != want {
+			t.Errorf("job %s metrics don't add up: %+v, want %d done", st.ID, m, want)
 		}
-		simulated += m.Simulated
-		served += m.StoreHits + m.DedupJoins
 	}
-	if simulated != 1 || served != K-1 {
-		t.Errorf("K=%d identical sweeps: %d simulated + %d served, want 1 + %d", K, simulated, served, K-1)
+	if len(ids) != 2 {
+		t.Errorf("K=%d submissions over 2 distinct requests made %d jobs, want 2", K, len(ids))
 	}
 	stats := s.Stats()
-	if stats.Simulations != 1 {
-		t.Errorf("server simulations = %d, want 1", stats.Simulations)
+	if stats.Simulations != 2 {
+		t.Errorf("server simulations = %d, want 2 (one per unique grid point)", stats.Simulations)
 	}
 	if stats.Traces.Captures != 1 {
 		t.Errorf("suite executions (trace captures) = %d, want 1", stats.Traces.Captures)
 	}
-	if stats.Points != K || stats.Sweeps != K {
-		t.Errorf("points=%d sweeps=%d, want %d/%d", stats.Points, stats.Sweeps, K, K)
+	if stats.Sweeps != K || stats.DedupSweeps != K-2 {
+		t.Errorf("sweeps=%d dedup=%d, want %d/%d", stats.Sweeps, stats.DedupSweeps, K, K-2)
+	}
+	if stats.RequestedPoints != 3*K/2 {
+		t.Errorf("requested points = %d, want %d", stats.RequestedPoints, 3*K/2)
 	}
 	if stats.InFlightPoints != 0 {
 		t.Errorf("inflight points after completion = %d", stats.InFlightPoints)
@@ -262,16 +271,31 @@ func TestServerHTTPEndToEnd(t *testing.T) {
 		t.Fatalf("simulations after cold sweep = %d, want 2", stats.Simulations)
 	}
 
-	// A warm rerun of the identical sweep simulates nothing: every point is
-	// a store hit, and none of the analytics above cost a simulation either.
+	// Resubmitting the identical sweep is idempotent: the content-hashed ID
+	// maps it onto the completed job — same ID back, no new work at all.
 	resub := postSweep(t, ts.URL, tinyReq(64, 128))
-	_, warmFinal := followEvents(t, ts.URL, resub.ID)
-	if warmFinal.Metrics.StoreHits != 2 || warmFinal.Metrics.Simulated != 0 {
-		t.Fatalf("warm rerun metrics = %+v, want 2 store hits, 0 simulated", warmFinal.Metrics)
+	if resub.ID != sub.ID {
+		t.Fatalf("identical resubmit got ID %s, want %s", resub.ID, sub.ID)
 	}
 	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
-	if stats.Simulations != 2 {
-		t.Fatalf("warm rerun simulated: %d total simulations, want still 2", stats.Simulations)
+	if stats.Simulations != 2 || stats.DedupSweeps != 1 {
+		t.Fatalf("idempotent resubmit: %d simulations / %d dedup sweeps, want 2 / 1",
+			stats.Simulations, stats.DedupSweeps)
+	}
+
+	// A warm superset sweep is a distinct job but reuses the store: its two
+	// overlapping points are store hits, only the new one simulates.
+	warm := postSweep(t, ts.URL, tinyReq(64, 128, 256))
+	if warm.ID == sub.ID {
+		t.Fatalf("superset sweep shares ID %s with the original", warm.ID)
+	}
+	_, warmFinal := followEvents(t, ts.URL, warm.ID)
+	if warmFinal.Metrics.StoreHits != 2 || warmFinal.Metrics.Simulated != 1 {
+		t.Fatalf("warm superset metrics = %+v, want 2 store hits, 1 simulated", warmFinal.Metrics)
+	}
+	getJSON(t, ts.URL+"/v1/stats", http.StatusOK, &stats)
+	if stats.Simulations != 3 {
+		t.Fatalf("warm superset: %d total simulations, want 3", stats.Simulations)
 	}
 
 	// Error paths.
@@ -317,6 +341,12 @@ func TestServerEvictionCorrectness(t *testing.T) {
 		for i := range pts {
 			pts[i].Cached = false
 		}
+		// Forget the completed job so the idempotent resubmission below
+		// actually re-executes instead of absorbing into it.
+		s.jobsMu.Lock()
+		delete(s.jobs, job.ID())
+		s.order = nil
+		s.jobsMu.Unlock()
 		return pts
 	}
 
@@ -359,13 +389,16 @@ func TestServerMaxJobs(t *testing.T) {
 	}
 	t.Cleanup(s.Close)
 
-	var last *Job
-	for i := 0; i < 4; i++ {
-		job, err := s.Submit(tinyReq(64))
+	var first, last *Job
+	for i, sets := range [][]int{{64}, {128}, {256}, {512}} {
+		job, err := s.Submit(tinyReq(sets...))
 		if err != nil {
 			t.Fatal(err)
 		}
 		waitJob(t, job)
+		if i == 0 {
+			first = job
+		}
 		last = job
 	}
 	s.jobsMu.Lock()
@@ -377,7 +410,7 @@ func TestServerMaxJobs(t *testing.T) {
 	if _, ok := s.job(last.ID()); !ok {
 		t.Fatalf("newest job %s forgotten", last.ID())
 	}
-	if _, ok := s.job("sw-000001"); ok {
-		t.Fatal("oldest job survived past the cap")
+	if _, ok := s.job(first.ID()); ok {
+		t.Fatalf("oldest job %s survived past the cap", first.ID())
 	}
 }

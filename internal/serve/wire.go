@@ -51,7 +51,10 @@ func (r SweepRequest) Space() (explore.Space, error) {
 	return sp.Normalize()
 }
 
-// SubmitResponse acknowledges an accepted sweep.
+// SubmitResponse acknowledges an accepted sweep. Sweep IDs are derived
+// from the content hash of the normalized request, so resubmitting an
+// identical sweep — same process or after a daemon restart — returns the
+// same ID instead of duplicating the job.
 type SubmitResponse struct {
 	ID string `json:"id"`
 	// Points is the expanded grid size (ranged specs counted).
@@ -84,18 +87,26 @@ type JobStatus struct {
 	// singleflight leader, shedding), false for the daemon's own shutdown.
 	// Grid points are content-keyed, so a retried sweep redoes only what
 	// never completed. RetryAfterMS, when nonzero, is the suggested wait.
-	Retryable    bool         `json:"retryable,omitempty"`
-	RetryAfterMS int64        `json:"retry_after_ms,omitempty"`
-	Request      SweepRequest `json:"request"`
-	Metrics      JobMetrics   `json:"metrics"`
+	Retryable    bool  `json:"retryable,omitempty"`
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+	// Epoch is the generation of this job's event log under its (stable,
+	// content-derived) ID: it rises when a failed sweep is resubmitted or a
+	// crashed daemon resumes the sweep from its journal.
+	Epoch   int          `json:"epoch,omitempty"`
+	Request SweepRequest `json:"request"`
+	Metrics JobMetrics   `json:"metrics"`
 }
 
 // Event is one progress report on a sweep's SSE stream: a grid point
 // starting ("start") or finishing ("done", with the Source that served
 // it). Seq numbers the job's events from 0 so a reconnecting subscriber
-// can detect replays.
+// can detect replays; Epoch identifies which build of the event log Seq
+// counts within — a resumed or resubmitted sweep starts a fresh log at a
+// higher epoch, and a follower that sees the epoch rise must reset its
+// sequence cursor instead of skipping the new log as already seen.
 type Event struct {
 	Seq      int    `json:"seq"`
+	Epoch    int    `json:"epoch,omitempty"`
 	Index    int    `json:"index"`
 	Total    int    `json:"total"`
 	Workload string `json:"workload"`
@@ -116,12 +127,29 @@ const (
 
 // ServerStats is the daemon-wide counter snapshot served by /v1/stats.
 type ServerStats struct {
-	Sweeps         int64 `json:"sweeps"`
-	Points         int64 `json:"points"`
-	StoreHits      int64 `json:"store_hits"`
-	DedupJoins     int64 `json:"dedup_joins"`
-	Simulations    int64 `json:"simulations"`
-	InFlightPoints int   `json:"inflight_points"`
+	// Sweeps counts accepted submissions; DedupSweeps the subset that were
+	// absorbed by an existing live or completed job with the same
+	// content-derived ID. RequestedPoints sums the grid sizes of all
+	// accepted submissions (deduped ones included), so demand-side rates
+	// like the load harness's dedup rate survive idempotent submission.
+	Sweeps          int64 `json:"sweeps"`
+	DedupSweeps     int64 `json:"dedup_sweeps"`
+	RequestedPoints int64 `json:"requested_points"`
+	Points          int64 `json:"points"`
+	StoreHits       int64 `json:"store_hits"`
+	DedupJoins      int64 `json:"dedup_joins"`
+	Simulations     int64 `json:"simulations"`
+	InFlightPoints  int   `json:"inflight_points"`
+
+	// Journal and resume counters: records written to or replayed from the
+	// write-ahead sweep journal, sweeps resurrected at boot, grid points a
+	// resumed sweep skipped because the journal showed them already stored,
+	// and simulation panics the daemon recovered into point failures.
+	JournalRecords       int64 `json:"journal_records"`
+	JournalAppendErrors  int64 `json:"journal_append_errors,omitempty"`
+	ResumedSweeps        int64 `json:"resumed_sweeps"`
+	ResumedPointsSkipped int64 `json:"resumed_points_skipped"`
+	PanicsRecovered      int64 `json:"panics_recovered"`
 
 	// BacklogPoints is the admission controller's live gauge (admitted,
 	// unfinished grid points) and ShedSweeps how many sweeps it rejected

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Shared boot/drain shell for the CI jobs that exercise a real `wmx serve`
-# daemon (serve-smoke, chaos-smoke). Expects the daemon binary at /tmp/wmx.
+# daemon (serve-smoke, chaos-smoke, kill-resume-smoke). Expects the daemon
+# binary at /tmp/wmx.
 #
 #   daemon.sh boot <name> <port> [extra `wmx serve` flags...]
 #       Starts the daemon on 127.0.0.1:<port> with a /tmp/wmx-<name>-store
@@ -11,6 +12,11 @@
 #       Signals the daemon (INT or TERM), asserts it exits within 10s and
 #       prints its log (the shutdown stats) either way. A never-booted
 #       daemon is not an error, so drain can run in an `if: always()` step.
+#
+#   daemon.sh kill <name>
+#       SIGKILLs the daemon — the crash half of the kill-resume job: no
+#       drain, no shutdown stats, the store dir and journal left exactly as
+#       the process last fsynced them. Waits until the pid is gone.
 set -euo pipefail
 
 cmd=${1:?usage: daemon.sh boot|drain ...}
@@ -53,8 +59,21 @@ drain)
   cat "/tmp/$name.log" >&2
   exit 1
   ;;
+kill)
+  name=${1:?kill: missing daemon name}
+  pid=$(cat "/tmp/$name.pid")
+  kill -KILL "$pid" 2>/dev/null || true
+  for _ in $(seq 1 50); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      exit 0
+    fi
+    sleep 0.2
+  done
+  echo "daemon '$name' survived SIGKILL?!" >&2
+  exit 1
+  ;;
 *)
-  echo "daemon.sh: unknown command '$cmd' (want boot or drain)" >&2
+  echo "daemon.sh: unknown command '$cmd' (want boot, drain or kill)" >&2
   exit 2
   ;;
 esac

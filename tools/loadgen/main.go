@@ -41,6 +41,16 @@
 //	                   (negative disables)
 //	-verify            every successful client's grid must be bit-identical
 //	                   to its variant's other clients
+//	-min-resumed N     at least N sweeps must have been resurrected from the
+//	                   daemon's journal during the run (kill-resume harness;
+//	                   -1 disables)
+//
+// Kill-resume mode: -grid-out FILE writes variant 0's full grid as JSON.
+// The CI kill-resume job runs loadgen against a daemon that is SIGKILLed
+// and rebooted mid-run (the retrying clients reattach or idempotently
+// resubmit by content-derived sweep ID), asserts -min-resumed 1, and
+// compares the -grid-out file byte-for-byte against an uninterrupted
+// reference run's.
 //
 // Exit codes: 0 success, 1 assertion failed (wrong results included),
 // 2 bad flags, 3 daemon unreachable, 4 run error.
@@ -93,6 +103,8 @@ func main() {
 		verify     = flag.Bool("verify", false, "fail unless same-variant client grids are bit-identical")
 		skipWarm   = flag.Bool("skip-warm", false, "skip the warm rerun and warm query phases")
 		asJSON     = flag.Bool("json", false, "emit the report as JSON")
+		gridOut    = flag.String("grid-out", "", "write variant 0's full grid as JSON to this file")
+		minResumed = flag.Int64("min-resumed", -1, "fail unless the daemon resumed at least this many journaled sweeps (-1 disables)")
 	)
 	flag.Parse()
 
@@ -113,6 +125,7 @@ func main() {
 		SkipWarm:      *skipWarm,
 		AllowFailures: *minSuccess >= 0,
 		Verify:        *verify,
+		CaptureGrid:   *gridOut != "",
 	})
 	if err != nil {
 		if errors.Is(err, load.ErrWrongResult) {
@@ -155,6 +168,19 @@ func main() {
 	if *maxShed >= 0 {
 		check(rep.ShedRate <= *maxShed,
 			"shed rate %.3f > allowed %.3f", rep.ShedRate, *maxShed)
+	}
+	if *minResumed >= 0 {
+		check(rep.ResumedSweeps >= *minResumed,
+			"daemon resumed %d journaled sweeps, required %d", rep.ResumedSweeps, *minResumed)
+	}
+	if *gridOut != "" {
+		blob, err := json.Marshal(rep.Grid)
+		if err != nil {
+			fatal(exitRunError, "marshal grid: %v", err)
+		}
+		if err := os.WriteFile(*gridOut, blob, 0o666); err != nil {
+			fatal(exitRunError, "write %s: %v", *gridOut, err)
+		}
 	}
 	if failed {
 		os.Exit(exitAssertion)
